@@ -1,0 +1,27 @@
+//! Regenerates the paper's Fig. 1 (peak device-memory bandwidth) and
+//! times one DeviceMemory run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpucmp_benchmarks::devicemem::DeviceMemory;
+use gpucmp_benchmarks::Scale;
+use gpucmp_core::experiments::fig1_peak_bandwidth;
+use gpucmp_sim::DeviceSpec;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig1_peak_bandwidth(Scale::Quick));
+    let b = DeviceMemory::new(Scale::Quick);
+    let dev = DeviceSpec::gtx480();
+    c.bench_function("fig1/devicemem_cuda_gtx480", |bn| {
+        bn.iter(|| gpucmp_bench::cuda_once(&b, &dev))
+    });
+    c.bench_function("fig1/devicemem_opencl_gtx480", |bn| {
+        bn.iter(|| gpucmp_bench::opencl_once(&b, &dev))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates the paper's Fig. 2 (peak FLOPS) and times one MaxFlops run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpucmp_benchmarks::maxflops::MaxFlops;
+use gpucmp_benchmarks::Scale;
+use gpucmp_core::experiments::fig2_peak_flops;
+use gpucmp_sim::DeviceSpec;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig2_peak_flops(Scale::Quick));
+    let b = MaxFlops::new(Scale::Quick);
+    for dev in [DeviceSpec::gtx280(), DeviceSpec::gtx480()] {
+        c.bench_function(&format!("fig2/maxflops_cuda_{}", dev.name), |bn| {
+            bn.iter(|| gpucmp_bench::cuda_once(&b, &dev))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Regenerates the paper's Fig. 3 (the PR of every real-world benchmark on
+//! both NVIDIA GPUs) and times three representative benchmark pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpucmp_benchmarks::{mxm::MxM, sobel::Sobel, Scale};
+use gpucmp_core::experiments::fig3_performance_ratio;
+use gpucmp_sim::DeviceSpec;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig3_performance_ratio(Scale::Quick));
+    let dev = DeviceSpec::gtx280();
+    let sobel = Sobel::new(Scale::Quick);
+    c.bench_function("fig3/sobel_pair_gtx280", |bn| {
+        bn.iter(|| {
+            (
+                gpucmp_bench::cuda_once(&sobel, &dev),
+                gpucmp_bench::opencl_once(&sobel, &dev),
+            )
+        })
+    });
+    let mxm = MxM::new(Scale::Quick);
+    c.bench_function("fig3/mxm_pair_gtx280", |bn| {
+        bn.iter(|| {
+            (
+                gpucmp_bench::cuda_once(&mxm, &dev),
+                gpucmp_bench::opencl_once(&mxm, &dev),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

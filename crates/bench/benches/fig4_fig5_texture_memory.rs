@@ -1,0 +1,25 @@
+//! Regenerates the paper's Figs 4-5 (texture-memory ablation on MD and
+//! SPMV) and times the MD pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpucmp_benchmarks::{md::Md, Scale};
+use gpucmp_core::experiments::fig4_fig5_texture;
+use gpucmp_sim::DeviceSpec;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig4_fig5_texture(Scale::Quick));
+    let dev = DeviceSpec::gtx280();
+    for tex in [true, false] {
+        let b = Md::new(Scale::Quick).with_texture(tex);
+        c.bench_function(&format!("fig4/md_texture_{tex}_gtx280"), |bn| {
+            bn.iter(|| gpucmp_bench::cuda_once(&b, &dev))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates the paper's Figs 6-7 (the FDTD loop-unrolling matrix) and
+//! times the four build configurations on the GTX280.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpucmp_benchmarks::{fdtd::Fdtd, Scale};
+use gpucmp_core::experiments::fig6_fig7_unroll;
+use gpucmp_sim::DeviceSpec;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig6_fig7_unroll(Scale::Quick));
+    let dev = DeviceSpec::gtx280();
+    for a in [true, false] {
+        let b = Fdtd::new(Scale::Quick).with_unroll_a(a);
+        c.bench_function(&format!("fig6/fdtd_cuda_unroll_a_{a}"), |bn| {
+            bn.iter(|| gpucmp_bench::cuda_once(&b, &dev))
+        });
+        c.bench_function(&format!("fig7/fdtd_opencl_unroll_a_{a}"), |bn| {
+            bn.iter(|| gpucmp_bench::opencl_once(&b, &dev))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates the paper's Fig. 8 (Sobel with/without constant memory) and
+//! times both variants on the GTX280.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpucmp_benchmarks::{sobel::Sobel, Scale};
+use gpucmp_core::experiments::fig8_sobel_constant;
+use gpucmp_sim::DeviceSpec;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig8_sobel_constant(Scale::Quick));
+    let dev = DeviceSpec::gtx280();
+    for use_const in [true, false] {
+        let b = Sobel::new(Scale::Quick).with_const_filter(use_const);
+        c.bench_function(&format!("fig8/sobel_const_{use_const}_gtx280"), |bn| {
+            bn.iter(|| gpucmp_bench::cuda_once(&b, &dev))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

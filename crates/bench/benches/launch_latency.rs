@@ -1,0 +1,26 @@
+//! Regenerates the kernel-launch-time comparison of the paper's Section
+//! IV-B-4 (why OpenCL loses on BFS) and times BFS on both APIs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpucmp_benchmarks::{bfs::Bfs, Scale};
+use gpucmp_core::experiments::launch_latency;
+use gpucmp_sim::DeviceSpec;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", launch_latency());
+    let b = Bfs::new(Scale::Quick);
+    let dev = DeviceSpec::gtx280();
+    c.bench_function("launch/bfs_cuda_gtx280", |bn| {
+        bn.iter(|| gpucmp_bench::cuda_once(&b, &dev))
+    });
+    c.bench_function("launch/bfs_opencl_gtx280", |bn| {
+        bn.iter(|| gpucmp_bench::opencl_once(&b, &dev))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates the paper's Table V (static PTX statistics of the FFT
+//! forward kernel under both front-ends) and times the two compilations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpucmp_benchmarks::{fft::Fft, Scale};
+use gpucmp_compiler::{compile, Api};
+use gpucmp_core::experiments::table5_ptx_stats;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table5_ptx_stats());
+    let def = Fft::new(Scale::Quick).kernel();
+    c.bench_function("table5/compile_fft_cuda", |bn| {
+        bn.iter(|| compile(&def, Api::Cuda, 124).unwrap().exec.len_real())
+    });
+    c.bench_function("table5/compile_fft_opencl", |bn| {
+        bn.iter(|| compile(&def, Api::OpenCl, 124).unwrap().exec.len_real())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates the paper's Table VI (OpenCL portability across HD5870,
+//! Intel920 and Cell/BE) and times one portable benchmark per device.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpucmp_benchmarks::{reduce::Reduce, Scale};
+use gpucmp_core::experiments::table6_portability;
+use gpucmp_sim::DeviceSpec;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table6_portability(Scale::Quick));
+    let b = Reduce::new(Scale::Quick);
+    for dev in [
+        DeviceSpec::hd5870(),
+        DeviceSpec::intel920(),
+        DeviceSpec::cellbe(),
+    ] {
+        let name = dev.name.replace('/', "_");
+        c.bench_function(&format!("table6/reduce_opencl_{name}"), |bn| {
+            bn.iter(|| gpucmp_bench::opencl_once(&b, &dev))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

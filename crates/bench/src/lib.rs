@@ -1,0 +1,23 @@
+//! # gpucmp-bench — Criterion benches regenerating the paper's evaluation
+//!
+//! One bench target per figure/table. Each target first prints the
+//! regenerated rows/series (at `Scale::Quick` so a full `cargo bench`
+//! stays tractable; run `examples/reproduce_paper` for paper-scale
+//! numbers), then times a representative unit of the experiment with
+//! Criterion.
+
+use gpucmp_benchmarks::common::Benchmark;
+use gpucmp_runtime::{Cuda, OpenCl};
+use gpucmp_sim::DeviceSpec;
+
+/// Run `bench` once through the CUDA runtime on `device` (panics on error).
+pub fn cuda_once(bench: &dyn Benchmark, device: &DeviceSpec) -> f64 {
+    let mut gpu = Cuda::new(device.clone()).expect("NVIDIA device");
+    bench.run(&mut gpu).expect("run").value
+}
+
+/// Run `bench` once through the OpenCL runtime on `device`.
+pub fn opencl_once(bench: &dyn Benchmark, device: &DeviceSpec) -> f64 {
+    let mut gpu = OpenCl::create_any(device.clone());
+    bench.run(&mut gpu).expect("run").value
+}

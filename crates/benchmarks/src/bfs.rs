@@ -1,0 +1,282 @@
+//! BFS — Rodinia-style level-synchronous breadth-first search (paper
+//! Table II, sec).
+//!
+//! One pair of kernel launches per BFS level plus a host read-back of the
+//! "changed" flag, so the *kernel-launch overhead* dominates scaling — this
+//! is the benchmark the paper uses to expose OpenCL's larger launch time
+//! (Section IV-B-4).
+
+use crate::common::{check_i32, rng, verdict, Benchmark, Metric, RunOutput, Scale, Window};
+use gpucmp_compiler::{global_id_x, ld_global, DslKernel, Expr, KernelDef, Unroll};
+use gpucmp_ptx::Ty;
+use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_sim::{ExecStats, LaunchConfig};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// A CSR graph.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Node edge-list offsets (len = nodes + 1).
+    pub offsets: Vec<i32>,
+    /// Edge targets.
+    pub edges: Vec<i32>,
+}
+
+impl Graph {
+    /// Random graph with `nodes` nodes and average degree `degree`,
+    /// deterministic in `seed`. Node 0 is connected into a ring so the
+    /// graph is connected and BFS reaches everything.
+    pub fn random(nodes: usize, degree: usize, seed: u64) -> Self {
+        let mut r = rng(seed);
+        let mut adj: Vec<Vec<i32>> = vec![Vec::with_capacity(degree + 2); nodes];
+        for v in 0..nodes {
+            let next = (v + 1) % nodes;
+            adj[v].push(next as i32);
+            for _ in 0..degree {
+                adj[v].push(r.gen_range(0..nodes) as i32);
+            }
+        }
+        let mut offsets = Vec::with_capacity(nodes + 1);
+        let mut edges = Vec::new();
+        offsets.push(0);
+        for a in &adj {
+            edges.extend_from_slice(a);
+            offsets.push(edges.len() as i32);
+        }
+        Graph { offsets, edges }
+    }
+
+    /// Node count.
+    pub fn nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// CPU reference BFS distances from node 0 (-1 = unreachable).
+    pub fn bfs_cpu(&self) -> Vec<i32> {
+        let n = self.nodes();
+        let mut dist = vec![-1i32; n];
+        let mut q = VecDeque::new();
+        dist[0] = 0;
+        q.push_back(0usize);
+        while let Some(v) = q.pop_front() {
+            for e in self.offsets[v]..self.offsets[v + 1] {
+                let w = self.edges[e as usize] as usize;
+                if dist[w] < 0 {
+                    dist[w] = dist[v] + 1;
+                    q.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// BFS benchmark.
+#[derive(Clone, Debug)]
+pub struct Bfs {
+    /// Node count.
+    pub nodes: usize,
+    /// Average out-degree.
+    pub degree: usize,
+}
+
+impl Bfs {
+    /// Construct with the given scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => Bfs {
+                nodes: 4096,
+                degree: 4,
+            },
+            Scale::Paper => Bfs {
+                nodes: 65536,
+                degree: 6,
+            },
+        }
+    }
+
+    /// Kernel 1: expand the current frontier, writing tentative costs and
+    /// the updating mask.
+    fn kernel_expand(&self) -> KernelDef {
+        let mut k = DslKernel::new("bfs_expand");
+        let offsets = k.param_ptr("offsets");
+        let edges = k.param_ptr("edges");
+        let frontier = k.param_ptr("frontier");
+        let visited = k.param_ptr("visited");
+        let cost = k.param_ptr("cost");
+        let updating = k.param_ptr("updating");
+        let n = k.param("n", Ty::S32);
+        let tid = k.let_(Ty::S32, global_id_x());
+        k.if_(Expr::from(tid).lt(n), |k| {
+            k.if_(
+                ld_global(frontier.clone(), tid, Ty::S32).ne_(0i32),
+                |k| {
+                    k.st_global(frontier.clone(), tid, Ty::S32, 0i32);
+                    let my_cost = k.let_(Ty::S32, ld_global(cost.clone(), tid, Ty::S32));
+                    let start = k.let_(Ty::S32, ld_global(offsets.clone(), tid, Ty::S32));
+                    let end = k.let_(
+                        Ty::S32,
+                        ld_global(offsets.clone(), Expr::from(tid) + 1i32, Ty::S32),
+                    );
+                    k.for_(start, end, 1, Unroll::None, |k, e| {
+                        let nb = k.let_(Ty::S32, ld_global(edges.clone(), e, Ty::S32));
+                        k.if_(
+                            ld_global(visited.clone(), nb, Ty::S32).eq_(0i32),
+                            |k| {
+                                k.st_global(cost.clone(), nb, Ty::S32, Expr::from(my_cost) + 1i32);
+                                k.st_global(updating.clone(), nb, Ty::S32, 1i32);
+                            },
+                        );
+                    });
+                },
+            );
+        });
+        k.finish()
+    }
+
+    /// Kernel 2: commit the updating mask into the frontier + visited sets
+    /// and raise the continue flag.
+    fn kernel_update(&self) -> KernelDef {
+        let mut k = DslKernel::new("bfs_update");
+        let frontier = k.param_ptr("frontier");
+        let visited = k.param_ptr("visited");
+        let updating = k.param_ptr("updating");
+        let changed = k.param_ptr("changed");
+        let n = k.param("n", Ty::S32);
+        let tid = k.let_(Ty::S32, global_id_x());
+        k.if_(Expr::from(tid).lt(n), |k| {
+            k.if_(
+                ld_global(updating.clone(), tid, Ty::S32).ne_(0i32),
+                |k| {
+                    k.st_global(frontier.clone(), tid, Ty::S32, 1i32);
+                    k.st_global(visited.clone(), tid, Ty::S32, 1i32);
+                    k.st_global(updating.clone(), tid, Ty::S32, 0i32);
+                    k.st_global(changed.clone(), 0i32, Ty::S32, 1i32);
+                },
+            );
+        });
+        k.finish()
+    }
+}
+
+impl Benchmark for Bfs {
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::Seconds
+    }
+
+    fn run(&self, gpu: &mut dyn Gpu) -> Result<RunOutput, RtError> {
+        let g = Graph::random(self.nodes, self.degree, 0xBF5);
+        let n = g.nodes();
+        let k1 = gpu.build(&self.kernel_expand())?;
+        let k2 = gpu.build(&self.kernel_update())?;
+        let d_off = gpu.malloc((g.offsets.len() * 4) as u64)?;
+        let d_edges = gpu.malloc((g.edges.len() * 4) as u64)?;
+        let d_frontier = gpu.malloc((n * 4) as u64)?;
+        let d_visited = gpu.malloc((n * 4) as u64)?;
+        let d_cost = gpu.malloc((n * 4) as u64)?;
+        let d_updating = gpu.malloc((n * 4) as u64)?;
+        let d_changed = gpu.malloc(4)?;
+        gpu.h2d_i32(d_off, &g.offsets)?;
+        gpu.h2d_i32(d_edges, &g.edges)?;
+        let mut frontier = vec![0i32; n];
+        frontier[0] = 1;
+        let mut visited = vec![0i32; n];
+        visited[0] = 1;
+        let mut cost = vec![-1i32; n];
+        cost[0] = 0;
+        gpu.h2d_i32(d_frontier, &frontier)?;
+        gpu.h2d_i32(d_visited, &visited)?;
+        gpu.h2d_i32(d_cost, &cost)?;
+        gpu.h2d_i32(d_updating, &vec![0i32; n])?;
+
+        let block = 256u32;
+        let grid = (n as u32).div_ceil(block);
+        let mut stats = ExecStats::default();
+        let win = Window::open(gpu);
+        loop {
+            gpu.h2d_i32(d_changed, &[0])?;
+            let cfg1 = LaunchConfig::new(grid, block)
+                .arg_ptr(d_off)
+                .arg_ptr(d_edges)
+                .arg_ptr(d_frontier)
+                .arg_ptr(d_visited)
+                .arg_ptr(d_cost)
+                .arg_ptr(d_updating)
+                .arg_i32(n as i32);
+            let l1 = gpu.launch(k1, &cfg1)?;
+            stats.merge(&l1.report.stats);
+            let cfg2 = LaunchConfig::new(grid, block)
+                .arg_ptr(d_frontier)
+                .arg_ptr(d_visited)
+                .arg_ptr(d_updating)
+                .arg_ptr(d_changed)
+                .arg_i32(n as i32);
+            let l2 = gpu.launch(k2, &cfg2)?;
+            stats.merge(&l2.report.stats);
+            let flag = gpu.d2h_i32(d_changed, 1)?;
+            if flag[0] == 0 {
+                break;
+            }
+        }
+        let (wall_ns, kernel_ns, launches) = win.close(gpu);
+        let got = gpu.d2h_i32(d_cost, n)?;
+        let want = g.bfs_cpu();
+        let verify = verdict(check_i32(&got, &want));
+        Ok(RunOutput {
+            value: wall_ns * 1e-9,
+            metric: Metric::Seconds,
+            verify,
+            kernel_ns,
+            wall_ns,
+            launches,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpucmp_runtime::{Cuda, OpenCl};
+    use gpucmp_sim::DeviceSpec;
+
+    #[test]
+    fn bfs_distances_match_cpu() {
+        let b = Bfs::new(Scale::Quick);
+        let mut cuda = Cuda::new(DeviceSpec::gtx280()).unwrap();
+        let r = b.run(&mut cuda).unwrap();
+        assert!(r.verify.is_pass(), "{:?}", r.verify);
+        assert!(r.launches >= 4, "needs several levels, got {}", r.launches);
+        let mut ocl = OpenCl::create_any(DeviceSpec::gtx480());
+        assert!(b.run(&mut ocl).unwrap().verify.is_pass());
+    }
+
+    #[test]
+    fn launch_overhead_makes_opencl_slower() {
+        // Section IV-B-4: BFS relaunches kernels per level, so OpenCL's
+        // larger launch time makes it lose (PR < 1).
+        let b = Bfs::new(Scale::Quick);
+        let mut cuda = Cuda::new(DeviceSpec::gtx280()).unwrap();
+        let tc = b.run(&mut cuda).unwrap().value;
+        let mut ocl = OpenCl::create_any(DeviceSpec::gtx280());
+        let to = b.run(&mut ocl).unwrap().value;
+        let pr = tc / to; // seconds → PR = t_cuda / t_opencl
+        assert!(pr < 1.0, "OpenCL should be slower: PR = {pr}");
+        assert!(pr > 0.4, "gap should stay moderate: PR = {pr}");
+    }
+
+    #[test]
+    fn graph_generator_is_connected_and_deterministic() {
+        let g1 = Graph::random(1000, 3, 42);
+        let g2 = Graph::random(1000, 3, 42);
+        assert_eq!(g1.offsets, g2.offsets);
+        assert_eq!(g1.edges, g2.edges);
+        let dist = g1.bfs_cpu();
+        assert!(dist.iter().all(|&d| d >= 0), "ring edge keeps it connected");
+    }
+}

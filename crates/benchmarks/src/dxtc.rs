@@ -1,0 +1,288 @@
+//! DXTC — DXT1 texture compression (NVIDIA SDK; paper Table II,
+//! MPixels/s).
+//!
+//! One thread compresses one 4x4 pixel block: bounding-box colour
+//! endpoints, the 4-entry palette, and a 2-bit best-fit index per pixel.
+//! All integer math, so verification is exact. The sixteen pixels are held
+//! in registers, which makes this one of the suite's register-hungriest
+//! kernels — it is one of the four that exhaust the Cell/BE SPE local
+//! store (`CL_OUT_OF_RESOURCES`, Table VI "ABT").
+
+use crate::common::{check_u32, rand_u32, verdict, Benchmark, Metric, RunOutput, Scale, Window};
+use gpucmp_compiler::{global_id_x, ld_global, select, DslKernel, Expr, KernelDef, Var};
+use gpucmp_ptx::Ty;
+use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_sim::LaunchConfig;
+
+/// DXTC benchmark. Image is `width x height` RGBA pixels (multiples of 4;
+/// `width * height / 16` blocks).
+#[derive(Clone, Debug)]
+pub struct Dxtc {
+    /// Image width.
+    pub width: u32,
+    /// Image height.
+    pub height: u32,
+}
+
+impl Dxtc {
+    /// Construct with the given scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => Dxtc {
+                width: 64,
+                height: 64,
+            },
+            Scale::Paper => Dxtc {
+                width: 512,
+                height: 256,
+            },
+        }
+    }
+
+    /// Pixel blocks.
+    fn blocks(&self) -> u32 {
+        self.width * self.height / 16
+    }
+
+    /// Build the kernel. Public for the Table VI resource analysis.
+    pub fn kernel(&self) -> KernelDef {
+        let mut k = DslKernel::new("dxt1_compress");
+        let pixels = k.param_ptr("pixels"); // RGBA u32, block-linearised
+        let out = k.param_ptr("out"); // 2 u32 words per block
+        let nblocks = k.param("nblocks", Ty::S32);
+        let bid = k.let_(Ty::S32, global_id_x());
+        k.if_(Expr::from(bid).lt(nblocks), |k| {
+            // load the 16 pixels into registers
+            let px: Vec<Var> = (0..16)
+                .map(|i| {
+                    k.let_(
+                        Ty::U32,
+                        ld_global(pixels.clone(), Expr::from(bid) * 16i32 + i as i32, Ty::U32),
+                    )
+                })
+                .collect();
+            let chan = |p: Var, shift: i32| -> Expr { (Expr::from(p) >> shift) & 255i32 };
+            // bounding box per channel
+            let mut mins: Vec<Var> = Vec::new();
+            let mut maxs: Vec<Var> = Vec::new();
+            for (c, shift) in [(0usize, 0i32), (1, 8), (2, 16)] {
+                let _ = c;
+                let mn = k.let_(Ty::U32, chan(px[0], shift));
+                let mx = k.let_(Ty::U32, chan(px[0], shift));
+                for p in &px[1..] {
+                    k.assign(mn, Expr::from(mn).min_(chan(*p, shift)));
+                    k.assign(mx, Expr::from(mx).max_(chan(*p, shift)));
+                }
+                mins.push(mn);
+                maxs.push(mx);
+            }
+            // 565 endpoints: c0 from the maxima, c1 from the minima
+            let to565 = |r: Expr, g: Expr, b: Expr| -> Expr {
+                ((r >> 3i32) << 11i32) | ((g >> 2i32) << 5i32) | (b >> 3i32)
+            };
+            let c0 = k.let_(
+                Ty::U32,
+                to565(maxs[0].into(), maxs[1].into(), maxs[2].into()),
+            );
+            let c1 = k.let_(
+                Ty::U32,
+                to565(mins[0].into(), mins[1].into(), mins[2].into()),
+            );
+            // DXT1 4-colour mode needs c0 > c1; when the block is a single
+            // colour the palette degenerates and all indices are zero.
+            // palette in 8-bit space: p0 = max, p1 = min, p2 = (2 p0 + p1)/3,
+            // p3 = (p0 + 2 p1)/3 per channel
+            let mut pal: Vec<[Var; 3]> = Vec::new();
+            for e in 0..4usize {
+                let mut entry = Vec::new();
+                for c in 0..3usize {
+                    let hi: Expr = maxs[c].into();
+                    let lo: Expr = mins[c].into();
+                    let v = match e {
+                        0 => hi,
+                        1 => lo,
+                        2 => (hi * 2i32 + lo) / 3i32,
+                        _ => (hi + lo * 2i32) / 3i32,
+                    };
+                    entry.push(k.let_(Ty::U32, v));
+                }
+                pal.push([entry[0], entry[1], entry[2]]);
+            }
+            // best index per pixel by squared distance
+            let indices = k.let_(Ty::U32, 0u32);
+            for (i, p) in px.iter().enumerate() {
+                let r = k.let_(Ty::S32, chan(*p, 0).cast(Ty::S32));
+                let g = k.let_(Ty::S32, chan(*p, 8).cast(Ty::S32));
+                let b = k.let_(Ty::S32, chan(*p, 16).cast(Ty::S32));
+                let best_d = k.let_(Ty::S32, i32::MAX);
+                let best_i = k.let_(Ty::S32, 0i32);
+                for (e, entry) in pal.iter().enumerate() {
+                    let dr = k.let_(
+                        Ty::S32,
+                        Expr::from(r) - Expr::from(entry[0]).cast(Ty::S32),
+                    );
+                    let dg = k.let_(
+                        Ty::S32,
+                        Expr::from(g) - Expr::from(entry[1]).cast(Ty::S32),
+                    );
+                    let db = k.let_(
+                        Ty::S32,
+                        Expr::from(b) - Expr::from(entry[2]).cast(Ty::S32),
+                    );
+                    let d = k.let_(
+                        Ty::S32,
+                        Expr::from(dr) * dr + Expr::from(dg) * dg + Expr::from(db) * db,
+                    );
+                    let closer = Expr::from(d).lt(best_d);
+                    k.assign(best_i, select(closer.clone(), e as i32, best_i));
+                    k.assign(best_d, select(closer, d, best_d));
+                }
+                k.assign(
+                    indices,
+                    Expr::from(indices)
+                        | (Expr::from(best_i).cast(Ty::U32) << (2 * i as i32)),
+                );
+            }
+            k.st_global(out.clone(), Expr::from(bid) * 2i32, Ty::U32, Expr::from(c0) | (Expr::from(c1) << 16i32));
+            k.st_global(
+                out.clone(),
+                Expr::from(bid) * 2i32 + 1i32,
+                Ty::U32,
+                indices,
+            );
+        });
+        k.finish()
+    }
+
+    /// Exact CPU reference.
+    pub fn reference(&self, pixels: &[u32]) -> Vec<u32> {
+        let nblocks = self.blocks() as usize;
+        let mut out = vec![0u32; nblocks * 2];
+        for b in 0..nblocks {
+            let px = &pixels[b * 16..b * 16 + 16];
+            let chan = |p: u32, s: u32| (p >> s) & 255;
+            let mut mins = [255u32; 3];
+            let mut maxs = [0u32; 3];
+            for &p in px {
+                for (c, s) in [(0usize, 0u32), (1, 8), (2, 16)] {
+                    mins[c] = mins[c].min(chan(p, s));
+                    maxs[c] = maxs[c].max(chan(p, s));
+                }
+            }
+            let to565 =
+                |r: u32, g: u32, b: u32| ((r >> 3) << 11) | ((g >> 2) << 5) | (b >> 3);
+            let c0 = to565(maxs[0], maxs[1], maxs[2]);
+            let c1 = to565(mins[0], mins[1], mins[2]);
+            let mut pal = [[0u32; 3]; 4];
+            for c in 0..3 {
+                pal[0][c] = maxs[c];
+                pal[1][c] = mins[c];
+                pal[2][c] = (maxs[c] * 2 + mins[c]) / 3;
+                pal[3][c] = (maxs[c] + mins[c] * 2) / 3;
+            }
+            let mut indices = 0u32;
+            for (i, &p) in px.iter().enumerate() {
+                let (r, g, bl) = (chan(p, 0) as i32, chan(p, 8) as i32, chan(p, 16) as i32);
+                let mut best_d = i32::MAX;
+                let mut best_i = 0i32;
+                for (e, entry) in pal.iter().enumerate() {
+                    let dr = r - entry[0] as i32;
+                    let dg = g - entry[1] as i32;
+                    let db = bl - entry[2] as i32;
+                    let d = dr * dr + dg * dg + db * db;
+                    if d < best_d {
+                        best_i = e as i32;
+                        best_d = d;
+                    }
+                }
+                indices |= (best_i as u32) << (2 * i);
+            }
+            out[b * 2] = c0 | (c1 << 16);
+            out[b * 2 + 1] = indices;
+        }
+        out
+    }
+}
+
+impl Benchmark for Dxtc {
+    fn name(&self) -> &'static str {
+        "DXTC"
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::MPixelsPerSec
+    }
+
+    fn run(&self, gpu: &mut dyn Gpu) -> Result<RunOutput, RtError> {
+        let nblocks = self.blocks();
+        let npix = (self.width * self.height) as usize;
+        let def = self.kernel();
+        let h = gpu.build(&def)?;
+        let d_px = gpu.malloc((npix * 4) as u64)?;
+        let d_out = gpu.malloc((nblocks as usize * 8) as u64)?;
+        let pixels: Vec<u32> = rand_u32(0xD8, npix).iter().map(|v| v & 0x00ff_ffff).collect();
+        gpu.h2d_u32(d_px, &pixels)?;
+        let block = 256u32;
+        let cfg = LaunchConfig::new(nblocks.div_ceil(block), block)
+            .arg_ptr(d_px)
+            .arg_ptr(d_out)
+            .arg_i32(nblocks as i32);
+        let win = Window::open(gpu);
+        let launch = gpu.launch(h, &cfg)?;
+        let (wall_ns, kernel_ns, launches) = win.close(gpu);
+        let got = gpu.d2h_u32(d_out, nblocks as usize * 2)?;
+        let want = self.reference(&pixels);
+        let verify = verdict(check_u32(&got, &want));
+        Ok(RunOutput {
+            value: npix as f64 / (kernel_ns * 1e-3), // pixels/µs = MPixels/s
+            metric: Metric::MPixelsPerSec,
+            verify,
+            kernel_ns,
+            wall_ns,
+            launches,
+            stats: launch.report.stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpucmp_runtime::{Cuda, OpenCl};
+    use gpucmp_sim::DeviceSpec;
+
+    #[test]
+    fn dxtc_is_exact_on_both_apis() {
+        let b = Dxtc::new(Scale::Quick);
+        let mut cuda = Cuda::new(DeviceSpec::gtx280()).unwrap();
+        let r = b.run(&mut cuda).unwrap();
+        assert!(r.verify.is_pass(), "{:?}", r.verify);
+        let mut ocl = OpenCl::create_any(DeviceSpec::gtx480());
+        assert!(b.run(&mut ocl).unwrap().verify.is_pass());
+    }
+
+    #[test]
+    fn dxtc_is_register_hungry() {
+        // the 16 register-resident pixels + palette must create real
+        // pressure: this kernel spills under the front-end budgets
+        let def = Dxtc::new(Scale::Quick).kernel();
+        let c = gpucmp_compiler::compile(&def, gpucmp_compiler::Api::Cuda, 124).unwrap();
+        assert!(
+            c.exec.phys_regs >= 30 || c.exec.local_bytes > 0,
+            "regs={} local={}",
+            c.exec.phys_regs,
+            c.exec.local_bytes
+        );
+    }
+
+    #[test]
+    fn solid_color_block_compresses_to_single_index() {
+        let b = Dxtc {
+            width: 4,
+            height: 4,
+        };
+        let pixels = vec![0x0080ff40u32 & 0xffffff; 16];
+        let out = b.reference(&pixels);
+        assert_eq!(out[1], 0, "all indices select palette entry 0");
+    }
+}

@@ -1,0 +1,386 @@
+//! FDTD — 3-D finite-difference time-domain, order-8 in space (NVIDIA SDK
+//! `FDTD3d`; paper Table II, MPoints/s; the loop-unrolling study of
+//! Figs 6-7).
+//!
+//! Each thread owns an (x, y) column and marches the z axis, keeping a
+//! 2R+1-plane register queue for the z taps and staging the current plane
+//! in a halo'd shared tile for the x/y taps. The kernel has the paper's
+//! two unroll points:
+//!
+//! - **point a** — the z loop (`#pragma unroll 9` in the paper's listing);
+//! - **point b** — the radius loop (`#pragma unroll RADIUS`).
+//!
+//! The paper's source configurations: CUDA unrolls at both points, OpenCL
+//! only at b. [`FdtdOpts`] selects any combination for the Fig. 6/7
+//! ablations.
+
+use crate::common::{check_f32, rng, verdict, Benchmark, Metric, RunOutput, Scale, Window};
+use gpucmp_compiler::{ld_global, Api, Builtin, DslKernel, Expr, KernelDef, Unroll, Var};
+use gpucmp_ptx::Ty;
+use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_sim::LaunchConfig;
+use rand::Rng;
+
+/// Stencil radius (order 8 in space).
+pub const RADIUS: i32 = 4;
+/// Tile edge (threads per block dimension).
+const TILE: i32 = 16;
+/// The unroll factor of the paper's point-a pragma (`#pragma unroll 9`).
+pub const UNROLL_A: u32 = 9;
+
+/// Stencil coefficients, index 0 = centre.
+pub const COEFF: [f32; 5] = [0.25, 0.14, 0.08, 0.03, 0.01];
+
+/// Unroll-point configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FdtdOpts {
+    /// Unroll the z loop by [`UNROLL_A`] (paper point *a*); `None` = paper
+    /// default (CUDA yes, OpenCL no).
+    pub unroll_a: Option<bool>,
+    /// Unroll the radius loop (paper point *b*); both sources have this
+    /// pragma in the paper.
+    pub unroll_b: bool,
+}
+
+impl Default for FdtdOpts {
+    fn default() -> Self {
+        FdtdOpts {
+            unroll_a: None,
+            unroll_b: true,
+        }
+    }
+}
+
+/// FDTD benchmark. `dimx`/`dimy` are interior extents (multiples of 16);
+/// `dimz` is the total plane count including the 2R z-halo.
+#[derive(Clone, Debug)]
+pub struct Fdtd {
+    /// Interior x extent.
+    pub dimx: i32,
+    /// Interior y extent.
+    pub dimy: i32,
+    /// Total z planes (including halo).
+    pub dimz: i32,
+    /// Unroll options.
+    pub opts: FdtdOpts,
+}
+
+impl Fdtd {
+    /// Construct with the given scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => Fdtd {
+                dimx: 32,
+                dimy: 32,
+                dimz: 22,
+                opts: FdtdOpts::default(),
+            },
+            Scale::Paper => Fdtd {
+                dimx: 128,
+                dimy: 128,
+                dimz: 35, // 27 interior planes = 3 x the unroll factor
+                opts: FdtdOpts::default(),
+            },
+        }
+    }
+
+    /// Override the point-a pragma.
+    pub fn with_unroll_a(mut self, v: bool) -> Self {
+        self.opts.unroll_a = Some(v);
+        self
+    }
+
+    /// Override the point-b pragma.
+    pub fn with_unroll_b(mut self, v: bool) -> Self {
+        self.opts.unroll_b = v;
+        self
+    }
+
+    /// Padded x extent (with halo).
+    fn px(&self) -> i32 {
+        self.dimx + 2 * RADIUS
+    }
+
+    /// Padded y extent.
+    fn py(&self) -> i32 {
+        self.dimy + 2 * RADIUS
+    }
+
+    /// Total padded volume in f32 elements.
+    fn volume(&self) -> usize {
+        (self.px() * self.py() * self.dimz) as usize
+    }
+
+    fn kernel(&self, unroll_a: bool) -> KernelDef {
+        let r = RADIUS;
+        let tile_w = TILE + 2 * r; // 24
+        let mut k = DslKernel::new("fdtd3d");
+        let input = k.param_ptr("input");
+        let output = k.param_ptr("output");
+        let dimz = k.param("dimz", Ty::S32);
+        // SDK-style: coefficients live in constant memory
+        let coef = k.const_array_f32(&COEFF);
+        let px = self.px();
+        let py = self.py();
+        let plane = px * py;
+        let tile = k.shared_array(Ty::F32, (tile_w * tile_w) as u32);
+        let tx = k.let_(Ty::S32, Expr::from(Builtin::TidX));
+        let ty_ = k.let_(Ty::S32, Expr::from(Builtin::TidY));
+        let gx = k.let_(
+            Ty::S32,
+            Expr::from(Builtin::CtaidX) * TILE + Expr::from(tx) + r,
+        );
+        let gy = k.let_(
+            Ty::S32,
+            Expr::from(Builtin::CtaidY) * TILE + Expr::from(ty_) + r,
+        );
+        // column base address component (y*px + x)
+        let col = k.let_(Ty::S32, Expr::from(gy) * px + gx);
+        // register queue: q[0] = behind_R ... q[R] = current ... q[2R] = infront_R
+        let q: Vec<Var> = (0..(2 * r + 1)).map(|_| k.var(Ty::F32)).collect();
+        for (i, qi) in q.iter().enumerate() {
+            k.assign(
+                *qi,
+                ld_global(input.clone(), Expr::from(col) + (i as i32) * plane, Ty::F32),
+            );
+        }
+        let unroll = if unroll_a {
+            Unroll::By(UNROLL_A)
+        } else {
+            Unroll::None
+        };
+        let q_owned = q.clone();
+        let input_c = input.clone();
+        let output_c = output.clone();
+        let coef_c = coef;
+        let dimz_c = dimz.clone();
+        k.for_(r, dimz.clone() - r, 1, unroll, move |k, z| {
+            let q = &q_owned;
+            // stage the current plane (with halo) in the shared tile
+            let cur_idx = Expr::from(col) + z.clone() * plane;
+            k.if_(Expr::from(ty_).lt(r), |k| {
+                // y halo above and below
+                k.st_shared(
+                    tile,
+                    Expr::from(ty_) * tile_w + Expr::from(tx) + r,
+                    ld_global(input_c.clone(), cur_idx.clone() - r * px, Ty::F32),
+                );
+                k.st_shared(
+                    tile,
+                    (Expr::from(ty_) + TILE + r) * tile_w + Expr::from(tx) + r,
+                    ld_global(input_c.clone(), cur_idx.clone() + TILE * px, Ty::F32),
+                );
+            });
+            k.if_(Expr::from(tx).lt(r), |k| {
+                // x halo left and right
+                k.st_shared(
+                    tile,
+                    (Expr::from(ty_) + r) * tile_w + tx,
+                    ld_global(input_c.clone(), cur_idx.clone() - r, Ty::F32),
+                );
+                k.st_shared(
+                    tile,
+                    (Expr::from(ty_) + r) * tile_w + Expr::from(tx) + TILE + r,
+                    ld_global(input_c.clone(), cur_idx.clone() + TILE, Ty::F32),
+                );
+            });
+            k.st_shared(
+                tile,
+                (Expr::from(ty_) + r) * tile_w + Expr::from(tx) + r,
+                Expr::from(q[r as usize]),
+            );
+            k.barrier();
+            // centre tap
+            let acc = k.let_(Ty::F32, Expr::from(q[r as usize]) * coef_c.ld(0i64));
+            // z taps from the register queue (static, register-resident)
+            for rr in 1..=r {
+                k.assign(
+                    acc,
+                    Expr::from(acc)
+                        + (Expr::from(q[(r - rr) as usize]) + Expr::from(q[(r + rr) as usize]))
+                            * coef_c.ld(rr as i64),
+                );
+            }
+            // x/y taps from the shared tile — the paper's point-b loop
+            let b_unroll = if self.opts.unroll_b {
+                Unroll::Full
+            } else {
+                Unroll::None
+            };
+            let coef_b = coef_c;
+            k.for_(1i32, r + 1, 1, b_unroll, |k, rr| {
+                let c = k.let_(Ty::F32, coef_b.ld(rr.clone()));
+                let sum = k.let_(
+                    Ty::F32,
+                    tile.ld((Expr::from(ty_) + r - rr.clone()) * tile_w + Expr::from(tx) + r)
+                        + tile.ld((Expr::from(ty_) + r + rr.clone()) * tile_w + Expr::from(tx) + r)
+                        + tile.ld(
+                            (Expr::from(ty_) + r) * tile_w + Expr::from(tx) + r - rr.clone(),
+                        )
+                        + tile.ld((Expr::from(ty_) + r) * tile_w + Expr::from(tx) + r + rr),
+                );
+                k.assign(acc, Expr::from(acc) + Expr::from(c) * sum);
+            });
+            k.st_global(output_c.clone(), cur_idx.clone(), Ty::F32, acc);
+            // advance the register queue
+            for i in 0..(2 * r) as usize {
+                k.assign(q[i], Expr::from(q[i + 1]));
+            }
+            let next_z = (z + 1i32 + r).min_(dimz_c.clone() - 1i32);
+            k.assign(
+                q[(2 * r) as usize],
+                ld_global(input_c.clone(), Expr::from(col) + next_z * plane, Ty::F32),
+            );
+            k.barrier();
+        });
+        k.finish()
+    }
+
+    /// CPU reference over the padded volume (interior z planes only).
+    fn reference(&self, input: &[f32]) -> Vec<f32> {
+        let (px, py, pz) = (self.px() as usize, self.py() as usize, self.dimz as usize);
+        let plane = px * py;
+        let r = RADIUS as usize;
+        let mut out = input.to_vec();
+        for z in r..pz - r {
+            for y in r..py - r {
+                for x in r..px - r {
+                    let i = z * plane + y * px + x;
+                    let mut acc = input[i] * COEFF[0];
+                    for rr in 1..=r {
+                        acc += (input[i - rr * plane] + input[i + rr * plane]) * COEFF[rr];
+                        acc += ((input[i - rr * px] + input[i + rr * px])
+                            + (input[i - rr] + input[i + rr]))
+                            * COEFF[rr];
+                    }
+                    out[i] = acc;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Benchmark for Fdtd {
+    fn name(&self) -> &'static str {
+        "FDTD"
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::MPixelsPerSec // MPoints/s; same scale
+    }
+
+    fn run(&self, gpu: &mut dyn Gpu) -> Result<RunOutput, RtError> {
+        let unroll_a = self.opts.unroll_a.unwrap_or(gpu.api() == Api::Cuda);
+        let def = self.kernel(unroll_a);
+        let h = gpu.build(&def)?;
+        let vol = self.volume();
+        let d_in = gpu.malloc((vol * 4) as u64)?;
+        let d_out = gpu.malloc((vol * 4) as u64)?;
+        let mut r = rng(0xFD7D);
+        let data: Vec<f32> = (0..vol).map(|_| r.gen_range(0..256) as f32 / 256.0).collect();
+        gpu.h2d_f32(d_in, &data)?;
+        gpu.h2d_f32(d_out, &data)?; // halo planes pass through
+        let cfg = LaunchConfig::new(
+            ((self.dimx / TILE) as u32, (self.dimy / TILE) as u32),
+            (TILE as u32, TILE as u32),
+        )
+        .arg_ptr(d_in)
+        .arg_ptr(d_out)
+        .arg_i32(self.dimz);
+        let win = Window::open(gpu);
+        let launch = gpu.launch(h, &cfg)?;
+        let (wall_ns, kernel_ns, launches) = win.close(gpu);
+        let got = gpu.d2h_f32(d_out, vol)?;
+        let want = self.reference(&data);
+        // verify interior region only (the tile grid covers exactly the
+        // interior; halo columns pass through)
+        let (px, py) = (self.px() as usize, self.py() as usize);
+        let plane = px * py;
+        let r4 = RADIUS as usize;
+        let mut got_int = Vec::new();
+        let mut want_int = Vec::new();
+        for z in r4..(self.dimz as usize - r4) {
+            for y in r4..(py - r4) {
+                let row = z * plane + y * px;
+                got_int.extend_from_slice(&got[row + r4..row + r4 + self.dimx as usize]);
+                want_int.extend_from_slice(&want[row + r4..row + r4 + self.dimx as usize]);
+            }
+        }
+        let verify = verdict(check_f32(&got_int, &want_int, 1e-4));
+        let points =
+            self.dimx as f64 * self.dimy as f64 * (self.dimz - 2 * RADIUS) as f64;
+        Ok(RunOutput {
+            value: points / (kernel_ns * 1e-3), // points per µs = MPoints/s
+            metric: Metric::MPixelsPerSec,
+            verify,
+            kernel_ns,
+            wall_ns,
+            launches,
+            stats: launch.report.stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpucmp_runtime::{Cuda, OpenCl};
+    use gpucmp_sim::DeviceSpec;
+
+    #[test]
+    fn fdtd_verifies_all_unroll_combinations() {
+        let mut cuda = Cuda::new(DeviceSpec::gtx480()).unwrap();
+        for a in [true, false] {
+            for b in [true, false] {
+                let bench = Fdtd::new(Scale::Quick).with_unroll_a(a).with_unroll_b(b);
+                let r = bench.run(&mut cuda).unwrap();
+                assert!(r.verify.is_pass(), "a={a} b={b}: {:?}", r.verify);
+            }
+        }
+        let mut ocl = OpenCl::create_any(DeviceSpec::gtx280());
+        let r = Fdtd::new(Scale::Quick).run(&mut ocl).unwrap();
+        assert!(r.verify.is_pass(), "{:?}", r.verify);
+    }
+
+    #[test]
+    fn unroll_a_helps_cuda() {
+        // Fig. 6: removing the point-a pragma drops CUDA FDTD to ~85%.
+        let with_a = Fdtd::new(Scale::Paper).with_unroll_a(true);
+        let without = Fdtd::new(Scale::Paper).with_unroll_a(false);
+        for dev in [DeviceSpec::gtx280(), DeviceSpec::gtx480()] {
+            let mut g = Cuda::new(dev.clone()).unwrap();
+            let p_with = with_a.run(&mut g).unwrap().value;
+            let p_without = without.run(&mut g).unwrap().value;
+            let frac = p_without / p_with;
+            assert!(
+                (0.6..0.99).contains(&frac),
+                "{}: no-unroll fraction {frac}",
+                dev.name
+            );
+        }
+    }
+
+    #[test]
+    fn opencl_outer_unroll_backfires() {
+        // Fig. 7: OpenCL_{a,b} collapses to ~48-66% of CUDA_{a,b} from
+        // register pressure, while OpenCL_b matches or beats CUDA_b.
+        let mut g280 = Cuda::new(DeviceSpec::gtx280()).unwrap();
+        let cuda_ab = Fdtd::new(Scale::Paper)
+            .with_unroll_a(true)
+            .run(&mut g280)
+            .unwrap()
+            .value;
+        let mut o280 = OpenCl::create_any(DeviceSpec::gtx280());
+        let ocl_ab = Fdtd::new(Scale::Paper)
+            .with_unroll_a(true)
+            .run(&mut o280)
+            .unwrap()
+            .value;
+        let frac = ocl_ab / cuda_ab;
+        assert!(
+            frac < 0.85,
+            "OpenCL with outer unroll should collapse: {frac}"
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! MaxFlops — SHOC's peak floating-point throughput synthetic (paper
+//! Fig. 2).
+//!
+//! As in the paper, the instruction mix is architecture-specific: on GT200
+//! a `mul` and a `mad` are interleaved so the dual-issue pipelines can
+//! co-issue them (the paper's `R = 3`); on every other architecture a pure
+//! `mad` chain is used (`R = 2`). Two independent accumulator chains keep
+//! the (modelled) pipelines busy.
+
+use crate::common::{check_f32, rand_f32, verdict, Benchmark, Metric, RunOutput, Scale, Window};
+use gpucmp_compiler::{global_id_x, DslKernel, Expr, KernelDef, Unroll};
+use gpucmp_ptx::Ty;
+use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_sim::{Arch, LaunchConfig};
+
+/// Unrolled operation pairs per outer-loop iteration.
+const INNER_PAIRS: usize = 256;
+
+/// MaxFlops benchmark.
+#[derive(Clone, Debug)]
+pub struct MaxFlops {
+    /// Thread blocks.
+    pub blocks: u32,
+    /// Threads per block.
+    pub block_size: u32,
+    /// Outer loop iterations.
+    pub iters: i32,
+}
+
+impl MaxFlops {
+    /// Construct with the given scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => MaxFlops {
+                blocks: 16,
+                block_size: 128,
+                iters: 1,
+            },
+            Scale::Paper => MaxFlops {
+                blocks: 120,
+                block_size: 256,
+                iters: 8,
+            },
+        }
+    }
+
+    /// Build the kernel for the given architecture's instruction mix.
+    fn kernel(&self, dual_issue: bool) -> KernelDef {
+        let mut k = DslKernel::new(if dual_issue {
+            "maxflops_mulmad"
+        } else {
+            "maxflops_mad"
+        });
+        let data = k.param_ptr("data");
+        let a = k.param("a", Ty::F32);
+        let b = k.param("b", Ty::F32);
+        let iters = k.param("iters", Ty::S32);
+        let gid = k.let_(Ty::S32, global_id_x());
+        let r = k.let_(
+            Ty::F32,
+            gpucmp_compiler::ld_global(data.clone(), gid, Ty::F32),
+        );
+        let r2 = k.let_(Ty::F32, Expr::from(r) + 1.0f32);
+        k.for_(0i32, iters, 1, Unroll::None, |k, _t| {
+            for _ in 0..INNER_PAIRS {
+                if dual_issue {
+                    // mul + mad interleave (GT200: can co-issue, R = 3)
+                    k.assign(r2, Expr::from(r2) * a.clone());
+                    k.assign(r, Expr::from(r) * a.clone() + b.clone());
+                } else {
+                    // mad-only (Fermi and the rest, R = 2), two chains
+                    k.assign(r, Expr::from(r) * a.clone() + b.clone());
+                    k.assign(r2, Expr::from(r2) * a.clone() + b.clone());
+                }
+            }
+        });
+        k.st_global(data, gid, Ty::F32, Expr::from(r) + Expr::from(r2));
+        k.finish()
+    }
+
+    /// Per-thread CPU reference of the accumulator chain.
+    fn reference(&self, init: &[f32], a: f32, b: f32, dual_issue: bool) -> Vec<f32> {
+        init.iter()
+            .map(|&v0| {
+                let mut r = v0;
+                let mut r2 = v0 + 1.0;
+                for _ in 0..self.iters {
+                    for _ in 0..INNER_PAIRS {
+                        if dual_issue {
+                            r2 *= a;
+                            r = r.mul_add(a, b);
+                        } else {
+                            r = r.mul_add(a, b);
+                            r2 = r2.mul_add(a, b);
+                        }
+                    }
+                }
+                r + r2
+            })
+            .collect()
+    }
+}
+
+impl Benchmark for MaxFlops {
+    fn name(&self) -> &'static str {
+        "MaxFlops"
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::GFlopsPerSec
+    }
+
+    fn run(&self, gpu: &mut dyn Gpu) -> Result<RunOutput, RtError> {
+        let n = (self.blocks * self.block_size) as usize;
+        let dual = gpu.device().arch == Arch::Gt200;
+        let def = self.kernel(dual);
+        let h = gpu.build(&def)?;
+        let buf = gpu.malloc((n * 4) as u64)?;
+        let init = rand_f32(0x5EED_01, n, 0.5, 1.0);
+        gpu.h2d_f32(buf, &init)?;
+        let (a, b) = (0.999f32, 0.001f32);
+        let cfg = LaunchConfig::new(self.blocks, self.block_size)
+            .arg_ptr(buf)
+            .arg_f32(a)
+            .arg_f32(b)
+            .arg_i32(self.iters);
+        let w = Window::open(gpu);
+        let out = gpu.launch(h, &cfg)?;
+        let (wall_ns, kernel_ns, launches) = w.close(gpu);
+        let got = gpu.d2h_f32(buf, n)?;
+        let want = self.reference(&init, a, b, dual);
+        let verify = verdict(check_f32(&got, &want, 1e-4));
+        let gflops = out.report.stats.flops as f64 / kernel_ns;
+        Ok(RunOutput {
+            value: gflops,
+            metric: Metric::GFlopsPerSec,
+            verify,
+            kernel_ns,
+            wall_ns,
+            launches,
+            stats: out.report.stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpucmp_runtime::{Cuda, OpenCl};
+    use gpucmp_sim::DeviceSpec;
+
+    #[test]
+    fn maxflops_verifies_on_both_apis() {
+        let b = MaxFlops::new(Scale::Quick);
+        let mut cuda = Cuda::new(DeviceSpec::gtx480()).unwrap();
+        let rc = b.run(&mut cuda).unwrap();
+        assert!(rc.verify.is_pass(), "{:?}", rc.verify);
+        assert!(rc.value > 0.0);
+        let mut ocl = OpenCl::create_any(DeviceSpec::gtx480());
+        let ro = b.run(&mut ocl).unwrap();
+        assert!(ro.verify.is_pass(), "{:?}", ro.verify);
+        // same computation, near-identical achieved FLOPS (PR ≈ 1)
+        let pr = ro.value / rc.value;
+        assert!((0.9..1.1).contains(&pr), "PR = {pr}");
+    }
+
+    #[test]
+    fn gt200_uses_dual_issue_mix() {
+        let b = MaxFlops::new(Scale::Quick);
+        let mut g280 = Cuda::new(DeviceSpec::gtx280()).unwrap();
+        let r = b.run(&mut g280).unwrap();
+        assert!(r.verify.is_pass(), "{:?}", r.verify);
+        // flops per lane instruction must be 1.5 for the mul+mad mix
+        // (1 + 2 flops per 2 instructions), strictly below the mad-only 2.
+        let per = r.stats.flops as f64 / r.stats.lane_instructions as f64;
+        assert!(per > 1.2 && per < 1.7, "flops/inst = {per}");
+    }
+
+    #[test]
+    fn achieved_fraction_matches_paper_band() {
+        // Fig. 2: ~71.5% of peak on GTX280, ~97.7% on GTX480.
+        let b = MaxFlops::new(Scale::Paper);
+        let mut g280 = Cuda::new(DeviceSpec::gtx280()).unwrap();
+        let r280 = b.run(&mut g280).unwrap();
+        let f280 = r280.value / DeviceSpec::gtx280().theoretical_peak_gflops();
+        assert!((0.6..0.8).contains(&f280), "GTX280 fraction {f280}");
+        let mut g480 = Cuda::new(DeviceSpec::gtx480()).unwrap();
+        let r480 = b.run(&mut g480).unwrap();
+        let f480 = r480.value / DeviceSpec::gtx480().theoretical_peak_gflops();
+        assert!((0.9..1.0).contains(&f480), "GTX480 fraction {f480}");
+    }
+}

@@ -1,0 +1,309 @@
+//! MD — SHOC's Lennard-Jones molecular dynamics kernel (paper Table II,
+//! GFlops/s; the texture-memory ablation of Figs 4-5).
+//!
+//! Each thread computes the force on one atom from its neighbour list. The
+//! neighbour positions are an *irregular read-only* access pattern — the
+//! CUDA version fetches them through **texture memory**, whose cache makes
+//! the accesses "look more regular" (the paper's words); the OpenCL version
+//! reads plain global memory. [`Md::with_texture`] overrides the per-API
+//! default to reproduce Fig. 4.
+
+use crate::common::{check_f32, rng, verdict, Benchmark, Metric, RunOutput, Scale, Window};
+use gpucmp_compiler::{global_id_x, ld_global, tex1d, Api, DslKernel, Expr, KernelDef, Unroll};
+use gpucmp_ptx::Ty;
+use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_sim::LaunchConfig;
+use rand::Rng;
+
+/// Lennard-Jones constants (SHOC's lj1/lj2).
+const LJ1: f32 = 1.5;
+/// Second Lennard-Jones constant.
+const LJ2: f32 = 2.0;
+/// Squared cutoff radius — an exact multiple of 1/4096 so that, with the
+/// grid-quantised positions below, the `r2 < CUTOFF2` comparison is
+/// bit-deterministic regardless of how each front-end fuses the distance
+/// computation.
+const CUTOFF2: f32 = 0.15625;
+
+/// MD benchmark.
+#[derive(Clone, Debug)]
+pub struct Md {
+    /// Atom count.
+    pub n: u32,
+    /// Neighbours per atom.
+    pub neighbors: u32,
+    /// Texture override; `None` = paper default (CUDA yes, OpenCL no).
+    pub use_texture: Option<bool>,
+}
+
+impl Md {
+    /// Construct with the given scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => Md {
+                n: 1024,
+                neighbors: 16,
+                use_texture: None,
+            },
+            Scale::Paper => Md {
+                n: 8192,
+                neighbors: 32,
+                use_texture: None,
+            },
+        }
+    }
+
+    /// Override texture use (Fig. 4 ablation).
+    pub fn with_texture(mut self, v: bool) -> Self {
+        self.use_texture = Some(v);
+        self
+    }
+
+    fn kernel(&self, use_texture: bool) -> KernelDef {
+        let mut k = DslKernel::new(if use_texture { "md_lj_tex" } else { "md_lj" });
+        let pos_x = k.param_ptr("pos_x");
+        let pos_y = k.param_ptr("pos_y");
+        let pos_z = k.param_ptr("pos_z");
+        let force_x = k.param_ptr("force_x");
+        let force_y = k.param_ptr("force_y");
+        let force_z = k.param_ptr("force_z");
+        let neigh = k.param_ptr("neigh");
+        let n = k.param("n", Ty::S32);
+        let nk = k.param("num_neigh", Ty::S32);
+        let i = k.let_(Ty::S32, global_id_x());
+        k.if_(Expr::from(i).lt(n.clone()), |k| {
+            let xi = k.let_(Ty::F32, ld_global(pos_x.clone(), i, Ty::F32));
+            let yi = k.let_(Ty::F32, ld_global(pos_y.clone(), i, Ty::F32));
+            let zi = k.let_(Ty::F32, ld_global(pos_z.clone(), i, Ty::F32));
+            let fx = k.let_(Ty::F32, 0.0f32);
+            let fy = k.let_(Ty::F32, 0.0f32);
+            let fz = k.let_(Ty::F32, 0.0f32);
+            k.for_(0i32, nk, 1, Unroll::None, |k, kk| {
+                // column-major neighbour list keeps this load coalesced
+                let j = k.let_(
+                    Ty::S32,
+                    ld_global(neigh.clone(), kk * n.clone() + i, Ty::S32),
+                );
+                let (xj, yj, zj) = if use_texture {
+                    (
+                        tex1d(0, j, Ty::F32),
+                        tex1d(1, j, Ty::F32),
+                        tex1d(2, j, Ty::F32),
+                    )
+                } else {
+                    (
+                        ld_global(pos_x.clone(), j, Ty::F32),
+                        ld_global(pos_y.clone(), j, Ty::F32),
+                        ld_global(pos_z.clone(), j, Ty::F32),
+                    )
+                };
+                let dx = k.let_(Ty::F32, Expr::from(xi) - xj);
+                let dy = k.let_(Ty::F32, Expr::from(yi) - yj);
+                let dz = k.let_(Ty::F32, Expr::from(zi) - zj);
+                let r2 = k.let_(
+                    Ty::F32,
+                    Expr::from(dx) * dx + Expr::from(dy) * dy + Expr::from(dz) * dz,
+                );
+                k.if_(Expr::from(r2).lt(CUTOFF2), |k| {
+                    let inv = k.let_(Ty::F32, Expr::from(r2).rcp());
+                    let r6 = k.let_(
+                        Ty::F32,
+                        Expr::from(inv) * inv * inv,
+                    );
+                    let f = k.let_(
+                        Ty::F32,
+                        Expr::from(r6) * (Expr::from(r6) * LJ1 - LJ2) * inv,
+                    );
+                    k.assign(fx, Expr::from(fx) + Expr::from(dx) * f);
+                    k.assign(fy, Expr::from(fy) + Expr::from(dy) * f);
+                    k.assign(fz, Expr::from(fz) + Expr::from(dz) * f);
+                });
+            });
+            k.st_global(force_x.clone(), i, Ty::F32, fx);
+            k.st_global(force_y.clone(), i, Ty::F32, fy);
+            k.st_global(force_z.clone(), i, Ty::F32, fz);
+        });
+        k.finish()
+    }
+
+    /// Deterministic inputs: positions in the unit box, neighbour indices
+    /// biased to nearby atom indices (locality the texture cache exploits).
+    fn inputs(&self) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<i32>) {
+        let n = self.n as usize;
+        let kcnt = self.neighbors as usize;
+        let mut r = rng(0x3D);
+        // Positions on a 1/64 grid: squared distances are exact in f32
+        // (14 significand bits), so fma-order differences between the two
+        // front-ends cannot flip the cutoff branch.
+        let quant = |r: &mut rand::rngs::SmallRng| r.gen_range(0..64u32) as f32 / 64.0;
+        let px: Vec<f32> = (0..n).map(|_| quant(&mut r)).collect();
+        let py: Vec<f32> = (0..n).map(|_| quant(&mut r)).collect();
+        let pz: Vec<f32> = (0..n).map(|_| quant(&mut r)).collect();
+        // column-major: neigh[k*n + i]
+        let mut neigh = vec![0i32; n * kcnt];
+        for i in 0..n {
+            for kk in 0..kcnt {
+                // irregular gather with mild spatial locality (SHOC builds
+                // neighbour lists from a spatially sorted atom array)
+                let lo = i.saturating_sub(1024);
+                let hi = (i + 1024).min(n - 1);
+                neigh[kk * n + i] = r.gen_range(lo..=hi) as i32;
+            }
+        }
+        (px, py, pz, neigh)
+    }
+
+    /// CPU reference matching the kernel's f32 operation order.
+    fn reference(&self, px: &[f32], py: &[f32], pz: &[f32], neigh: &[i32]) -> Vec<f32> {
+        let n = self.n as usize;
+        let kcnt = self.neighbors as usize;
+        let mut out = vec![0.0f32; 3 * n];
+        for i in 0..n {
+            let (mut fx, mut fy, mut fz) = (0.0f32, 0.0f32, 0.0f32);
+            for kk in 0..kcnt {
+                let j = neigh[kk * n + i] as usize;
+                let dx = px[i] - px[j];
+                let dy = py[i] - py[j];
+                let dz = pz[i] - pz[j];
+                // exact with the quantised positions, any summation order
+                let r2 = dx * dx + dy * dy + dz * dz;
+                if r2 < CUTOFF2 {
+                    let inv = 1.0 / r2;
+                    let r6 = inv * inv * inv;
+                    let f = (r6 * (r6 * LJ1 - LJ2)) * inv;
+                    fx = dx.mul_add(f, fx);
+                    fy = dy.mul_add(f, fy);
+                    fz = dz.mul_add(f, fz);
+                }
+            }
+            out[i] = fx;
+            out[n + i] = fy;
+            out[2 * n + i] = fz;
+        }
+        out
+    }
+}
+
+impl Benchmark for Md {
+    fn name(&self) -> &'static str {
+        "MD"
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::GFlopsPerSec
+    }
+
+    fn run(&self, gpu: &mut dyn Gpu) -> Result<RunOutput, RtError> {
+        let use_texture = self.use_texture.unwrap_or(gpu.api() == Api::Cuda);
+        let n = self.n as usize;
+        let def = self.kernel(use_texture);
+        let h = gpu.build(&def)?;
+        let (px, py, pz, neigh) = self.inputs();
+        let d_px = gpu.malloc((n * 4) as u64)?;
+        let d_py = gpu.malloc((n * 4) as u64)?;
+        let d_pz = gpu.malloc((n * 4) as u64)?;
+        let d_fx = gpu.malloc((n * 4) as u64)?;
+        let d_fy = gpu.malloc((n * 4) as u64)?;
+        let d_fz = gpu.malloc((n * 4) as u64)?;
+        let d_ng = gpu.malloc((neigh.len() * 4) as u64)?;
+        gpu.h2d_f32(d_px, &px)?;
+        gpu.h2d_f32(d_py, &py)?;
+        gpu.h2d_f32(d_pz, &pz)?;
+        gpu.h2d_i32(d_ng, &neigh)?;
+        let block = 128u32;
+        let mut cfg = LaunchConfig::new((self.n).div_ceil(block), block)
+            .arg_ptr(d_px)
+            .arg_ptr(d_py)
+            .arg_ptr(d_pz)
+            .arg_ptr(d_fx)
+            .arg_ptr(d_fy)
+            .arg_ptr(d_fz)
+            .arg_ptr(d_ng)
+            .arg_i32(n as i32)
+            .arg_i32(self.neighbors as i32);
+        if use_texture {
+            cfg = cfg
+                .bind_texture(d_px, n as u64)
+                .bind_texture(d_py, n as u64)
+                .bind_texture(d_pz, n as u64);
+        }
+        let win = Window::open(gpu);
+        let launch = gpu.launch(h, &cfg)?;
+        let (wall_ns, kernel_ns, launches) = win.close(gpu);
+        let got_x = gpu.d2h_f32(d_fx, n)?;
+        let got_y = gpu.d2h_f32(d_fy, n)?;
+        let got_z = gpu.d2h_f32(d_fz, n)?;
+        let want = self.reference(&px, &py, &pz, &neigh);
+        let verify = verdict(
+            check_f32(&got_x, &want[..n], 1e-3)
+                .and_then(|_| check_f32(&got_y, &want[n..2 * n], 1e-3))
+                .and_then(|_| check_f32(&got_z, &want[2 * n..], 1e-3)),
+        );
+        let gflops = launch.report.stats.flops as f64 / kernel_ns;
+        Ok(RunOutput {
+            value: gflops,
+            metric: Metric::GFlopsPerSec,
+            verify,
+            kernel_ns,
+            wall_ns,
+            launches,
+            stats: launch.report.stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpucmp_runtime::{Cuda, OpenCl};
+    use gpucmp_sim::DeviceSpec;
+
+    #[test]
+    fn md_verifies_with_and_without_texture() {
+        let mut cuda = Cuda::new(DeviceSpec::gtx280()).unwrap();
+        for tex in [true, false] {
+            let b = Md::new(Scale::Quick).with_texture(tex);
+            let r = b.run(&mut cuda).unwrap();
+            assert!(r.verify.is_pass(), "tex={tex}: {:?}", r.verify);
+            if tex {
+                assert!(r.stats.tex_hits + r.stats.tex_misses > 0);
+            } else {
+                assert_eq!(r.stats.tex_hits + r.stats.tex_misses, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn texture_improves_performance_on_gt200() {
+        // Fig. 4: removing texture drops MD to ~88% on GTX280 and ~60% on
+        // GTX480.
+        let with_t = Md::new(Scale::Paper).with_texture(true);
+        let without = Md::new(Scale::Paper).with_texture(false);
+        let mut g280 = Cuda::new(DeviceSpec::gtx280()).unwrap();
+        let p_with = with_t.run(&mut g280).unwrap().value;
+        let p_without = without.run(&mut g280).unwrap().value;
+        let f280 = p_without / p_with;
+        assert!((0.6..0.95).contains(&f280), "GTX280 no-texture fraction {f280}");
+        // Fermi drops *more* (paper: 59.6%): without texture its gathers
+        // move whole 128-byte L1 lines through the L2.
+        let mut g480 = Cuda::new(DeviceSpec::gtx480()).unwrap();
+        let q_with = with_t.run(&mut g480).unwrap().value;
+        let q_without = without.run(&mut g480).unwrap().value;
+        let f480 = q_without / q_with;
+        assert!((0.35..0.75).contains(&f480), "GTX480 no-texture fraction {f480}");
+        assert!(f480 < f280, "Fermi must lose more from texture removal");
+    }
+
+    #[test]
+    fn opencl_matches_cuda_without_texture() {
+        // Fig. 5: after removing texture from the CUDA version the two
+        // programming models are equal.
+        let b = Md::new(Scale::Paper).with_texture(false);
+        let mut cuda = Cuda::new(DeviceSpec::gtx480()).unwrap();
+        let pc = b.run(&mut cuda).unwrap().value;
+        let mut ocl = OpenCl::create_any(DeviceSpec::gtx480());
+        let po = b.run(&mut ocl).unwrap().value;
+        let pr = po / pc;
+        assert!((0.8..1.2).contains(&pr), "PR = {pr}");
+    }
+}

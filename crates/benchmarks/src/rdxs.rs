@@ -1,0 +1,346 @@
+//! RdxS — LSD radix sort with 4-bit digits (NVIDIA SDK, after Satish,
+//! Harris & Garland; paper Table II, MElements/s).
+//!
+//! Per pass: a per-block digit histogram, a single-block exclusive scan of
+//! the (digit-major) histogram matrix, and a scatter whose *local ranking*
+//! step is **warp-synchronous**: each warp owns 16 shared-memory counters
+//! and serialises its lanes with a source-level `tid % 32` — while the
+//! counter base comes from the hardware `%warpid`. On 32-wide NVIDIA
+//! hardware the two agree and the sort is correct; on 64-wide wavefront
+//! devices (HD5870, AMD APP on the Intel920) *two* 32-lane halves share
+//! one `%warpid` and collide in the counters — exactly the paper's
+//! "only one half warp of threads are able to map keys into buckets"
+//! failure, reported as "FL" in Table VI.
+
+use crate::common::{check_u32, rand_u32, verdict, Benchmark, Metric, RunOutput, Scale, Window};
+use gpucmp_compiler::{global_id_x, ld_global, Builtin, DslKernel, Expr, KernelDef};
+use gpucmp_ptx::{AtomOp, Space, Ty};
+use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_sim::{ExecStats, LaunchConfig};
+
+/// Keys per block (one per thread).
+const BLOCK: u32 = 256;
+/// Digit width in bits.
+const DIGIT_BITS: u32 = 4;
+/// Buckets per digit.
+const BUCKETS: u32 = 1 << DIGIT_BITS;
+/// The *source-level* warp size the SDK code bakes in.
+const WARP_SIZE_SRC: i32 = 32;
+
+/// RdxS benchmark. `n` must be a multiple of the 256-key block with at most 512
+/// blocks (the histogram scan runs in one block).
+#[derive(Clone, Debug)]
+pub struct Rdxs {
+    /// Keys to sort (32-bit).
+    pub n: u32,
+}
+
+impl Rdxs {
+    /// Construct with the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Rdxs {
+            n: match scale {
+                Scale::Quick => 2 * 1024,
+                Scale::Paper => 8 * 1024, // 32 blocks: histogram fits the one-block scan
+            },
+        }
+    }
+
+    /// Kernel 1: per-block digit histogram into
+    /// `hist[digit * nblocks + block]` (digit-major for the scan).
+    fn kernel_hist(&self) -> KernelDef {
+        let mut k = DslKernel::new("radix_hist");
+        let keys = k.param_ptr("keys");
+        let hist = k.param_ptr("hist");
+        let shift = k.param("shift", Ty::S32);
+        let nblocks = k.param("nblocks", Ty::S32);
+        let counters = k.shared_array(Ty::U32, BUCKETS);
+        let tid = k.let_(Ty::S32, Expr::from(Builtin::TidX));
+        k.if_(Expr::from(tid).lt(BUCKETS as i32), |k| {
+            k.st_shared(counters, tid, 0u32);
+        });
+        k.barrier();
+        let key = k.let_(Ty::U32, ld_global(keys.clone(), global_id_x(), Ty::U32));
+        let digit = k.let_(
+            Ty::U32,
+            (Expr::from(key) >> shift.clone()) & (BUCKETS - 1) as i32,
+        );
+        k.atomic(
+            AtomOp::Add,
+            Space::Shared,
+            Expr::ImmI(counters.offset as i64),
+            Expr::from(digit).cast(Ty::S32),
+            Ty::U32,
+            1u32,
+        );
+        k.barrier();
+        k.if_(Expr::from(tid).lt(BUCKETS as i32), |k| {
+            k.st_global(
+                hist.clone(),
+                Expr::from(tid) * nblocks.clone() + Expr::from(Builtin::CtaidX),
+                Ty::U32,
+                counters.ld(tid),
+            );
+        });
+        k.finish()
+    }
+
+    /// Kernel 2: single-block exclusive scan of the histogram matrix
+    /// (BUCKETS * nblocks entries, padded to 2*BLOCK).
+    fn kernel_scan(&self) -> KernelDef {
+        let elems = (2 * BLOCK) as i32;
+        let mut k = DslKernel::new("radix_scan");
+        let data = k.param_ptr("data");
+        let sm = k.shared_array(Ty::U32, 2 * BLOCK);
+        let tid = k.let_(Ty::S32, Expr::from(Builtin::TidX));
+        for half in 0..2i32 {
+            let i = Expr::from(tid) * 2i32 + half;
+            k.st_shared(sm, i.clone(), ld_global(data.clone(), i, Ty::U32));
+        }
+        let offset = k.let_(Ty::S32, 1i32);
+        let d = k.let_(Ty::S32, BLOCK as i32);
+        k.while_(Expr::from(d).gt(0i32), |k| {
+            k.barrier();
+            k.if_(Expr::from(tid).lt(d), |k| {
+                let ai = k.let_(
+                    Ty::S32,
+                    Expr::from(offset) * (Expr::from(tid) * 2i32 + 1i32) - 1i32,
+                );
+                let bi = k.let_(
+                    Ty::S32,
+                    Expr::from(offset) * (Expr::from(tid) * 2i32 + 2i32) - 1i32,
+                );
+                k.st_shared(sm, bi, sm.ld(bi) + sm.ld(ai));
+            });
+            k.assign(offset, Expr::from(offset) * 2i32);
+            k.assign(d, Expr::from(d) >> 1i32);
+        });
+        k.barrier();
+        k.if_(Expr::from(tid).eq_(0i32), |k| {
+            k.st_shared(sm, elems - 1, 0u32);
+        });
+        let d2 = k.let_(Ty::S32, 1i32);
+        k.while_(Expr::from(d2).lt(elems), |k| {
+            k.assign(offset, Expr::from(offset) >> 1i32);
+            k.barrier();
+            k.if_(Expr::from(tid).lt(d2), |k| {
+                let ai = k.let_(
+                    Ty::S32,
+                    Expr::from(offset) * (Expr::from(tid) * 2i32 + 1i32) - 1i32,
+                );
+                let bi = k.let_(
+                    Ty::S32,
+                    Expr::from(offset) * (Expr::from(tid) * 2i32 + 2i32) - 1i32,
+                );
+                let t = k.let_(Ty::U32, sm.ld(ai));
+                k.st_shared(sm, ai, sm.ld(bi));
+                k.st_shared(sm, bi, sm.ld(bi) + t);
+            });
+            k.assign(d2, Expr::from(d2) * 2i32);
+        });
+        k.barrier();
+        for half in 0..2i32 {
+            let i = Expr::from(tid) * 2i32 + half;
+            k.st_global(data.clone(), i.clone(), Ty::U32, sm.ld(i));
+        }
+        k.finish()
+    }
+
+    /// Kernel 3: scatter with the warp-synchronous local ranking.
+    fn kernel_scatter(&self) -> KernelDef {
+        let warps_assumed = BLOCK / WARP_SIZE_SRC as u32; // 8
+        let mut k = DslKernel::new("radix_scatter");
+        let keys_in = k.param_ptr("keys_in");
+        let keys_out = k.param_ptr("keys_out");
+        let scanned = k.param_ptr("scanned_hist");
+        let shift = k.param("shift", Ty::S32);
+        let nblocks = k.param("nblocks", Ty::S32);
+        // per-warp digit counters, sized by the source's warp count
+        let counters = k.shared_array(Ty::U32, warps_assumed * BUCKETS);
+        // per-(warp,digit) exclusive offsets within the block
+        let warp_bases = k.shared_array(Ty::U32, warps_assumed * BUCKETS);
+        let tid = k.let_(Ty::S32, Expr::from(Builtin::TidX));
+        let lane32 = k.let_(Ty::S32, Expr::from(tid) % WARP_SIZE_SRC); // source-level 32
+        // THE BUG THE PAPER DESCRIBES: the counter base uses the *hardware*
+        // warp id while the serialisation below assumes 32-wide warps.
+        let hw_warp = k.let_(Ty::S32, Expr::from(Builtin::WarpId).cast(Ty::S32));
+        let key = k.let_(Ty::U32, ld_global(keys_in.clone(), global_id_x(), Ty::U32));
+        let digit = k.let_(
+            Ty::S32,
+            ((Expr::from(key) >> shift.clone()) & (BUCKETS - 1) as i32).cast(Ty::S32),
+        );
+        // zero counters
+        k.if_(
+            Expr::from(tid).lt((warps_assumed * BUCKETS) as i32),
+            |k| {
+                k.st_shared(counters, tid, 0u32);
+            },
+        );
+        k.barrier();
+        // warp-synchronous serial ranking: lane l of each (assumed 32-wide)
+        // warp takes its turn; no barrier needed on 32-wide hardware
+        let rank = k.let_(Ty::U32, 0u32);
+        for l in 0..WARP_SIZE_SRC {
+            k.if_(Expr::from(lane32).eq_(l), |k| {
+                let idx = Expr::from(hw_warp) * BUCKETS as i32 + digit;
+                k.assign(rank, counters.ld(idx.clone()));
+                k.st_shared(counters, idx, Expr::from(rank) + 1u32);
+            });
+        }
+        k.barrier();
+        // exclusive scan of the warp counters per digit (thread d <16 scans
+        // the assumed warps)
+        k.if_(Expr::from(tid).lt(BUCKETS as i32), |k| {
+            let acc = k.let_(Ty::U32, 0u32);
+            for w in 0..warps_assumed as i32 {
+                let idx = Expr::ImmI((w * BUCKETS as i32) as i64) + Expr::from(tid);
+                k.st_shared(warp_bases, idx.clone(), acc);
+                k.assign(acc, Expr::from(acc) + counters.ld(idx));
+            }
+        });
+        k.barrier();
+        // global position: scanned digit base + this block's preceding
+        // blocks' digit counts were folded into `scanned` (digit-major) +
+        // in-block warp base + in-warp rank
+        let digit_base = k.let_(
+            Ty::U32,
+            ld_global(
+                scanned.clone(),
+                Expr::from(digit) * nblocks.clone() + Expr::from(Builtin::CtaidX),
+                Ty::U32,
+            ),
+        );
+        let warp_base = k.let_(
+            Ty::U32,
+            warp_bases.ld(Expr::from(hw_warp) * BUCKETS as i32 + digit),
+        );
+        let pos = k.let_(
+            Ty::U32,
+            Expr::from(digit_base) + Expr::from(warp_base) + rank,
+        );
+        k.st_global(
+            keys_out.clone(),
+            Expr::from(pos).cast(Ty::S32),
+            Ty::U32,
+            key,
+        );
+        k.finish()
+    }
+
+    /// CPU reference: stable LSD radix sort equals a full sort for u32.
+    pub fn reference(data: &[u32]) -> Vec<u32> {
+        let mut v = data.to_vec();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl Benchmark for Rdxs {
+    fn name(&self) -> &'static str {
+        "RdxS"
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::MElementsPerSec
+    }
+
+    fn run(&self, gpu: &mut dyn Gpu) -> Result<RunOutput, RtError> {
+        let n = self.n;
+        assert_eq!(n % BLOCK, 0);
+        let nblocks = n / BLOCK;
+        assert!(BUCKETS * nblocks <= 2 * BLOCK, "histogram must fit one scan block");
+        let k_hist = gpu.build(&self.kernel_hist())?;
+        let k_scan = gpu.build(&self.kernel_scan())?;
+        let k_scat = gpu.build(&self.kernel_scatter())?;
+        let d_a = gpu.malloc((n * 4) as u64)?;
+        let d_b = gpu.malloc((n * 4) as u64)?;
+        let d_hist = gpu.malloc((2 * BLOCK * 4) as u64)?;
+        let data = rand_u32(0x4D5, n as usize);
+        gpu.h2d_u32(d_a, &data)?;
+        let mut stats = ExecStats::default();
+        let win = Window::open(gpu);
+        let (mut src, mut dst) = (d_a, d_b);
+        for pass in 0..(32 / DIGIT_BITS) {
+            let shift = (pass * DIGIT_BITS) as i32;
+            // zero the padded histogram
+            gpu.h2d_u32(d_hist, &vec![0u32; (2 * BLOCK) as usize])?;
+            let cfg = LaunchConfig::new(nblocks, BLOCK)
+                .arg_ptr(src)
+                .arg_ptr(d_hist)
+                .arg_i32(shift)
+                .arg_i32(nblocks as i32);
+            let l = gpu.launch(k_hist, &cfg)?;
+            stats.merge(&l.report.stats);
+            let cfg = LaunchConfig::new(1u32, BLOCK).arg_ptr(d_hist);
+            let l = gpu.launch(k_scan, &cfg)?;
+            stats.merge(&l.report.stats);
+            let cfg = LaunchConfig::new(nblocks, BLOCK)
+                .arg_ptr(src)
+                .arg_ptr(dst)
+                .arg_ptr(d_hist)
+                .arg_i32(shift)
+                .arg_i32(nblocks as i32);
+            let l = gpu.launch(k_scat, &cfg)?;
+            stats.merge(&l.report.stats);
+            std::mem::swap(&mut src, &mut dst);
+        }
+        let (wall_ns, kernel_ns, launches) = win.close(gpu);
+        let got = gpu.d2h_u32(src, n as usize)?;
+        let want = Self::reference(&data);
+        let verify = verdict(check_u32(&got, &want));
+        Ok(RunOutput {
+            value: n as f64 / (wall_ns * 1e-3),
+            metric: Metric::MElementsPerSec,
+            verify,
+            kernel_ns,
+            wall_ns,
+            launches,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Verify;
+    use gpucmp_runtime::{Cuda, OpenCl};
+    use gpucmp_sim::{DeviceKind, DeviceSpec};
+
+    #[test]
+    fn sorts_correctly_on_warp32_hardware() {
+        let b = Rdxs::new(Scale::Quick);
+        let mut cuda = Cuda::new(DeviceSpec::gtx280()).unwrap();
+        let r = b.run(&mut cuda).unwrap();
+        assert!(r.verify.is_pass(), "{:?}", r.verify);
+        let mut ocl = OpenCl::create_any(DeviceSpec::gtx480());
+        let r = b.run(&mut ocl).unwrap();
+        assert!(r.verify.is_pass(), "{:?}", r.verify);
+    }
+
+    #[test]
+    fn fails_on_wavefront64_devices_the_papers_fl() {
+        // Table VI: RdxS runs to completion but produces wrong results on
+        // the HD5870 and the Intel920 (APP wavefront = 64).
+        let b = Rdxs::new(Scale::Quick);
+        let mut ati = OpenCl::create_any(DeviceSpec::hd5870());
+        let r = b.run(&mut ati).unwrap();
+        assert!(
+            matches!(r.verify, Verify::Fail(_)),
+            "expected FL on 64-wide wavefronts, got {:?}",
+            r.verify
+        );
+        let mut cpu = OpenCl::create(DeviceSpec::intel920(), DeviceKind::Cpu).unwrap();
+        let r = b.run(&mut cpu).unwrap();
+        assert!(matches!(r.verify, Verify::Fail(_)));
+    }
+
+    #[test]
+    fn many_launches_per_sort() {
+        let b = Rdxs::new(Scale::Quick);
+        let mut cuda = Cuda::new(DeviceSpec::gtx480()).unwrap();
+        let r = b.run(&mut cuda).unwrap();
+        // 8 passes x 3 kernels
+        assert_eq!(r.launches, 24);
+    }
+}

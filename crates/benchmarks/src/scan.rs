@@ -1,0 +1,258 @@
+//! Scan — work-efficient Blelloch exclusive prefix sum (NVIDIA SDK
+//! `scan`; paper Table II, MElements/s).
+//!
+//! Three launches: per-block scan of 2T elements in shared memory
+//! (up-sweep + down-sweep), a single-block scan of the block sums, and a
+//! uniform add.
+
+use crate::common::{check_u32, rand_u32, verdict, Benchmark, Metric, RunOutput, Scale, Window};
+use gpucmp_compiler::{ld_global, Builtin, DslKernel, Expr, KernelDef};
+use gpucmp_ptx::Ty;
+use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_sim::{ExecStats, LaunchConfig};
+
+/// Threads per block (each block scans `2 * BLOCK` elements).
+const BLOCK: u32 = 256;
+
+/// Scan benchmark. `n` must be a multiple of `2 * BLOCK` and at most
+/// `(2 * BLOCK)^2` so the block sums fit one block.
+#[derive(Clone, Debug)]
+pub struct Scan {
+    /// Elements to scan.
+    pub n: u32,
+}
+
+impl Scan {
+    /// Construct with the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Scan {
+            n: match scale {
+                Scale::Quick => 8 * 1024,
+                Scale::Paper => 128 * 1024,
+            },
+        }
+    }
+
+    /// The per-block Blelloch scan kernel. Also used (with a single block)
+    /// to scan the block sums.
+    fn kernel_scan(&self) -> KernelDef {
+        let elems = (2 * BLOCK) as i32;
+        let mut k = DslKernel::new("scan_block");
+        let input = k.param_ptr("input");
+        let output = k.param_ptr("output");
+        let sums = k.param_ptr("block_sums");
+        let sm = k.shared_array(Ty::U32, 2 * BLOCK);
+        let tid = k.let_(Ty::S32, Expr::from(Builtin::TidX));
+        let base = k.let_(Ty::S32, Expr::from(Builtin::CtaidX) * elems);
+        k.st_shared(
+            sm,
+            Expr::from(tid) * 2i32,
+            ld_global(input.clone(), Expr::from(base) + Expr::from(tid) * 2i32, Ty::U32),
+        );
+        k.st_shared(
+            sm,
+            Expr::from(tid) * 2i32 + 1i32,
+            ld_global(
+                input.clone(),
+                Expr::from(base) + Expr::from(tid) * 2i32 + 1i32,
+                Ty::U32,
+            ),
+        );
+        let offset = k.let_(Ty::S32, 1i32);
+        // up-sweep
+        let d = k.let_(Ty::S32, BLOCK as i32);
+        k.while_(Expr::from(d).gt(0i32), |k| {
+            k.barrier();
+            k.if_(Expr::from(tid).lt(d), |k| {
+                let ai = k.let_(
+                    Ty::S32,
+                    Expr::from(offset) * (Expr::from(tid) * 2i32 + 1i32) - 1i32,
+                );
+                let bi = k.let_(
+                    Ty::S32,
+                    Expr::from(offset) * (Expr::from(tid) * 2i32 + 2i32) - 1i32,
+                );
+                k.st_shared(sm, bi, sm.ld(bi) + sm.ld(ai));
+            });
+            k.assign(offset, Expr::from(offset) * 2i32);
+            k.assign(d, Expr::from(d) >> 1i32);
+        });
+        // record total, clear the root
+        k.barrier();
+        k.if_(Expr::from(tid).eq_(0i32), |k| {
+            k.st_global(
+                sums.clone(),
+                Expr::from(Builtin::CtaidX),
+                Ty::U32,
+                sm.ld(elems - 1),
+            );
+            k.st_shared(sm, elems - 1, 0u32);
+        });
+        // down-sweep
+        let d2 = k.let_(Ty::S32, 1i32);
+        k.while_(Expr::from(d2).lt(elems), |k| {
+            k.assign(offset, Expr::from(offset) >> 1i32);
+            k.barrier();
+            k.if_(Expr::from(tid).lt(d2), |k| {
+                let ai = k.let_(
+                    Ty::S32,
+                    Expr::from(offset) * (Expr::from(tid) * 2i32 + 1i32) - 1i32,
+                );
+                let bi = k.let_(
+                    Ty::S32,
+                    Expr::from(offset) * (Expr::from(tid) * 2i32 + 2i32) - 1i32,
+                );
+                let t = k.let_(Ty::U32, sm.ld(ai));
+                k.st_shared(sm, ai, sm.ld(bi));
+                k.st_shared(sm, bi, sm.ld(bi) + t);
+            });
+            k.assign(d2, Expr::from(d2) * 2i32);
+        });
+        k.barrier();
+        k.st_global(
+            output.clone(),
+            Expr::from(base) + Expr::from(tid) * 2i32,
+            Ty::U32,
+            sm.ld(Expr::from(tid) * 2i32),
+        );
+        k.st_global(
+            output,
+            Expr::from(base) + Expr::from(tid) * 2i32 + 1i32,
+            Ty::U32,
+            sm.ld(Expr::from(tid) * 2i32 + 1i32),
+        );
+        k.finish()
+    }
+
+    /// Uniform add of the scanned block sums.
+    fn kernel_uniform_add(&self) -> KernelDef {
+        let elems = (2 * BLOCK) as i32;
+        let mut k = DslKernel::new("uniform_add");
+        let output = k.param_ptr("output");
+        let sums = k.param_ptr("scanned_sums");
+        let tid = k.let_(Ty::S32, Expr::from(Builtin::TidX));
+        let base = k.let_(Ty::S32, Expr::from(Builtin::CtaidX) * elems);
+        let add = k.let_(
+            Ty::U32,
+            ld_global(sums.clone(), Expr::from(Builtin::CtaidX), Ty::U32),
+        );
+        for half in 0..2i32 {
+            let idx = Expr::from(base) + Expr::from(tid) * 2i32 + half;
+            k.st_global(
+                output.clone(),
+                idx.clone(),
+                Ty::U32,
+                ld_global(output.clone(), idx, Ty::U32) + add,
+            );
+        }
+        k.finish()
+    }
+
+    /// CPU exclusive prefix sum (wrapping).
+    pub fn reference(data: &[u32]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(data.len());
+        let mut acc = 0u32;
+        for &v in data {
+            out.push(acc);
+            acc = acc.wrapping_add(v);
+        }
+        out
+    }
+}
+
+impl Benchmark for Scan {
+    fn name(&self) -> &'static str {
+        "Scan"
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::MElementsPerSec
+    }
+
+    fn run(&self, gpu: &mut dyn Gpu) -> Result<RunOutput, RtError> {
+        let n = self.n as usize;
+        let per_block = (2 * BLOCK) as usize;
+        assert_eq!(n % per_block, 0, "n must be a multiple of {per_block}");
+        let blocks = (n / per_block) as u32;
+        assert!(
+            blocks as usize <= per_block,
+            "block sums must fit one block"
+        );
+        let scan = gpu.build(&self.kernel_scan())?;
+        let uadd = gpu.build(&self.kernel_uniform_add())?;
+        let d_in = gpu.malloc((n * 4) as u64)?;
+        let d_out = gpu.malloc((n * 4) as u64)?;
+        // block sums padded to one full block of input for the second pass
+        let d_sums = gpu.malloc((per_block * 4) as u64)?;
+        let d_sums_scanned = gpu.malloc((per_block * 4) as u64)?;
+        let d_total = gpu.malloc(16)?;
+        let data = rand_u32(0x5CA9, n);
+        gpu.h2d_i32(d_sums, &vec![0i32; per_block])?;
+        gpu.h2d_u32(d_in, &data)?;
+        let mut stats = ExecStats::default();
+        let win = Window::open(gpu);
+        let cfg1 = LaunchConfig::new(blocks, BLOCK)
+            .arg_ptr(d_in)
+            .arg_ptr(d_out)
+            .arg_ptr(d_sums);
+        let l = gpu.launch(scan, &cfg1)?;
+        stats.merge(&l.report.stats);
+        let cfg2 = LaunchConfig::new(1u32, BLOCK)
+            .arg_ptr(d_sums)
+            .arg_ptr(d_sums_scanned)
+            .arg_ptr(d_total);
+        let l = gpu.launch(scan, &cfg2)?;
+        stats.merge(&l.report.stats);
+        let cfg3 = LaunchConfig::new(blocks, BLOCK)
+            .arg_ptr(d_out)
+            .arg_ptr(d_sums_scanned);
+        let l = gpu.launch(uadd, &cfg3)?;
+        stats.merge(&l.report.stats);
+        let (wall_ns, kernel_ns, launches) = win.close(gpu);
+        let got = gpu.d2h_u32(d_out, n)?;
+        let want = Self::reference(&data);
+        let verify = verdict(check_u32(&got, &want));
+        Ok(RunOutput {
+            value: n as f64 / (wall_ns * 1e-3), // elements per µs == MElem/s
+            metric: Metric::MElementsPerSec,
+            verify,
+            kernel_ns,
+            wall_ns,
+            launches,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpucmp_runtime::{Cuda, OpenCl};
+    use gpucmp_sim::DeviceSpec;
+
+    #[test]
+    fn scan_is_exact_on_both_apis() {
+        let b = Scan::new(Scale::Quick);
+        let mut cuda = Cuda::new(DeviceSpec::gtx280()).unwrap();
+        let r = b.run(&mut cuda).unwrap();
+        assert!(r.verify.is_pass(), "{:?}", r.verify);
+        assert_eq!(r.launches, 3);
+        let mut ocl = OpenCl::create_any(DeviceSpec::gtx480());
+        assert!(b.run(&mut ocl).unwrap().verify.is_pass());
+    }
+
+    #[test]
+    fn reference_scan_is_exclusive() {
+        assert_eq!(Scan::reference(&[1, 2, 3]), vec![0, 1, 3]);
+        assert_eq!(Scan::reference(&[u32::MAX, 2]), vec![0, u32::MAX]);
+    }
+
+    #[test]
+    fn scan_works_on_wide_wavefront_devices() {
+        // Scan uses barriers (not warp-synchronous tricks), so unlike RdxS
+        // it is correct on 64-wide wavefront devices.
+        let b = Scan::new(Scale::Quick);
+        let mut ati = OpenCl::create_any(DeviceSpec::hd5870());
+        assert!(b.run(&mut ati).unwrap().verify.is_pass());
+    }
+}

@@ -1,0 +1,232 @@
+//! St2D — SHOC's two-dimensional nine-point stencil (paper Table II, sec).
+//!
+//! Ping-pongs between two buffers for a fixed number of time steps; the
+//! borders are copied through unchanged, matching SHOC's halo handling.
+
+use crate::common::{check_f32, rand_f32, verdict, Benchmark, Metric, RunOutput, Scale, Window};
+use gpucmp_compiler::{ld_global, Builtin, DslKernel, Expr, KernelDef};
+use gpucmp_ptx::Ty;
+use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_sim::{ExecStats, LaunchConfig};
+
+/// Nine-point weights: center, edge (N/S/E/W), diagonal.
+pub const W_CENTER: f32 = 0.25;
+/// Edge weight.
+pub const W_EDGE: f32 = 0.15;
+/// Diagonal weight.
+pub const W_DIAG: f32 = 0.0375;
+
+/// St2D benchmark.
+#[derive(Clone, Debug)]
+pub struct St2D {
+    /// Grid width (multiple of 16).
+    pub width: u32,
+    /// Grid height (multiple of 16).
+    pub height: u32,
+    /// Time steps.
+    pub steps: u32,
+}
+
+impl St2D {
+    /// Construct with the given scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => St2D {
+                width: 64,
+                height: 64,
+                steps: 2,
+            },
+            Scale::Paper => St2D {
+                width: 256,
+                height: 256,
+                steps: 8,
+            },
+        }
+    }
+
+    fn kernel(&self) -> KernelDef {
+        let mut k = DslKernel::new("stencil9");
+        let input = k.param_ptr("input");
+        let output = k.param_ptr("output");
+        let w = k.param("w", Ty::S32);
+        let h = k.param("h", Ty::S32);
+        let x = k.let_(
+            Ty::S32,
+            Expr::from(Builtin::CtaidX) * Builtin::NtidX + Builtin::TidX,
+        );
+        let y = k.let_(
+            Ty::S32,
+            Expr::from(Builtin::CtaidY) * Builtin::NtidY + Builtin::TidY,
+        );
+        let idx = k.let_(Ty::S32, Expr::from(y) * w.clone() + x);
+        let in_x = (Expr::from(x) - 1i32)
+            .cast(Ty::U32)
+            .lt((w.clone() - 2i32).cast(Ty::U32));
+        let in_y = (Expr::from(y) - 1i32)
+            .cast(Ty::U32)
+            .lt((h.clone() - 2i32).cast(Ty::U32));
+        k.if_else(
+            in_x,
+            |k| {
+                k.if_else(
+                    in_y,
+                    |k| {
+                        let at = |dy: i32, dx: i32| -> Expr {
+                            ld_global(
+                                input.clone(),
+                                Expr::from(idx) + Expr::from(dy) * w.clone() + dx,
+                                Ty::F32,
+                            )
+                        };
+                        let acc = k.let_(Ty::F32, at(0, 0) * W_CENTER);
+                        for (dy, dx, wgt) in [
+                            (-1i32, 0i32, W_EDGE),
+                            (1, 0, W_EDGE),
+                            (0, -1, W_EDGE),
+                            (0, 1, W_EDGE),
+                            (-1, -1, W_DIAG),
+                            (-1, 1, W_DIAG),
+                            (1, -1, W_DIAG),
+                            (1, 1, W_DIAG),
+                        ] {
+                            k.assign(acc, Expr::from(acc) + at(dy, dx) * wgt);
+                        }
+                        k.st_global(output.clone(), idx, Ty::F32, acc);
+                    },
+                    |k| {
+                        k.st_global(
+                            output.clone(),
+                            idx,
+                            Ty::F32,
+                            ld_global(input.clone(), idx, Ty::F32),
+                        );
+                    },
+                );
+            },
+            |k| {
+                k.st_global(
+                    output.clone(),
+                    idx,
+                    Ty::F32,
+                    ld_global(input.clone(), idx, Ty::F32),
+                );
+            },
+        );
+        k.finish()
+    }
+
+    /// CPU reference for one time step.
+    fn step(&self, src: &[f32], dst: &mut [f32]) {
+        let (w, h) = (self.width as usize, self.height as usize);
+        dst.copy_from_slice(src);
+        for y in 1..h - 1 {
+            for x in 1..w - 1 {
+                let i = y * w + x;
+                let mut acc = src[i] * W_CENTER;
+                for (dy, dx, wgt) in [
+                    (-1i64, 0i64, W_EDGE),
+                    (1, 0, W_EDGE),
+                    (0, -1, W_EDGE),
+                    (0, 1, W_EDGE),
+                    (-1, -1, W_DIAG),
+                    (-1, 1, W_DIAG),
+                    (1, -1, W_DIAG),
+                    (1, 1, W_DIAG),
+                ] {
+                    acc += src[(i as i64 + dy * w as i64 + dx) as usize] * wgt;
+                }
+                dst[i] = acc;
+            }
+        }
+    }
+}
+
+impl Benchmark for St2D {
+    fn name(&self) -> &'static str {
+        "St2D"
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::Seconds
+    }
+
+    fn run(&self, gpu: &mut dyn Gpu) -> Result<RunOutput, RtError> {
+        let (w, h) = (self.width as usize, self.height as usize);
+        let def = self.kernel();
+        let kh = gpu.build(&def)?;
+        let buf_a = gpu.malloc((w * h * 4) as u64)?;
+        let buf_b = gpu.malloc((w * h * 4) as u64)?;
+        let data = rand_f32(0x57D2, w * h, 0.0, 1.0);
+        gpu.h2d_f32(buf_a, &data)?;
+        let mut stats = ExecStats::default();
+        let win = Window::open(gpu);
+        let (mut src, mut dst) = (buf_a, buf_b);
+        for _ in 0..self.steps {
+            let cfg = LaunchConfig::new((self.width / 16, self.height / 16), (16u32, 16u32))
+                .arg_ptr(src)
+                .arg_ptr(dst)
+                .arg_i32(self.width as i32)
+                .arg_i32(self.height as i32);
+            let l = gpu.launch(kh, &cfg)?;
+            stats.merge(&l.report.stats);
+            std::mem::swap(&mut src, &mut dst);
+        }
+        let (wall_ns, kernel_ns, launches) = win.close(gpu);
+        let got = gpu.d2h_f32(src, w * h)?;
+        let mut a = data.clone();
+        let mut b = vec![0.0f32; w * h];
+        for _ in 0..self.steps {
+            self.step(&a, &mut b);
+            std::mem::swap(&mut a, &mut b);
+        }
+        let verify = verdict(check_f32(&got, &a, 1e-3));
+        Ok(RunOutput {
+            value: wall_ns * 1e-9,
+            metric: Metric::Seconds,
+            verify,
+            kernel_ns,
+            wall_ns,
+            launches,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpucmp_runtime::{Cuda, OpenCl};
+    use gpucmp_sim::DeviceSpec;
+
+    #[test]
+    fn stencil_verifies_on_both_apis() {
+        let b = St2D::new(Scale::Quick);
+        let mut cuda = Cuda::new(DeviceSpec::gtx280()).unwrap();
+        let rc = b.run(&mut cuda).unwrap();
+        assert!(rc.verify.is_pass(), "{:?}", rc.verify);
+        assert_eq!(rc.launches, b.steps as u64);
+        let mut ocl = OpenCl::create_any(DeviceSpec::gtx480());
+        let ro = b.run(&mut ocl).unwrap();
+        assert!(ro.verify.is_pass(), "{:?}", ro.verify);
+    }
+
+    #[test]
+    fn multiple_steps_compound() {
+        let one = St2D {
+            width: 64,
+            height: 64,
+            steps: 1,
+        };
+        let two = St2D {
+            width: 64,
+            height: 64,
+            steps: 2,
+        };
+        let mut cuda = Cuda::new(DeviceSpec::gtx480()).unwrap();
+        let r1 = one.run(&mut cuda).unwrap();
+        let mut cuda2 = Cuda::new(DeviceSpec::gtx480()).unwrap();
+        let r2 = two.run(&mut cuda2).unwrap();
+        assert!(r1.verify.is_pass() && r2.verify.is_pass());
+        assert!(r2.value > r1.value); // more steps, more seconds
+    }
+}

@@ -1,0 +1,303 @@
+//! STNW — bitonic sorting networks (NVIDIA SDK `sortingNetworks`; paper
+//! Table II, MElements/s).
+//!
+//! The classic three-kernel structure: a shared-memory kernel sorts each
+//! 512-element tile through all network stages up to the tile size, then
+//! for each larger stage a global merge kernel handles strides that cross
+//! tiles and a shared-memory kernel finishes the in-tile strides. The
+//! comparator direction comes from the element's *global* index, so the
+//! tiles come out alternating and the full array converges to ascending
+//! order. Like BFS, the many small launches make this benchmark sensitive
+//! to the per-launch overhead difference between the APIs.
+
+use crate::common::{check_u32, rand_u32, verdict, Benchmark, Metric, RunOutput, Scale, Window};
+use gpucmp_compiler::{ld_global, Builtin, DslKernel, Expr, KernelDef, Var};
+use gpucmp_ptx::Ty;
+use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_sim::{ExecStats, LaunchConfig};
+
+/// Threads per block; each block owns `2 * BLOCK` elements.
+const BLOCK: u32 = 256;
+/// Elements per tile.
+const TILE: u32 = 2 * BLOCK;
+
+/// STNW benchmark. `n` must be a power of two and a multiple of the
+/// 512-element tile.
+#[derive(Clone, Debug)]
+pub struct Stnw {
+    /// Keys to sort.
+    pub n: u32,
+}
+
+impl Stnw {
+    /// Construct with the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Stnw {
+            n: match scale {
+                Scale::Quick => 4 * 1024,
+                Scale::Paper => 64 * 1024,
+            },
+        }
+    }
+
+    /// Emit one compare-exchange phase on the shared tile for stride `j`
+    /// of stage `k_size`, using global indices for the direction.
+    fn shared_phase(k: &mut DslKernel, sm: gpucmp_compiler::SharedArray, base: Var, tid: Var, k_size: i64, j: i64) {
+        k.barrier();
+        // comparator t handles pair (i, i+j), i = (t/j)*2j + t%j
+        let i_local = k.let_(
+            Ty::S32,
+            (Expr::from(tid) / j as i32) * (2 * j) as i32 + Expr::from(tid) % j as i32,
+        );
+        let up = k.let_(
+            Ty::S32,
+            gpucmp_compiler::select(
+                ((Expr::from(base) + i_local) & k_size as i32).eq_(0i32),
+                1i32,
+                0i32,
+            ),
+        );
+        let a = k.let_(Ty::U32, sm.ld(i_local));
+        let b = k.let_(Ty::U32, sm.ld(Expr::from(i_local) + j as i32));
+        // swap if (up and a > b) or (!up and a < b)
+        let gt = Expr::from(a).gt(b);
+        let should_asc = gpucmp_compiler::select(gt.clone(), 1i32, 0i32);
+        let should_desc = gpucmp_compiler::select(Expr::from(a).lt(b), 1i32, 0i32);
+        let should = k.let_(
+            Ty::S32,
+            gpucmp_compiler::select(Expr::from(up).ne_(0i32), should_asc, should_desc),
+        );
+        k.if_(Expr::from(should).ne_(0i32), |k| {
+            k.st_shared(sm, i_local, b);
+            k.st_shared(sm, Expr::from(i_local) + j as i32, a);
+        });
+    }
+
+    /// Kernel: full network stages `k = 2 .. TILE` inside one tile.
+    fn kernel_sort_shared(&self) -> KernelDef {
+        let mut k = DslKernel::new("bitonic_sort_shared");
+        let data = k.param_ptr("data");
+        let sm = k.shared_array(Ty::U32, TILE);
+        let tid = k.let_(Ty::S32, Expr::from(Builtin::TidX));
+        let base = k.let_(Ty::S32, Expr::from(Builtin::CtaidX) * TILE as i32);
+        k.st_shared(
+            sm,
+            tid,
+            ld_global(data.clone(), Expr::from(base) + tid, Ty::U32),
+        );
+        k.st_shared(
+            sm,
+            Expr::from(tid) + BLOCK as i32,
+            ld_global(data.clone(), Expr::from(base) + Expr::from(tid) + BLOCK as i32, Ty::U32),
+        );
+        let mut k_size = 2i64;
+        while k_size <= TILE as i64 {
+            let mut j = k_size / 2;
+            while j > 0 {
+                Self::shared_phase(&mut k, sm, base, tid, k_size, j);
+                j /= 2;
+            }
+            k_size *= 2;
+        }
+        k.barrier();
+        k.st_global(
+            data.clone(),
+            Expr::from(base) + tid,
+            Ty::U32,
+            sm.ld(tid),
+        );
+        k.st_global(
+            data,
+            Expr::from(base) + Expr::from(tid) + BLOCK as i32,
+            Ty::U32,
+            sm.ld(Expr::from(tid) + BLOCK as i32),
+        );
+        k.finish()
+    }
+
+    /// Kernel: one global compare-exchange step for stage `k_size`, stride
+    /// `j` (both runtime parameters; `j >= TILE/2` crosses tiles).
+    fn kernel_merge_global(&self) -> KernelDef {
+        let mut k = DslKernel::new("bitonic_merge_global");
+        let data = k.param_ptr("data");
+        let k_size = k.param("k_size", Ty::S32);
+        let j = k.param("j", Ty::S32);
+        let t = k.let_(
+            Ty::S32,
+            Expr::from(Builtin::CtaidX) * Builtin::NtidX + Builtin::TidX,
+        );
+        let i = k.let_(
+            Ty::S32,
+            (Expr::from(t) / j.clone()) * (Expr::from(j.clone()) * 2i32)
+                + Expr::from(t) % j.clone(),
+        );
+        let up = k.let_(
+            Ty::S32,
+            gpucmp_compiler::select((Expr::from(i) & k_size).eq_(0i32), 1i32, 0i32),
+        );
+        let a = k.let_(Ty::U32, ld_global(data.clone(), i, Ty::U32));
+        let b = k.let_(
+            Ty::U32,
+            ld_global(data.clone(), Expr::from(i) + j.clone(), Ty::U32),
+        );
+        let should_asc = gpucmp_compiler::select(Expr::from(a).gt(b), 1i32, 0i32);
+        let should_desc = gpucmp_compiler::select(Expr::from(a).lt(b), 1i32, 0i32);
+        let should = k.let_(
+            Ty::S32,
+            gpucmp_compiler::select(Expr::from(up).ne_(0i32), should_asc, should_desc),
+        );
+        k.if_(Expr::from(should).ne_(0i32), |k| {
+            k.st_global(data.clone(), i, Ty::U32, b);
+            k.st_global(data.clone(), Expr::from(i) + j, Ty::U32, a);
+        });
+        k.finish()
+    }
+
+    /// Kernel: finish all in-tile strides (`j = TILE/2 .. 1`) of stage
+    /// `k_size` in shared memory.
+    fn kernel_merge_shared(&self) -> KernelDef {
+        let mut k = DslKernel::new("bitonic_merge_shared");
+        let data = k.param_ptr("data");
+        let k_size_p = k.param("k_size", Ty::S32);
+        let sm = k.shared_array(Ty::U32, TILE);
+        let tid = k.let_(Ty::S32, Expr::from(Builtin::TidX));
+        let base = k.let_(Ty::S32, Expr::from(Builtin::CtaidX) * TILE as i32);
+        k.st_shared(sm, tid, ld_global(data.clone(), Expr::from(base) + tid, Ty::U32));
+        k.st_shared(
+            sm,
+            Expr::from(tid) + BLOCK as i32,
+            ld_global(data.clone(), Expr::from(base) + Expr::from(tid) + BLOCK as i32, Ty::U32),
+        );
+        // direction is uniform per tile for k_size > TILE
+        let up = k.let_(
+            Ty::S32,
+            gpucmp_compiler::select((Expr::from(base) & k_size_p).eq_(0i32), 1i32, 0i32),
+        );
+        let mut j = (TILE / 2) as i64;
+        while j > 0 {
+            k.barrier();
+            let i_local = k.let_(
+                Ty::S32,
+                (Expr::from(tid) / j as i32) * (2 * j) as i32 + Expr::from(tid) % j as i32,
+            );
+            let a = k.let_(Ty::U32, sm.ld(i_local));
+            let b = k.let_(Ty::U32, sm.ld(Expr::from(i_local) + j as i32));
+            let should_asc = gpucmp_compiler::select(Expr::from(a).gt(b), 1i32, 0i32);
+            let should_desc = gpucmp_compiler::select(Expr::from(a).lt(b), 1i32, 0i32);
+            let should = k.let_(
+                Ty::S32,
+                gpucmp_compiler::select(Expr::from(up).ne_(0i32), should_asc, should_desc),
+            );
+            k.if_(Expr::from(should).ne_(0i32), |k| {
+                k.st_shared(sm, i_local, b);
+                k.st_shared(sm, Expr::from(i_local) + j as i32, a);
+            });
+            j /= 2;
+        }
+        k.barrier();
+        k.st_global(data.clone(), Expr::from(base) + tid, Ty::U32, sm.ld(tid));
+        k.st_global(
+            data,
+            Expr::from(base) + Expr::from(tid) + BLOCK as i32,
+            Ty::U32,
+            sm.ld(Expr::from(tid) + BLOCK as i32),
+        );
+        k.finish()
+    }
+}
+
+impl Benchmark for Stnw {
+    fn name(&self) -> &'static str {
+        "STNW"
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::MElementsPerSec
+    }
+
+    fn run(&self, gpu: &mut dyn Gpu) -> Result<RunOutput, RtError> {
+        let n = self.n;
+        assert!(n.is_power_of_two() && n >= TILE, "n must be a power of two >= {TILE}");
+        let tiles = n / TILE;
+        let sort_sh = gpu.build(&self.kernel_sort_shared())?;
+        let merge_g = gpu.build(&self.kernel_merge_global())?;
+        let merge_sh = gpu.build(&self.kernel_merge_shared())?;
+        let d = gpu.malloc((n * 4) as u64)?;
+        let data = rand_u32(0x57A7, n as usize);
+        gpu.h2d_u32(d, &data)?;
+        let mut stats = ExecStats::default();
+        let win = Window::open(gpu);
+        let l = gpu.launch(sort_sh, &LaunchConfig::new(tiles, BLOCK).arg_ptr(d))?;
+        stats.merge(&l.report.stats);
+        let mut k_size = (TILE * 2) as i64;
+        while k_size <= n as i64 {
+            // strides that cross tiles (j >= TILE) go through the global
+            // kernel; j <= TILE/2 is finished in shared memory below
+            let mut j = k_size / 2;
+            while j >= TILE as i64 {
+                let cfg = LaunchConfig::new(n / (2 * BLOCK), BLOCK)
+                    .arg_ptr(d)
+                    .arg_i32(k_size as i32)
+                    .arg_i32(j as i32);
+                let l = gpu.launch(merge_g, &cfg)?;
+                stats.merge(&l.report.stats);
+                j /= 2;
+            }
+            let cfg = LaunchConfig::new(tiles, BLOCK)
+                .arg_ptr(d)
+                .arg_i32(k_size as i32);
+            let l = gpu.launch(merge_sh, &cfg)?;
+            stats.merge(&l.report.stats);
+            k_size *= 2;
+        }
+        let (wall_ns, kernel_ns, launches) = win.close(gpu);
+        let got = gpu.d2h_u32(d, n as usize)?;
+        let mut want = data.clone();
+        want.sort_unstable();
+        let verify = verdict(check_u32(&got, &want));
+        Ok(RunOutput {
+            value: n as f64 / (wall_ns * 1e-3),
+            metric: Metric::MElementsPerSec,
+            verify,
+            kernel_ns,
+            wall_ns,
+            launches,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpucmp_runtime::{Cuda, OpenCl};
+    use gpucmp_sim::DeviceSpec;
+
+    #[test]
+    fn sorts_correctly_on_both_apis() {
+        let b = Stnw::new(Scale::Quick);
+        let mut cuda = Cuda::new(DeviceSpec::gtx280()).unwrap();
+        let r = b.run(&mut cuda).unwrap();
+        assert!(r.verify.is_pass(), "{:?}", r.verify);
+        assert!(r.launches > 5, "multi-stage launches, got {}", r.launches);
+        let mut ocl = OpenCl::create_any(DeviceSpec::gtx480());
+        assert!(b.run(&mut ocl).unwrap().verify.is_pass());
+    }
+
+    #[test]
+    fn single_tile_case_sorts() {
+        let b = Stnw { n: TILE };
+        let mut cuda = Cuda::new(DeviceSpec::gtx480()).unwrap();
+        let r = b.run(&mut cuda).unwrap();
+        assert!(r.verify.is_pass(), "{:?}", r.verify);
+    }
+
+    #[test]
+    fn sorts_on_wavefront64_devices() {
+        // Barrier-based network: portable to 64-wide wavefronts (unlike
+        // the warp-synchronous radix sort).
+        let b = Stnw::new(Scale::Quick);
+        let mut ati = OpenCl::create_any(DeviceSpec::hd5870());
+        assert!(b.run(&mut ati).unwrap().verify.is_pass());
+    }
+}

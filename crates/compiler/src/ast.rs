@@ -1,0 +1,760 @@
+//! The kernel DSL: a small structured AST in which all 16 benchmarks are
+//! authored exactly once, then lowered by either front-end.
+//!
+//! This plays the role of the "native kernel" source of the paper's
+//! development flow (steps 3-4): the same algorithm text, which the two
+//! front-end compilers then translate with their own styles and maturity.
+
+use gpucmp_ptx::{AtomOp, CmpOp, Op1, Op2, Space, Ty};
+use std::ops;
+
+/// A DSL variable (mutable scalar).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var {
+    /// Index into the kernel's variable table.
+    pub id: u32,
+    /// Declared scalar type.
+    pub ty: Ty,
+}
+
+/// An expression tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer immediate.
+    ImmI(i64),
+    /// Floating immediate.
+    ImmF(f64),
+    /// Variable read.
+    Var(Var),
+    /// Kernel parameter read (slot index); type from the kernel signature.
+    Param(u32),
+    /// Built-in index value.
+    Special(Builtin),
+    /// Unary operation.
+    Un(Op1, Box<Expr>),
+    /// Binary operation.
+    Bin(Op2, Box<Expr>, Box<Expr>),
+    /// Comparison; type `pred`.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`.
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Type conversion.
+    Cast(Ty, Box<Expr>),
+    /// Typed element load: `*(ty*)(base_bytes) [index]`.
+    Load {
+        /// State space.
+        space: Space,
+        /// Byte base address (a pointer parameter for global, an immediate
+        /// offset for shared/const arrays).
+        base: Box<Expr>,
+        /// Element index.
+        index: Box<Expr>,
+        /// Element type.
+        ty: Ty,
+    },
+    /// Texture fetch of element `index` from texture `slot`.
+    TexFetch {
+        /// Texture slot.
+        slot: u8,
+        /// Element index.
+        index: Box<Expr>,
+        /// Element type.
+        ty: Ty,
+    },
+}
+
+/// Built-in work-item indices. CUDA names; the paper's Table I maps the
+/// OpenCL terms (`get_local_id` etc.) onto the same values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `threadIdx.x` / `get_local_id(0)`.
+    TidX,
+    /// `threadIdx.y`.
+    TidY,
+    /// `threadIdx.z`.
+    TidZ,
+    /// `blockDim.x` / `get_local_size(0)`.
+    NtidX,
+    /// `blockDim.y`.
+    NtidY,
+    /// `blockDim.z`.
+    NtidZ,
+    /// `blockIdx.x` / `get_group_id(0)`.
+    CtaidX,
+    /// `blockIdx.y`.
+    CtaidY,
+    /// `blockIdx.z`.
+    CtaidZ,
+    /// `gridDim.x` / `get_num_groups(0)`.
+    NctaidX,
+    /// `gridDim.y`.
+    NctaidY,
+    /// Lane within the hardware warp/wavefront.
+    LaneId,
+    /// Hardware warp/wavefront index within the block.
+    WarpId,
+    /// The hardware warp width of the executing device.
+    WarpSize,
+}
+
+/// Loop-unrolling hint on a `for` statement (the `#pragma unroll` of the
+/// paper's FDTD analysis, Figs 6-7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Unroll {
+    /// No pragma: front-ends decide by their own policy (neither unrolls).
+    None,
+    /// `#pragma unroll` — fully unroll (requires constant trip count).
+    Full,
+    /// `#pragma unroll N` — unroll by factor N (works for runtime trip
+    /// counts; a remainder loop is kept).
+    By(u32),
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// First assignment of a variable.
+    Let(Var, Expr),
+    /// Reassignment.
+    Assign(Var, Expr),
+    /// Typed element store.
+    Store {
+        /// State space.
+        space: Space,
+        /// Byte base address.
+        base: Expr,
+        /// Element index.
+        index: Expr,
+        /// Element type.
+        ty: Ty,
+        /// Stored value.
+        value: Expr,
+    },
+    /// Structured conditional.
+    If {
+        /// Predicate expression.
+        cond: Expr,
+        /// Taken branch.
+        then_: Vec<Stmt>,
+        /// Fallthrough branch (possibly empty).
+        else_: Vec<Stmt>,
+    },
+    /// Counted loop: `for (var = start; var < end; var += step)`.
+    /// `step` may be negative (`var > end` guard).
+    For {
+        /// Induction variable (S32).
+        var: Var,
+        /// Initial value.
+        start: Expr,
+        /// Exclusive bound.
+        end: Expr,
+        /// Signed step.
+        step: i64,
+        /// Unroll pragma.
+        unroll: Unroll,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Condition-tested loop.
+    While {
+        /// Continuation predicate, re-evaluated each iteration.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `__syncthreads()` / `barrier(CLK_LOCAL_MEM_FENCE)`.
+    Barrier,
+    /// Atomic read-modify-write on memory.
+    AtomicRmw {
+        /// Operation.
+        op: AtomOp,
+        /// State space (global or shared).
+        space: Space,
+        /// Byte base address.
+        base: Expr,
+        /// Element index.
+        index: Expr,
+        /// Element type.
+        ty: Ty,
+        /// Operand value.
+        value: Expr,
+        /// Optional variable receiving the old value.
+        old: Option<Var>,
+    },
+}
+
+/// A shared-memory array handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SharedArray {
+    /// Byte offset within the block's shared memory.
+    pub offset: u32,
+    /// Element type.
+    pub ty: Ty,
+    /// Element count.
+    pub len: u32,
+}
+
+impl SharedArray {
+    /// Load element `index`.
+    pub fn ld(&self, index: impl Into<Expr>) -> Expr {
+        Expr::Load {
+            space: Space::Shared,
+            base: Box::new(Expr::ImmI(self.offset as i64)),
+            index: Box::new(index.into()),
+            ty: self.ty,
+        }
+    }
+}
+
+/// A constant-memory array handle (module constant bank).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConstArray {
+    /// Byte offset within the module constant bank.
+    pub offset: u32,
+    /// Element type.
+    pub ty: Ty,
+    /// Element count.
+    pub len: u32,
+}
+
+impl ConstArray {
+    /// Load element `index`.
+    pub fn ld(&self, index: impl Into<Expr>) -> Expr {
+        Expr::Load {
+            space: Space::Const,
+            base: Box::new(Expr::ImmI(self.offset as i64)),
+            index: Box::new(index.into()),
+            ty: self.ty,
+        }
+    }
+}
+
+/// A complete kernel definition in the DSL.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelDef {
+    /// Kernel name.
+    pub name: String,
+    /// Parameter names and types (pointers are `U64`).
+    pub params: Vec<(String, Ty)>,
+    /// Variable types, indexed by [`Var::id`].
+    pub var_tys: Vec<Ty>,
+    /// Statically allocated shared memory in bytes.
+    pub shared_bytes: u32,
+    /// Packed constant-bank bytes referenced by [`ConstArray`] handles.
+    pub const_data: Vec<u8>,
+    /// Kernel body.
+    pub body: Vec<Stmt>,
+}
+
+/// Incremental builder for [`KernelDef`] with closure-based structured
+/// statements.
+#[derive(Debug)]
+pub struct DslKernel {
+    name: String,
+    params: Vec<(String, Ty)>,
+    var_tys: Vec<Ty>,
+    shared_bytes: u32,
+    const_data: Vec<u8>,
+    /// Statement sinks; innermost scope last.
+    stack: Vec<Vec<Stmt>>,
+}
+
+impl DslKernel {
+    /// Start a kernel named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        DslKernel {
+            name: name.into(),
+            params: Vec::new(),
+            var_tys: Vec::new(),
+            shared_bytes: 0,
+            const_data: Vec::new(),
+            stack: vec![Vec::new()],
+        }
+    }
+
+    /// Declare a pointer parameter; returns the parameter expression.
+    pub fn param_ptr(&mut self, name: impl Into<String>) -> Expr {
+        self.param(name, Ty::U64)
+    }
+
+    /// Declare a scalar parameter of `ty`.
+    pub fn param(&mut self, name: impl Into<String>, ty: Ty) -> Expr {
+        self.params.push((name.into(), ty));
+        Expr::Param(self.params.len() as u32 - 1)
+    }
+
+    /// Declare an uninitialised variable.
+    pub fn var(&mut self, ty: Ty) -> Var {
+        self.var_tys.push(ty);
+        Var {
+            id: self.var_tys.len() as u32 - 1,
+            ty,
+        }
+    }
+
+    /// Declare and initialise a variable.
+    pub fn let_(&mut self, ty: Ty, value: impl Into<Expr>) -> Var {
+        let v = self.var(ty);
+        self.push(Stmt::Let(v, value.into()));
+        v
+    }
+
+    /// Reassign a variable.
+    pub fn assign(&mut self, v: Var, value: impl Into<Expr>) {
+        self.push(Stmt::Assign(v, value.into()));
+    }
+
+    /// Allocate a shared-memory array (16-byte aligned).
+    pub fn shared_array(&mut self, ty: Ty, len: u32) -> SharedArray {
+        let offset = (self.shared_bytes + 15) & !15;
+        self.shared_bytes = offset + len * ty.size_bytes();
+        SharedArray { offset, ty, len }
+    }
+
+    /// Embed an f32 constant array in the module's constant bank.
+    pub fn const_array_f32(&mut self, values: &[f32]) -> ConstArray {
+        let offset = (self.const_data.len() as u32 + 15) & !15;
+        self.const_data.resize(offset as usize, 0);
+        for v in values {
+            self.const_data.extend_from_slice(&v.to_le_bytes());
+        }
+        ConstArray {
+            offset,
+            ty: Ty::F32,
+            len: values.len() as u32,
+        }
+    }
+
+    /// Embed an i32 constant array in the module's constant bank.
+    pub fn const_array_i32(&mut self, values: &[i32]) -> ConstArray {
+        let offset = (self.const_data.len() as u32 + 15) & !15;
+        self.const_data.resize(offset as usize, 0);
+        for v in values {
+            self.const_data.extend_from_slice(&v.to_le_bytes());
+        }
+        ConstArray {
+            offset,
+            ty: Ty::S32,
+            len: values.len() as u32,
+        }
+    }
+
+    /// Typed element store.
+    pub fn store(
+        &mut self,
+        space: Space,
+        base: impl Into<Expr>,
+        index: impl Into<Expr>,
+        ty: Ty,
+        value: impl Into<Expr>,
+    ) {
+        self.push(Stmt::Store {
+            space,
+            base: base.into(),
+            index: index.into(),
+            ty,
+            value: value.into(),
+        });
+    }
+
+    /// Store into a shared array.
+    pub fn st_shared(&mut self, arr: SharedArray, index: impl Into<Expr>, value: impl Into<Expr>) {
+        self.store(
+            Space::Shared,
+            Expr::ImmI(arr.offset as i64),
+            index,
+            arr.ty,
+            value,
+        );
+    }
+
+    /// Store into global memory.
+    pub fn st_global(
+        &mut self,
+        base: impl Into<Expr>,
+        index: impl Into<Expr>,
+        ty: Ty,
+        value: impl Into<Expr>,
+    ) {
+        self.store(Space::Global, base, index, ty, value);
+    }
+
+    /// Structured `if`.
+    pub fn if_(&mut self, cond: impl Into<Expr>, f: impl FnOnce(&mut Self)) {
+        self.stack.push(Vec::new());
+        f(self);
+        let then_ = self.stack.pop().expect("scope stack");
+        self.push(Stmt::If {
+            cond: cond.into(),
+            then_,
+            else_: Vec::new(),
+        });
+    }
+
+    /// Structured `if`/`else`.
+    pub fn if_else(
+        &mut self,
+        cond: impl Into<Expr>,
+        f: impl FnOnce(&mut Self),
+        g: impl FnOnce(&mut Self),
+    ) {
+        self.stack.push(Vec::new());
+        f(self);
+        let then_ = self.stack.pop().expect("scope stack");
+        self.stack.push(Vec::new());
+        g(self);
+        let else_ = self.stack.pop().expect("scope stack");
+        self.push(Stmt::If {
+            cond: cond.into(),
+            then_,
+            else_,
+        });
+    }
+
+    /// Counted loop `for (i = start; i < end; i += step)` with an unroll
+    /// pragma; the closure receives the induction variable expression.
+    pub fn for_(
+        &mut self,
+        start: impl Into<Expr>,
+        end: impl Into<Expr>,
+        step: i64,
+        unroll: Unroll,
+        f: impl FnOnce(&mut Self, Expr),
+    ) {
+        assert!(step != 0, "zero loop step");
+        let var = self.var(Ty::S32);
+        self.stack.push(Vec::new());
+        f(self, Expr::Var(var));
+        let body = self.stack.pop().expect("scope stack");
+        self.push(Stmt::For {
+            var,
+            start: start.into(),
+            end: end.into(),
+            step,
+            unroll,
+            body,
+        });
+    }
+
+    /// Condition-tested loop.
+    pub fn while_(&mut self, cond: impl Into<Expr>, f: impl FnOnce(&mut Self)) {
+        self.stack.push(Vec::new());
+        f(self);
+        let body = self.stack.pop().expect("scope stack");
+        self.push(Stmt::While {
+            cond: cond.into(),
+            body,
+        });
+    }
+
+    /// Block-wide barrier.
+    pub fn barrier(&mut self) {
+        self.push(Stmt::Barrier);
+    }
+
+    /// Atomic read-modify-write; returns a variable holding the old value.
+    pub fn atomic(
+        &mut self,
+        op: AtomOp,
+        space: Space,
+        base: impl Into<Expr>,
+        index: impl Into<Expr>,
+        ty: Ty,
+        value: impl Into<Expr>,
+    ) -> Var {
+        let old = self.var(ty);
+        self.push(Stmt::AtomicRmw {
+            op,
+            space,
+            base: base.into(),
+            index: index.into(),
+            ty,
+            value: value.into(),
+            old: Some(old),
+        });
+        old
+    }
+
+    fn push(&mut self, s: Stmt) {
+        self.stack.last_mut().expect("scope stack").push(s);
+    }
+
+    /// Finish the kernel definition.
+    ///
+    /// # Panics
+    /// Panics if a structured scope was left open (builder misuse).
+    pub fn finish(mut self) -> KernelDef {
+        assert_eq!(self.stack.len(), 1, "unclosed scope in kernel builder");
+        KernelDef {
+            name: self.name,
+            params: self.params,
+            var_tys: self.var_tys,
+            shared_bytes: self.shared_bytes,
+            const_data: self.const_data,
+            body: self.stack.pop().unwrap(),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Expression construction sugar
+// ----------------------------------------------------------------------
+
+impl From<Var> for Expr {
+    fn from(v: Var) -> Expr {
+        Expr::Var(v)
+    }
+}
+
+impl From<i32> for Expr {
+    fn from(v: i32) -> Expr {
+        Expr::ImmI(v as i64)
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Expr {
+        Expr::ImmI(v)
+    }
+}
+
+impl From<u32> for Expr {
+    fn from(v: u32) -> Expr {
+        Expr::ImmI(v as i64)
+    }
+}
+
+impl From<f32> for Expr {
+    fn from(v: f32) -> Expr {
+        Expr::ImmF(v as f64)
+    }
+}
+
+impl From<f64> for Expr {
+    fn from(v: f64) -> Expr {
+        Expr::ImmF(v)
+    }
+}
+
+impl From<Builtin> for Expr {
+    fn from(b: Builtin) -> Expr {
+        Expr::Special(b)
+    }
+}
+
+macro_rules! impl_bin_op {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl<R: Into<Expr>> ops::$trait<R> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: R) -> Expr {
+                Expr::Bin($op, Box::new(self), Box::new(rhs.into()))
+            }
+        }
+    };
+}
+
+impl_bin_op!(Add, add, Op2::Add);
+impl_bin_op!(Sub, sub, Op2::Sub);
+impl_bin_op!(Mul, mul, Op2::Mul);
+impl_bin_op!(Div, div, Op2::Div);
+impl_bin_op!(Rem, rem, Op2::Rem);
+impl_bin_op!(BitAnd, bitand, Op2::And);
+impl_bin_op!(BitOr, bitor, Op2::Or);
+impl_bin_op!(BitXor, bitxor, Op2::Xor);
+impl_bin_op!(Shl, shl, Op2::Shl);
+impl_bin_op!(Shr, shr, Op2::Shr);
+
+impl Expr {
+    /// `min(self, rhs)`.
+    pub fn min_(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Bin(Op2::Min, Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// `max(self, rhs)`.
+    pub fn max_(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Bin(Op2::Max, Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// Comparison producing a predicate.
+    pub fn cmp(self, op: CmpOp, rhs: impl Into<Expr>) -> Expr {
+        Expr::Cmp(op, Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// `self == rhs`.
+    pub fn eq_(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Eq, rhs)
+    }
+
+    /// `self != rhs`.
+    pub fn ne_(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Ne, rhs)
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Lt, rhs)
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Le, rhs)
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Gt, rhs)
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Ge, rhs)
+    }
+
+    /// Unary negation.
+    pub fn neg(self) -> Expr {
+        Expr::Un(Op1::Neg, Box::new(self))
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Expr {
+        Expr::Un(Op1::Abs, Box::new(self))
+    }
+
+    /// Square root.
+    pub fn sqrt(self) -> Expr {
+        Expr::Un(Op1::Sqrt, Box::new(self))
+    }
+
+    /// Reciprocal square root.
+    pub fn rsqrt(self) -> Expr {
+        Expr::Un(Op1::Rsqrt, Box::new(self))
+    }
+
+    /// Reciprocal.
+    pub fn rcp(self) -> Expr {
+        Expr::Un(Op1::Rcp, Box::new(self))
+    }
+
+    /// Sine.
+    pub fn sin(self) -> Expr {
+        Expr::Un(Op1::Sin, Box::new(self))
+    }
+
+    /// Cosine.
+    pub fn cos(self) -> Expr {
+        Expr::Un(Op1::Cos, Box::new(self))
+    }
+
+    /// Conversion to `ty`.
+    pub fn cast(self, ty: Ty) -> Expr {
+        Expr::Cast(ty, Box::new(self))
+    }
+}
+
+/// `cond ? a : b`.
+pub fn select(cond: impl Into<Expr>, a: impl Into<Expr>, b: impl Into<Expr>) -> Expr {
+    Expr::Select(Box::new(cond.into()), Box::new(a.into()), Box::new(b.into()))
+}
+
+/// Global element load.
+pub fn ld_global(base: impl Into<Expr>, index: impl Into<Expr>, ty: Ty) -> Expr {
+    Expr::Load {
+        space: Space::Global,
+        base: Box::new(base.into()),
+        index: Box::new(index.into()),
+        ty,
+    }
+}
+
+/// Texture fetch.
+pub fn tex1d(slot: u8, index: impl Into<Expr>, ty: Ty) -> Expr {
+    Expr::TexFetch {
+        slot,
+        index: Box::new(index.into()),
+        ty,
+    }
+}
+
+/// `blockIdx.x * blockDim.x + threadIdx.x` (= `get_global_id(0)`).
+pub fn global_id_x() -> Expr {
+    Expr::from(Builtin::CtaidX) * Builtin::NtidX + Builtin::TidX
+}
+
+/// `blockIdx.y * blockDim.y + threadIdx.y` (= `get_global_id(1)`).
+pub fn global_id_y() -> Expr {
+    Expr::from(Builtin::CtaidY) * Builtin::NtidY + Builtin::TidY
+}
+
+/// Total work-items in dimension 0 (`get_global_size(0)`).
+pub fn global_size_x() -> Expr {
+    Expr::from(Builtin::NctaidX) * Builtin::NtidX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_sugar_builds_trees() {
+        let e = (Expr::from(1i32) + 2i32) * 3i32;
+        match e {
+            Expr::Bin(Op2::Mul, l, r) => {
+                assert!(matches!(*l, Expr::Bin(Op2::Add, _, _)));
+                assert_eq!(*r, Expr::ImmI(3));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn builder_scopes_nest() {
+        let mut k = DslKernel::new("t");
+        let p = k.param_ptr("out");
+        let i = k.let_(Ty::S32, global_id_x());
+        k.if_(Expr::from(i).lt(100i32), |k| {
+            k.for_(0i32, 4i32, 1, Unroll::Full, |k, j| {
+                k.st_global(p.clone(), Expr::from(i) + j, Ty::S32, 7i32);
+            });
+        });
+        let def = k.finish();
+        assert_eq!(def.body.len(), 2); // let + if
+        match &def.body[1] {
+            Stmt::If { then_, .. } => assert!(matches!(then_[0], Stmt::For { .. })),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed scope")]
+    fn unclosed_scope_panics() {
+        let mut k = DslKernel::new("t");
+        k.stack.push(Vec::new());
+        let _ = k.finish();
+    }
+
+    #[test]
+    fn shared_and_const_arrays_are_aligned() {
+        let mut k = DslKernel::new("t");
+        let a = k.shared_array(Ty::F32, 5); // 20 bytes
+        let b = k.shared_array(Ty::F32, 4);
+        assert_eq!(a.offset, 0);
+        assert_eq!(b.offset, 32);
+        let c = k.const_array_f32(&[1.0; 3]);
+        let d = k.const_array_i32(&[1, 2]);
+        assert_eq!(c.offset, 0);
+        assert_eq!(d.offset, 16);
+        let def = k.finish();
+        assert_eq!(def.shared_bytes, 48);
+        assert_eq!(def.const_data.len(), 24);
+    }
+
+    #[test]
+    fn atomic_returns_old_value_var() {
+        let mut k = DslKernel::new("t");
+        let p = k.param_ptr("ctr");
+        let old = k.atomic(AtomOp::Add, Space::Global, p, 0i32, Ty::U32, 1i32);
+        assert_eq!(old.ty, Ty::U32);
+        let def = k.finish();
+        assert!(matches!(def.body[0], Stmt::AtomicRmw { old: Some(_), .. }));
+    }
+}

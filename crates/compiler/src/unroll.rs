@@ -1,0 +1,825 @@
+//! Loop unrolling (the `#pragma unroll` of the paper's FDTD study).
+//!
+//! Both front-ends honour the pragmas in the kernel source — what differs is
+//! what their downstream passes make of the unrolled code (the CUDA
+//! front-end's aggressive folding collapses it; the OpenCL front-end's
+//! per-copy index arithmetic survives and inflates register pressure, the
+//! paper's Fig. 7 effect).
+
+use crate::ast::{Expr, Stmt, Unroll, Var};
+use std::collections::HashSet;
+
+/// Options of the unroll pass that differ between front-ends.
+#[derive(Clone, Debug, Default)]
+pub struct UnrollOpts {
+    /// Software-pipeline partially-unrolled loops: hoist the copies' loads
+    /// from read-only global buffers to the top of the unrolled body. This
+    /// models the early OpenCL compilers' aggressive unroll scheduling —
+    /// it buys latency overlap at the cost of `N x loads` live registers,
+    /// which is what collapses the paper's Fig. 7 `OpenCL_{a,b}` FDTD
+    /// configuration.
+    pub hoist_unrolled_loads: bool,
+    /// Kernel parameters that are ever used as a store/atomic base; loads
+    /// from these are never hoisted (they may alias the stores).
+    pub written_params: HashSet<u32>,
+    /// Demote loop-carried scalars of *large* unrolled bodies to per-thread
+    /// local memory. Models the early OpenCL compilers giving up on
+    /// register allocation for oversized unrolled loops — on GT200 local
+    /// memory is uncached DRAM, so this is what produces the paper's
+    /// Fig. 7 collapse of `OpenCL_{a,b}` FDTD.
+    pub demote_carried_vars: bool,
+    /// Statement-count threshold above which demotion kicks in.
+    pub demote_threshold: usize,
+}
+
+impl UnrollOpts {
+    /// Default demotion threshold (statements in the unrolled body).
+    pub const DEFAULT_DEMOTE_THRESHOLD: usize = 300;
+}
+
+/// Apply unroll pragmas throughout a statement list. Fresh variables needed
+/// by partial unrolling are allocated from `var_tys`.
+pub fn unroll_stmts(stmts: &[Stmt], var_tys: &mut Vec<gpucmp_ptx::Ty>) -> Vec<Stmt> {
+    let mut local = 0;
+    unroll_stmts_with(stmts, var_tys, &UnrollOpts::default(), &mut local)
+}
+
+/// [`unroll_stmts`] with front-end-specific options. `local_bytes` is the
+/// per-thread local-memory allocator (grown by carried-var demotion).
+pub fn unroll_stmts_with(
+    stmts: &[Stmt],
+    var_tys: &mut Vec<gpucmp_ptx::Ty>,
+    opts: &UnrollOpts,
+    local_bytes: &mut u32,
+) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            Stmt::For { var, start, end, step, unroll, body } => {
+                let body = unroll_stmts_with(body, var_tys, opts, local_bytes);
+                match unroll {
+                    Unroll::None => out.push(Stmt::For {
+                        var: *var,
+                        start: start.clone(),
+                        end: end.clone(),
+                        step: *step,
+                        unroll: Unroll::None,
+                        body,
+                    }),
+                    Unroll::Full => match (const_of(start), const_of(end)) {
+                        (Some(s0), Some(e0)) => {
+                            full_unroll(&mut out, *var, s0, e0, *step, &body);
+                        }
+                        _ => {
+                            // Non-constant bounds: the pragma is ignored
+                            // (both real compilers warn and keep the loop).
+                            out.push(Stmt::For {
+                                var: *var,
+                                start: start.clone(),
+                                end: end.clone(),
+                                step: *step,
+                                unroll: Unroll::None,
+                                body,
+                            });
+                        }
+                    },
+                    Unroll::By(k) => {
+                        let k = (*k).max(1);
+                        if let (Some(s0), Some(e0)) = (const_of(start), const_of(end)) {
+                            // Constant trip count: full unroll if the factor
+                            // covers it, else strip-mine statically.
+                            let trip = trip_count(s0, e0, *step);
+                            if trip <= k as i64 {
+                                full_unroll(&mut out, *var, s0, e0, *step, &body);
+                                continue;
+                            }
+                        }
+                        partial_unroll(
+                            &mut out, *var, start, end, *step, k, &body, var_tys, opts,
+                            local_bytes,
+                        );
+                    }
+                }
+            }
+            Stmt::If { cond, then_, else_ } => out.push(Stmt::If {
+                cond: cond.clone(),
+                then_: unroll_stmts_with(then_, var_tys, opts, local_bytes),
+                else_: unroll_stmts_with(else_, var_tys, opts, local_bytes),
+            }),
+            Stmt::While { cond, body } => out.push(Stmt::While {
+                cond: cond.clone(),
+                body: unroll_stmts_with(body, var_tys, opts, local_bytes),
+            }),
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// Trip count of `for (i = s0; i < e0; i += step)` (or `>` for negative
+/// step).
+fn trip_count(s0: i64, e0: i64, step: i64) -> i64 {
+    if step > 0 {
+        ((e0 - s0).max(0) + step - 1) / step
+    } else {
+        ((s0 - e0).max(0) + (-step) - 1) / (-step)
+    }
+}
+
+fn full_unroll(out: &mut Vec<Stmt>, var: Var, s0: i64, e0: i64, step: i64, body: &[Stmt]) {
+    let trip = trip_count(s0, e0, step);
+    let mut i = s0;
+    for _ in 0..trip {
+        for s in body {
+            out.push(subst_stmt(s, var, &Expr::ImmI(i)));
+        }
+        i += step;
+    }
+    // The induction variable keeps its final value (it may be read after
+    // the loop).
+    out.push(Stmt::Let(var, Expr::ImmI(i)));
+}
+
+/// Strip-mine a (possibly runtime-bound) loop by factor `k`:
+///
+/// ```text
+/// for (i = start; i < main_end; i += k*step) { body(i) body(i+step) ... }
+/// while (i < end) { body(i); i += step; }     // remainder
+/// ```
+#[allow(clippy::too_many_arguments)]
+fn partial_unroll(
+    out: &mut Vec<Stmt>,
+    var: Var,
+    start: &Expr,
+    end: &Expr,
+    step: i64,
+    k: u32,
+    body: &[Stmt],
+    var_tys: &mut Vec<gpucmp_ptx::Ty>,
+    opts: &UnrollOpts,
+    local_bytes: &mut u32,
+) {
+    assert!(step > 0, "partial unroll requires a positive step");
+    let k = k as i64;
+    // main_end = end - (end - start) % (k*step)
+    let chunk = k * step;
+    let span = end.clone() - start.clone();
+    let main_end_var = Var {
+        id: var_tys.len() as u32,
+        ty: gpucmp_ptx::Ty::S32,
+    };
+    var_tys.push(gpucmp_ptx::Ty::S32);
+    out.push(Stmt::Let(
+        main_end_var,
+        end.clone() - (span % Expr::ImmI(chunk)),
+    ));
+    // Main unrolled loop.
+    let mut main_body = Vec::with_capacity(body.len() * k as usize);
+    for j in 0..k {
+        let iv = if j == 0 {
+            Expr::Var(var)
+        } else {
+            Expr::Var(var) + Expr::ImmI(j * step)
+        };
+        for s in body {
+            main_body.push(subst_stmt(s, var, &iv));
+        }
+    }
+    if opts.hoist_unrolled_loads {
+        hoist_loads(&mut main_body, var_tys, opts);
+    }
+    let mut epilogue: Vec<Stmt> = Vec::new();
+    if opts.demote_carried_vars && stmt_count(&main_body) > opts.demote_threshold {
+        epilogue = demote_carried(&mut main_body, body, local_bytes);
+    }
+    out.push(Stmt::For {
+        var,
+        start: start.clone(),
+        end: Expr::Var(main_end_var),
+        step: chunk,
+        unroll: Unroll::None,
+        body: main_body,
+    });
+    out.extend(epilogue);
+    // Remainder loop. The induction variable holds `main_end` after the
+    // main loop (For lowering leaves it at its exit value).
+    let mut rem_body: Vec<Stmt> = body.to_vec();
+    rem_body.push(Stmt::Assign(var, Expr::Var(var) + Expr::ImmI(step)));
+    out.push(Stmt::While {
+        cond: Expr::Var(var).lt(end.clone()),
+        body: rem_body,
+    });
+}
+
+/// Recursive statement count.
+fn stmt_count(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::If { then_, else_, .. } => 1 + stmt_count(then_) + stmt_count(else_),
+            Stmt::For { body, .. } | Stmt::While { body, .. } => 1 + stmt_count(body),
+            _ => 1,
+        })
+        .sum()
+}
+
+/// Demote the loop-carried scalars of an oversized unrolled body to
+/// per-thread local-memory slots: a prologue stores the incoming values,
+/// every read/write in the body goes through `local` space, and the
+/// returned epilogue (placed after the main loop) restores the variables
+/// for the remainder loop and any post-loop uses.
+///
+/// "Loop-carried" = read before first written at the top level of the
+/// *original* body (upward-exposed) and also written by it.
+fn demote_carried(
+    main_body: &mut Vec<Stmt>,
+    original_body: &[Stmt],
+    local_bytes: &mut u32,
+) -> Vec<Stmt> {
+    // upward-exposed reads at any depth, writes at any depth
+    let mut written: HashSet<u32> = HashSet::new();
+    let mut upward: HashSet<u32> = HashSet::new();
+    fn note_reads(e: &Expr, written: &HashSet<u32>, upward: &mut HashSet<u32>) {
+        match e {
+            Expr::Var(v) => {
+                if !written.contains(&v.id) {
+                    upward.insert(v.id);
+                }
+            }
+            Expr::Un(_, a) | Expr::Cast(_, a) => note_reads(a, written, upward),
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+                note_reads(a, written, upward);
+                note_reads(b, written, upward);
+            }
+            Expr::Select(c, a, b) => {
+                note_reads(c, written, upward);
+                note_reads(a, written, upward);
+                note_reads(b, written, upward);
+            }
+            Expr::Load { base, index, .. } => {
+                note_reads(base, written, upward);
+                note_reads(index, written, upward);
+            }
+            Expr::TexFetch { index, .. } => note_reads(index, written, upward),
+            _ => {}
+        }
+    }
+    fn scan(stmts: &[Stmt], written: &mut HashSet<u32>, upward: &mut HashSet<u32>) {
+        for s in stmts {
+            match s {
+                Stmt::Let(v, e) | Stmt::Assign(v, e) => {
+                    note_reads(e, written, upward);
+                    written.insert(v.id);
+                }
+                Stmt::Store { base, index, value, .. } => {
+                    note_reads(base, written, upward);
+                    note_reads(index, written, upward);
+                    note_reads(value, written, upward);
+                }
+                Stmt::If { cond, then_, else_ } => {
+                    note_reads(cond, written, upward);
+                    scan(then_, written, upward);
+                    scan(else_, written, upward);
+                }
+                Stmt::For { start, end, body, var, .. } => {
+                    note_reads(start, written, upward);
+                    note_reads(end, written, upward);
+                    written.insert(var.id);
+                    scan(body, written, upward);
+                }
+                Stmt::While { cond, body } => {
+                    note_reads(cond, written, upward);
+                    scan(body, written, upward);
+                }
+                Stmt::Barrier => {}
+                Stmt::AtomicRmw { base, index, value, old, .. } => {
+                    note_reads(base, written, upward);
+                    note_reads(index, written, upward);
+                    note_reads(value, written, upward);
+                    if let Some(v) = old {
+                        written.insert(v.id);
+                    }
+                }
+            }
+        }
+    }
+    scan(original_body, &mut written, &mut upward);
+    let mut carried: Vec<Var> = Vec::new();
+    collect_carried(original_body, &written, &upward, &mut carried);
+    if carried.is_empty() {
+        return Vec::new();
+    }
+    // assign slots
+    let mut slot_of: Vec<(Var, i64)> = Vec::new();
+    for v in &carried {
+        let sz = v.ty.size_bytes().max(4);
+        let off = (*local_bytes).next_multiple_of(sz) as i64;
+        *local_bytes = off as u32 + sz;
+        slot_of.push((*v, off));
+    }
+    // rewrite body
+    let rewritten: Vec<Stmt> = main_body.iter().map(|s| demote_stmt(s, &slot_of)).collect();
+    let mut new_body: Vec<Stmt> = Vec::with_capacity(rewritten.len() + carried.len());
+    for (v, off) in &slot_of {
+        new_body.push(Stmt::Store {
+            space: gpucmp_ptx::Space::Local,
+            base: Expr::ImmI(*off),
+            index: Expr::ImmI(0),
+            ty: v.ty,
+            value: Expr::Var(*v),
+        });
+    }
+    new_body.extend(rewritten);
+    *main_body = new_body;
+    // epilogue restores registers
+    slot_of
+        .iter()
+        .map(|(v, off)| {
+            Stmt::Assign(
+                *v,
+                Expr::Load {
+                    space: gpucmp_ptx::Space::Local,
+                    base: Box::new(Expr::ImmI(*off)),
+                    index: Box::new(Expr::ImmI(0)),
+                    ty: v.ty,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Deterministic-order collection of carried variables.
+fn collect_carried(stmts: &[Stmt], written: &HashSet<u32>, upward: &HashSet<u32>, out: &mut Vec<Var>) {
+    for s in stmts {
+        if let Stmt::Let(v, _) | Stmt::Assign(v, _) = s {
+            if written.contains(&v.id)
+                && upward.contains(&v.id)
+                && !out.iter().any(|c| c.id == v.id)
+            {
+                out.push(*v);
+            }
+        }
+        match s {
+            Stmt::If { then_, else_, .. } => {
+                collect_carried(then_, written, upward, out);
+                collect_carried(else_, written, upward, out);
+            }
+            Stmt::For { body, .. } | Stmt::While { body, .. } => {
+                collect_carried(body, written, upward, out)
+            }
+            _ => {}
+        }
+    }
+}
+
+fn demote_expr(e: &Expr, slots: &[(Var, i64)]) -> Expr {
+    match e {
+        Expr::Var(v) => {
+            if let Some((cv, off)) = slots.iter().find(|(cv, _)| cv.id == v.id) {
+                Expr::Load {
+                    space: gpucmp_ptx::Space::Local,
+                    base: Box::new(Expr::ImmI(*off)),
+                    index: Box::new(Expr::ImmI(0)),
+                    ty: cv.ty,
+                }
+            } else {
+                e.clone()
+            }
+        }
+        Expr::ImmI(_) | Expr::ImmF(_) | Expr::Param(_) | Expr::Special(_) => e.clone(),
+        Expr::Un(op, a) => Expr::Un(*op, Box::new(demote_expr(a, slots))),
+        Expr::Cast(t, a) => Expr::Cast(*t, Box::new(demote_expr(a, slots))),
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(demote_expr(a, slots)),
+            Box::new(demote_expr(b, slots)),
+        ),
+        Expr::Cmp(op, a, b) => Expr::Cmp(
+            *op,
+            Box::new(demote_expr(a, slots)),
+            Box::new(demote_expr(b, slots)),
+        ),
+        Expr::Select(c, a, b) => Expr::Select(
+            Box::new(demote_expr(c, slots)),
+            Box::new(demote_expr(a, slots)),
+            Box::new(demote_expr(b, slots)),
+        ),
+        Expr::Load { space, base, index, ty } => Expr::Load {
+            space: *space,
+            base: Box::new(demote_expr(base, slots)),
+            index: Box::new(demote_expr(index, slots)),
+            ty: *ty,
+        },
+        Expr::TexFetch { slot, index, ty } => Expr::TexFetch {
+            slot: *slot,
+            index: Box::new(demote_expr(index, slots)),
+            ty: *ty,
+        },
+    }
+}
+
+fn demote_stmt(s: &Stmt, slots: &[(Var, i64)]) -> Stmt {
+    let slot_for = |v: &Var| slots.iter().find(|(cv, _)| cv.id == v.id).map(|(_, o)| *o);
+    match s {
+        Stmt::Let(v, e) | Stmt::Assign(v, e) => {
+            let e = demote_expr(e, slots);
+            match slot_for(v) {
+                Some(off) => Stmt::Store {
+                    space: gpucmp_ptx::Space::Local,
+                    base: Expr::ImmI(off),
+                    index: Expr::ImmI(0),
+                    ty: v.ty,
+                    value: e,
+                },
+                None => Stmt::Assign(*v, e),
+            }
+        }
+        Stmt::Store { space, base, index, ty, value } => Stmt::Store {
+            space: *space,
+            base: demote_expr(base, slots),
+            index: demote_expr(index, slots),
+            ty: *ty,
+            value: demote_expr(value, slots),
+        },
+        Stmt::If { cond, then_, else_ } => Stmt::If {
+            cond: demote_expr(cond, slots),
+            then_: then_.iter().map(|x| demote_stmt(x, slots)).collect(),
+            else_: else_.iter().map(|x| demote_stmt(x, slots)).collect(),
+        },
+        Stmt::For { var, start, end, step, unroll, body } => Stmt::For {
+            var: *var,
+            start: demote_expr(start, slots),
+            end: demote_expr(end, slots),
+            step: *step,
+            unroll: *unroll,
+            body: body.iter().map(|x| demote_stmt(x, slots)).collect(),
+        },
+        Stmt::While { cond, body } => Stmt::While {
+            cond: demote_expr(cond, slots),
+            body: body.iter().map(|x| demote_stmt(x, slots)).collect(),
+        },
+        Stmt::Barrier => Stmt::Barrier,
+        Stmt::AtomicRmw { op, space, base, index, ty, value, old } => Stmt::AtomicRmw {
+            op: *op,
+            space: *space,
+            base: demote_expr(base, slots),
+            index: demote_expr(index, slots),
+            ty: *ty,
+            value: demote_expr(value, slots),
+            old: *old,
+        },
+    }
+}
+
+/// Software-pipelining hoist: pull loads from read-only global buffers out
+/// of the top-level statements of an unrolled body to the body's start.
+/// Only loads whose index expressions do not read variables *defined inside
+/// the body* are moved (their operands are loop-invariant or the induction
+/// variable, both available at the body top).
+fn hoist_loads(body: &mut Vec<Stmt>, var_tys: &mut Vec<gpucmp_ptx::Ty>, opts: &UnrollOpts) {
+    // Variables defined anywhere in the body (incl. nested blocks).
+    let mut defined: HashSet<u32> = HashSet::new();
+    fn collect_defs(stmts: &[Stmt], defined: &mut HashSet<u32>) {
+        for s in stmts {
+            match s {
+                Stmt::Let(v, _) | Stmt::Assign(v, _) => {
+                    defined.insert(v.id);
+                }
+                Stmt::AtomicRmw { old: Some(v), .. } => {
+                    defined.insert(v.id);
+                }
+                Stmt::If { then_, else_, .. } => {
+                    collect_defs(then_, defined);
+                    collect_defs(else_, defined);
+                }
+                Stmt::For { var, body, .. } => {
+                    defined.insert(var.id);
+                    collect_defs(body, defined);
+                }
+                Stmt::While { body, .. } => collect_defs(body, defined),
+                _ => {}
+            }
+        }
+    }
+    collect_defs(body, &mut defined);
+
+    let mut hoisted: Vec<Stmt> = Vec::new();
+    for s in body.iter_mut() {
+        // top-level statements only; guarded/nested loads stay put
+        match s {
+            Stmt::Let(_, e) | Stmt::Assign(_, e) => {
+                hoist_in_expr(e, &defined, var_tys, opts, &mut hoisted)
+            }
+            Stmt::Store { base, index, value, .. } => {
+                hoist_in_expr(base, &defined, var_tys, opts, &mut hoisted);
+                hoist_in_expr(index, &defined, var_tys, opts, &mut hoisted);
+                hoist_in_expr(value, &defined, var_tys, opts, &mut hoisted);
+            }
+            _ => {}
+        }
+    }
+    if !hoisted.is_empty() {
+        body.splice(0..0, hoisted);
+    }
+}
+
+fn hoist_in_expr(
+    e: &mut Expr,
+    defined: &HashSet<u32>,
+    var_tys: &mut Vec<gpucmp_ptx::Ty>,
+    opts: &UnrollOpts,
+    hoisted: &mut Vec<Stmt>,
+) {
+    // bottom-up
+    match e {
+        Expr::Un(_, a) | Expr::Cast(_, a) => hoist_in_expr(a, defined, var_tys, opts, hoisted),
+        Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+            hoist_in_expr(a, defined, var_tys, opts, hoisted);
+            hoist_in_expr(b, defined, var_tys, opts, hoisted);
+        }
+        Expr::Select(c, a, b) => {
+            hoist_in_expr(c, defined, var_tys, opts, hoisted);
+            hoist_in_expr(a, defined, var_tys, opts, hoisted);
+            hoist_in_expr(b, defined, var_tys, opts, hoisted);
+        }
+        Expr::TexFetch { index, .. } => hoist_in_expr(index, defined, var_tys, opts, hoisted),
+        Expr::Load { space, base, index, ty } => {
+            hoist_in_expr(index, defined, var_tys, opts, hoisted);
+            let read_only_param = match &**base {
+                Expr::Param(p) => !opts.written_params.contains(p),
+                _ => false,
+            };
+            if *space == gpucmp_ptx::Space::Global
+                && read_only_param
+                && !expr_reads_defined(index, defined)
+            {
+                let v = Var {
+                    id: var_tys.len() as u32,
+                    ty: *ty,
+                };
+                var_tys.push(*ty);
+                let load = Expr::Load {
+                    space: *space,
+                    base: base.clone(),
+                    index: index.clone(),
+                    ty: *ty,
+                };
+                hoisted.push(Stmt::Let(v, load));
+                *e = Expr::Var(v);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn expr_reads_defined(e: &Expr, defined: &HashSet<u32>) -> bool {
+    match e {
+        Expr::Var(v) => defined.contains(&v.id),
+        Expr::Un(_, a) | Expr::Cast(_, a) => expr_reads_defined(a, defined),
+        Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+            expr_reads_defined(a, defined) || expr_reads_defined(b, defined)
+        }
+        Expr::Select(c, a, b) => {
+            expr_reads_defined(c, defined)
+                || expr_reads_defined(a, defined)
+                || expr_reads_defined(b, defined)
+        }
+        Expr::Load { base, index, .. } => {
+            expr_reads_defined(base, defined) || expr_reads_defined(index, defined)
+        }
+        Expr::TexFetch { index, .. } => expr_reads_defined(index, defined),
+        _ => false,
+    }
+}
+
+fn const_of(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::ImmI(v) => Some(*v),
+        _ => None,
+    }
+}
+
+/// Substitute `var` with `with` in an expression.
+pub fn subst_expr(e: &Expr, var: Var, with: &Expr) -> Expr {
+    match e {
+        Expr::Var(v) if v.id == var.id => with.clone(),
+        Expr::ImmI(_) | Expr::ImmF(_) | Expr::Var(_) | Expr::Param(_) | Expr::Special(_) => {
+            e.clone()
+        }
+        Expr::Un(op, a) => Expr::Un(*op, Box::new(subst_expr(a, var, with))),
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(subst_expr(a, var, with)),
+            Box::new(subst_expr(b, var, with)),
+        ),
+        Expr::Cmp(op, a, b) => Expr::Cmp(
+            *op,
+            Box::new(subst_expr(a, var, with)),
+            Box::new(subst_expr(b, var, with)),
+        ),
+        Expr::Select(c, a, b) => Expr::Select(
+            Box::new(subst_expr(c, var, with)),
+            Box::new(subst_expr(a, var, with)),
+            Box::new(subst_expr(b, var, with)),
+        ),
+        Expr::Cast(ty, a) => Expr::Cast(*ty, Box::new(subst_expr(a, var, with))),
+        Expr::Load { space, base, index, ty } => Expr::Load {
+            space: *space,
+            base: Box::new(subst_expr(base, var, with)),
+            index: Box::new(subst_expr(index, var, with)),
+            ty: *ty,
+        },
+        Expr::TexFetch { slot, index, ty } => Expr::TexFetch {
+            slot: *slot,
+            index: Box::new(subst_expr(index, var, with)),
+            ty: *ty,
+        },
+    }
+}
+
+/// Substitute `var` with `with` in a statement (including nested bodies).
+/// Writes to `var` inside the body would invalidate the substitution; the
+/// DSL's `for_` owns its induction variable, so no body ever assigns it.
+pub fn subst_stmt(s: &Stmt, var: Var, with: &Expr) -> Stmt {
+    match s {
+        Stmt::Let(v, e) => {
+            debug_assert_ne!(v.id, var.id, "loop body writes its induction variable");
+            Stmt::Let(*v, subst_expr(e, var, with))
+        }
+        Stmt::Assign(v, e) => {
+            debug_assert_ne!(v.id, var.id, "loop body writes its induction variable");
+            Stmt::Assign(*v, subst_expr(e, var, with))
+        }
+        Stmt::Store { space, base, index, ty, value } => Stmt::Store {
+            space: *space,
+            base: subst_expr(base, var, with),
+            index: subst_expr(index, var, with),
+            ty: *ty,
+            value: subst_expr(value, var, with),
+        },
+        Stmt::If { cond, then_, else_ } => Stmt::If {
+            cond: subst_expr(cond, var, with),
+            then_: then_.iter().map(|s| subst_stmt(s, var, with)).collect(),
+            else_: else_.iter().map(|s| subst_stmt(s, var, with)).collect(),
+        },
+        Stmt::For { var: v, start, end, step, unroll, body } => Stmt::For {
+            var: *v,
+            start: subst_expr(start, var, with),
+            end: subst_expr(end, var, with),
+            step: *step,
+            unroll: *unroll,
+            body: body.iter().map(|s| subst_stmt(s, var, with)).collect(),
+        },
+        Stmt::While { cond, body } => Stmt::While {
+            cond: subst_expr(cond, var, with),
+            body: body.iter().map(|s| subst_stmt(s, var, with)).collect(),
+        },
+        Stmt::Barrier => Stmt::Barrier,
+        Stmt::AtomicRmw { op, space, base, index, ty, value, old } => Stmt::AtomicRmw {
+            op: *op,
+            space: *space,
+            base: subst_expr(base, var, with),
+            index: subst_expr(index, var, with),
+            ty: *ty,
+            value: subst_expr(value, var, with),
+            old: *old,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{DslKernel, Unroll};
+    use gpucmp_ptx::{Space, Ty};
+
+    fn loop_kernel(unroll: Unroll, end: i64) -> (Vec<Stmt>, Vec<Ty>) {
+        let mut k = DslKernel::new("t");
+        let out = k.param_ptr("out");
+        k.for_(0i64, end, 1, unroll, |k, i| {
+            k.st_global(out.clone(), i, Ty::S32, 1i32);
+        });
+        let def = k.finish();
+        (def.body, def.var_tys)
+    }
+
+    #[test]
+    fn full_unroll_expands_constant_trip() {
+        let (body, mut tys) = loop_kernel(Unroll::Full, 4);
+        let u = unroll_stmts(&body, &mut tys);
+        // 4 stores + final induction assignment, no For left
+        let stores = u
+            .iter()
+            .filter(|s| matches!(s, Stmt::Store { .. }))
+            .count();
+        assert_eq!(stores, 4);
+        assert!(!u.iter().any(|s| matches!(s, Stmt::For { .. })));
+        // indices are substituted constants
+        match &u[1] {
+            Stmt::Store { index, .. } => assert_eq!(*index, Expr::ImmI(1)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn unroll_none_keeps_loop() {
+        let (body, mut tys) = loop_kernel(Unroll::None, 4);
+        let u = unroll_stmts(&body, &mut tys);
+        assert!(u.iter().any(|s| matches!(s, Stmt::For { .. })));
+    }
+
+    #[test]
+    fn by_factor_covers_small_constant_loop() {
+        let (body, mut tys) = loop_kernel(Unroll::By(8), 4);
+        let u = unroll_stmts(&body, &mut tys);
+        assert!(!u.iter().any(|s| matches!(s, Stmt::For { .. })));
+    }
+
+    #[test]
+    fn partial_unroll_emits_main_and_remainder() {
+        let mut k = DslKernel::new("t");
+        let out = k.param_ptr("out");
+        let n = k.param("n", Ty::S32);
+        k.for_(0i64, n, 1, Unroll::By(4), |k, i| {
+            k.st_global(out.clone(), i, Ty::S32, 1i32);
+        });
+        let def = k.finish();
+        let mut tys = def.var_tys.clone();
+        let u = unroll_stmts(&def.body, &mut tys);
+        // let main_end; For (unrolled x4); While remainder
+        assert!(matches!(u[0], Stmt::Let(..)));
+        match &u[1] {
+            Stmt::For { step, body, .. } => {
+                assert_eq!(*step, 4);
+                assert_eq!(
+                    body.iter()
+                        .filter(|s| matches!(s, Stmt::Store { .. }))
+                        .count(),
+                    4
+                );
+            }
+            other => panic!("expected main loop, got {other:?}"),
+        }
+        assert!(matches!(u[2], Stmt::While { .. }));
+        assert_eq!(tys.len(), def.var_tys.len() + 1);
+    }
+
+    #[test]
+    fn full_unroll_with_runtime_bound_is_ignored() {
+        let mut k = DslKernel::new("t");
+        let out = k.param_ptr("out");
+        let n = k.param("n", Ty::S32);
+        k.for_(0i64, n, 1, Unroll::Full, |k, i| {
+            k.st_global(out.clone(), i, Ty::S32, 1i32);
+        });
+        let def = k.finish();
+        let mut tys = def.var_tys.clone();
+        let u = unroll_stmts(&def.body, &mut tys);
+        assert!(matches!(u[0], Stmt::For { unroll: Unroll::None, .. }));
+    }
+
+    #[test]
+    fn negative_step_full_unroll() {
+        let mut k = DslKernel::new("t");
+        let out = k.param_ptr("out");
+        k.for_(3i64, 0i64, -1, Unroll::Full, |k, i| {
+            k.store(Space::Global, out.clone(), i, Ty::S32, 1i32);
+        });
+        let def = k.finish();
+        let mut tys = def.var_tys.clone();
+        let u = unroll_stmts(&def.body, &mut tys);
+        let indices: Vec<_> = u
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Store { index, .. } => Some(index.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(indices, vec![Expr::ImmI(3), Expr::ImmI(2), Expr::ImmI(1)]);
+    }
+
+    #[test]
+    fn nested_loops_unroll_inner_first() {
+        let mut k = DslKernel::new("t");
+        let out = k.param_ptr("out");
+        let n = k.param("n", Ty::S32);
+        k.for_(0i64, n, 1, Unroll::None, |k, i| {
+            k.for_(0i64, 2i64, 1, Unroll::Full, |k, j| {
+                k.st_global(out.clone(), i.clone() * 2i32 + j, Ty::S32, 1i32);
+            });
+        });
+        let def = k.finish();
+        let mut tys = def.var_tys.clone();
+        let u = unroll_stmts(&def.body, &mut tys);
+        match &u[0] {
+            Stmt::For { body, .. } => {
+                let stores = body
+                    .iter()
+                    .filter(|s| matches!(s, Stmt::Store { .. }))
+                    .count();
+                assert_eq!(stores, 2);
+            }
+            _ => panic!(),
+        }
+    }
+}

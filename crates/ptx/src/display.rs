@@ -1,0 +1,119 @@
+//! Pretty-printing of kernels in a PTX-flavoured textual form.
+
+use crate::inst::Inst;
+use crate::kernel::Kernel;
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Label(l) => write!(f, "L{}:", l.0),
+            Inst::Mov { ty, d, a } => write!(f, "\tmov.{ty} {d}, {a};"),
+            Inst::Cvt { dty, sty, d, a } => write!(f, "\tcvt.{dty}.{sty} {d}, {a};"),
+            Inst::Un { op, ty, d, a } => write!(f, "\t{}.{ty} {d}, {a};", op.mnemonic()),
+            Inst::Bin { op, ty, d, a, b } => {
+                write!(f, "\t{}.{ty} {d}, {a}, {b};", op.mnemonic())
+            }
+            Inst::Tern { op, ty, d, a, b, c } => {
+                write!(f, "\t{}.{ty} {d}, {a}, {b}, {c};", op.mnemonic())
+            }
+            Inst::Setp { cmp, ty, d, a, b } => {
+                write!(f, "\tsetp.{}.{ty} {d}, {a}, {b};", cmp.mnemonic())
+            }
+            Inst::Selp { ty, d, a, b, p } => write!(f, "\tselp.{ty} {d}, {a}, {b}, {p};"),
+            Inst::Ld { space, ty, d, addr } => {
+                write!(f, "\tld.{space}.{ty} {d}, [{}+{}];", addr.base, addr.offset)
+            }
+            Inst::St { space, ty, addr, a } => {
+                write!(f, "\tst.{space}.{ty} [{}+{}], {a};", addr.base, addr.offset)
+            }
+            Inst::Tex { ty, d, tex, idx } => {
+                write!(f, "\ttex.1d.{ty} {d}, [tex{}, {idx}];", tex.0)
+            }
+            Inst::Atom {
+                space,
+                op,
+                ty,
+                d,
+                addr,
+                b,
+                ..
+            } => write!(
+                f,
+                "\tatom.{space}.{}.{ty} {d}, [{}+{}], {b};",
+                op.mnemonic(),
+                addr.base,
+                addr.offset
+            ),
+            Inst::Bra { target, pred } => match pred {
+                None => write!(f, "\tbra L{};", target.0),
+                Some((p, true)) => write!(f, "\t@{p} bra L{};", target.0),
+                Some((p, false)) => write!(f, "\t@!{p} bra L{};", target.0),
+            },
+            Inst::Ssy { target } => write!(f, "\tssy L{};", target.0),
+            Inst::SyncPoint => write!(f, "\tsync;"),
+            Inst::Bar => write!(f, "\tbar.sync 0;"),
+            Inst::Ret => write!(f, "\tret;"),
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".entry {} (", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, ".param .{} {}", p.ty, p.name)?;
+        }
+        writeln!(f, ")")?;
+        writeln!(f, "{{")?;
+        writeln!(f, "\t.reg {} registers;", self.regs.len())?;
+        if self.shared_bytes > 0 {
+            writeln!(f, "\t.shared .align 16 .b8 smem[{}];", self.shared_bytes)?;
+        }
+        if self.local_bytes > 0 {
+            writeln!(f, "\t.local .align 8 .b8 lmem[{}];", self.local_bytes)?;
+        }
+        for inst in &self.body {
+            writeln!(f, "{inst}")?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::KernelBuilder;
+    use crate::inst::{Address, Op2};
+    use crate::reg::Operand;
+    use crate::ty::{Space, Ty};
+
+    #[test]
+    fn kernel_renders_ptx_like_text() {
+        let mut b = KernelBuilder::new("saxpy");
+        b.param("x", Ty::U64);
+        let r = b.bin(Op2::Add, Ty::S32, 1i32, 2i32);
+        b.st(Space::Global, Ty::S32, Address::base(Operand::ImmI(0)), r);
+        let k = b.finish();
+        let text = k.to_string();
+        assert!(text.contains(".entry saxpy"));
+        assert!(text.contains("add.s32 %r0, 1, 2;"));
+        assert!(text.contains("st.global.s32"));
+        assert!(text.contains("ret;"));
+    }
+
+    #[test]
+    fn predicated_branch_renders_polarity() {
+        let mut b = KernelBuilder::new("k");
+        let l = b.new_label();
+        let p = b.reg(Ty::Pred);
+        b.bra_if(l, p, false);
+        b.place_label(l);
+        let k = b.finish();
+        let text = k.to_string();
+        assert!(text.contains("@!%r0 bra L0;"));
+        assert!(text.contains("L0:"));
+    }
+}

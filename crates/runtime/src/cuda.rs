@@ -1,0 +1,73 @@
+//! The CUDA-flavoured host runtime.
+//!
+//! Thin vendor-locked API: it only drives NVIDIA devices (GT200 / Fermi in
+//! the catalogue) and has the lower kernel-launch overhead the paper
+//! measures in Section IV-B-4.
+
+use crate::error::RtError;
+use crate::gpu::{Gpu, LoadedKernel, Session};
+use gpucmp_compiler::Api;
+use gpucmp_sim::{Arch, DeviceSpec, LaunchConfig};
+
+/// CUDA driver submit overhead per kernel launch, ns.
+pub const CUDA_SUBMIT_NS: f64 = 7_000.0;
+
+/// A CUDA context on one NVIDIA device.
+#[derive(Debug)]
+pub struct Cuda {
+    session: Session,
+}
+
+impl Cuda {
+    /// Create a CUDA context. Fails on non-NVIDIA devices, as in reality.
+    pub fn new(device: DeviceSpec) -> Result<Self, RtError> {
+        match device.arch {
+            Arch::Gt200 | Arch::Fermi => Ok(Cuda {
+                session: Session::new(device),
+            }),
+            _ => Err(RtError::WrongVendor(device.name)),
+        }
+    }
+}
+
+impl Gpu for Cuda {
+    fn api(&self) -> Api {
+        Api::Cuda
+    }
+
+    fn session(&self) -> &Session {
+        &self.session
+    }
+
+    fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    fn submit_overhead_ns(&self) -> f64 {
+        CUDA_SUBMIT_NS
+    }
+
+    fn validate_launch(&self, kernel: &LoadedKernel, cfg: &LaunchConfig) -> Result<(), RtError> {
+        // CUDA relies on the hardware checks the simulator performs; no
+        // extra software validation layer.
+        let _ = (kernel, cfg);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cuda_rejects_non_nvidia() {
+        assert!(Cuda::new(DeviceSpec::gtx280()).is_ok());
+        assert!(Cuda::new(DeviceSpec::gtx480()).is_ok());
+        assert!(matches!(
+            Cuda::new(DeviceSpec::hd5870()),
+            Err(RtError::WrongVendor(_))
+        ));
+        assert!(Cuda::new(DeviceSpec::intel920()).is_err());
+        assert!(Cuda::new(DeviceSpec::cellbe()).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Runtime error types, including the OpenCL status codes the paper's
+//! portability study runs into (`CL_OUT_OF_RESOURCES` on the Cell/BE).
+
+use gpucmp_sim::SimError;
+use std::fmt;
+
+/// OpenCL-style status codes (subset used by the benchmarks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClStatus {
+    /// `CL_SUCCESS`.
+    Success,
+    /// `CL_DEVICE_NOT_FOUND` — no device of the requested
+    /// `CL_DEVICE_TYPE_*` on the platform.
+    DeviceNotFound,
+    /// `CL_INVALID_WORK_GROUP_SIZE`.
+    InvalidWorkGroupSize,
+    /// `CL_OUT_OF_RESOURCES` — what the Cell/BE returns from
+    /// `clEnqueueNDRangeKernel` for kernels whose registers + local store
+    /// don't fit an SPE (paper Table VI "ABT").
+    OutOfResources,
+    /// `CL_BUILD_PROGRAM_FAILURE`.
+    BuildProgramFailure,
+    /// `CL_MEM_OBJECT_ALLOCATION_FAILURE`.
+    MemObjectAllocationFailure,
+}
+
+impl ClStatus {
+    /// The OpenCL constant name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ClStatus::Success => "CL_SUCCESS",
+            ClStatus::DeviceNotFound => "CL_DEVICE_NOT_FOUND",
+            ClStatus::InvalidWorkGroupSize => "CL_INVALID_WORK_GROUP_SIZE",
+            ClStatus::OutOfResources => "CL_OUT_OF_RESOURCES",
+            ClStatus::BuildProgramFailure => "CL_BUILD_PROGRAM_FAILURE",
+            ClStatus::MemObjectAllocationFailure => "CL_MEM_OBJECT_ALLOCATION_FAILURE",
+        }
+    }
+}
+
+impl fmt::Display for ClStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A host-API error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RtError {
+    /// The simulated device faulted.
+    Sim(SimError),
+    /// Kernel compilation failed.
+    Compile(String),
+    /// An OpenCL status other than success.
+    Cl(ClStatus),
+    /// CUDA used on a non-NVIDIA device.
+    WrongVendor(&'static str),
+    /// Invalid kernel handle.
+    BadHandle,
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::Sim(e) => write!(f, "device fault: {e}"),
+            RtError::Compile(m) => write!(f, "build failed: {m}"),
+            RtError::Cl(s) => write!(f, "{s}"),
+            RtError::WrongVendor(d) => {
+                write!(f, "CUDA is only available on NVIDIA devices, not {d}")
+            }
+            RtError::BadHandle => write!(f, "invalid kernel handle"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+impl From<SimError> for RtError {
+    fn from(e: SimError) -> Self {
+        RtError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_names() {
+        assert_eq!(ClStatus::OutOfResources.to_string(), "CL_OUT_OF_RESOURCES");
+        assert_eq!(ClStatus::Success.name(), "CL_SUCCESS");
+    }
+
+    #[test]
+    fn sim_error_wraps() {
+        let e: RtError = SimError::DivByZero.into();
+        assert!(matches!(e, RtError::Sim(_)));
+        assert!(e.to_string().contains("division"));
+    }
+}

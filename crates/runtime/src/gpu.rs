@@ -1,0 +1,262 @@
+//! The shared device session and the `Gpu` host-API trait.
+
+use crate::error::RtError;
+use gpucmp_compiler::{compile_with_style, Api, KernelDef};
+use gpucmp_ptx::ResolvedKernel;
+use std::sync::Arc;
+use gpucmp_sim::{launch as sim_launch, DevPtr, DeviceSpec, GlobalMemory, LaunchConfig, LaunchReport};
+
+/// PCIe effective host↔device bandwidth in GB/s (PCIe 2.0 x16 era).
+pub const PCIE_GBS: f64 = 5.7;
+/// Fixed per-transfer latency in ns.
+pub const MEMCPY_LATENCY_NS: f64 = 10_000.0;
+/// Default simulated device-memory arena (kept well under the cards' real
+/// capacity so many sessions can coexist in host RAM).
+pub const DEFAULT_ARENA_BYTES: u64 = 192 << 20;
+
+/// Handle to a kernel loaded into a session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelHandle(pub usize);
+
+/// A kernel loaded into a session, ready to launch.
+#[derive(Clone, Debug)]
+pub struct LoadedKernel {
+    /// Kernel name.
+    pub name: String,
+    /// Resolved executable form (shared so launches don't copy the body).
+    pub resolved: Arc<ResolvedKernel>,
+    /// Packed constant bank.
+    pub const_bank: Arc<Vec<u8>>,
+    /// Static PTX statistics (pre-backend), for Table V style analyses.
+    pub ptx_stats: gpucmp_ptx::InstStats,
+    /// Registers the backend had to spill against the device cap.
+    pub spilled: u32,
+}
+
+impl LoadedKernel {
+    /// Physical registers per thread.
+    pub fn phys_regs(&self) -> u32 {
+        self.resolved.kernel.phys_regs
+    }
+
+    /// Static shared memory per block in bytes.
+    pub fn shared_bytes(&self) -> u32 {
+        self.resolved.kernel.shared_bytes
+    }
+
+    /// Per-thread local (spill) bytes.
+    pub fn local_bytes(&self) -> u32 {
+        self.resolved.kernel.local_bytes
+    }
+}
+
+/// One device context: memory, loaded kernels, and the virtual clock.
+#[derive(Debug)]
+pub struct Session {
+    /// The simulated device.
+    pub device: DeviceSpec,
+    /// Device global memory.
+    pub gmem: GlobalMemory,
+    kernels: Vec<LoadedKernel>,
+    now_ns: f64,
+    launches: u64,
+    kernel_ns_total: f64,
+}
+
+impl Session {
+    /// Create a session on `device` with the default memory arena.
+    pub fn new(device: DeviceSpec) -> Self {
+        let cap = (device.mem_capacity_mib as u64 * 1024 * 1024).min(DEFAULT_ARENA_BYTES);
+        Session {
+            device,
+            gmem: GlobalMemory::new(cap),
+            kernels: Vec::new(),
+            now_ns: 0.0,
+            launches: 0,
+            kernel_ns_total: 0.0,
+        }
+    }
+
+    /// Current virtual time in ns.
+    pub fn now_ns(&self) -> f64 {
+        self.now_ns
+    }
+
+    /// Advance the virtual clock.
+    pub fn advance_ns(&mut self, ns: f64) {
+        self.now_ns += ns;
+    }
+
+    /// Number of kernel launches so far.
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+
+    /// Total in-kernel virtual time (excluding launch overhead).
+    pub fn kernel_ns_total(&self) -> f64 {
+        self.kernel_ns_total
+    }
+
+    /// Look a loaded kernel up.
+    pub fn kernel(&self, h: KernelHandle) -> Result<&LoadedKernel, RtError> {
+        self.kernels.get(h.0).ok_or(RtError::BadHandle)
+    }
+
+    fn load(&mut self, k: LoadedKernel) -> KernelHandle {
+        self.kernels.push(k);
+        KernelHandle(self.kernels.len() - 1)
+    }
+}
+
+/// Outcome of one launch.
+#[derive(Clone, Debug)]
+pub struct LaunchOutcome {
+    /// Simulator report (exact stats + modelled kernel time).
+    pub report: LaunchReport,
+    /// API-side launch overhead that was added to the clock, ns.
+    pub overhead_ns: f64,
+}
+
+/// The host-API surface shared by the CUDA-flavoured and OpenCL-flavoured
+/// runtimes. Benchmarks are written against this trait so the *same host
+/// logic* drives both programming models — the paper's "same implementation"
+/// requirement (fair-comparison step 3).
+pub trait Gpu {
+    /// Which programming model this runtime exposes.
+    fn api(&self) -> Api;
+    /// The underlying session.
+    fn session(&self) -> &Session;
+    /// The underlying session, mutably.
+    fn session_mut(&mut self) -> &mut Session;
+    /// Fixed API-side kernel-submit overhead in ns (the paper's
+    /// Section IV-B-4 kernel-launch-time difference).
+    fn submit_overhead_ns(&self) -> f64;
+    /// API-specific launch validation (the OpenCL runtime enforces device
+    /// resource limits and returns `CL_*` errors; CUDA launches on its own
+    /// vendor's hardware and only hits the simulator's checks).
+    fn validate_launch(&self, kernel: &LoadedKernel, cfg: &LaunchConfig) -> Result<(), RtError>;
+
+    /// The device specification.
+    fn device(&self) -> &DeviceSpec {
+        &self.session().device
+    }
+
+    /// Current virtual time in ns.
+    fn now_ns(&self) -> f64 {
+        self.session().now_ns()
+    }
+
+    /// Allocate device memory.
+    fn malloc(&mut self, bytes: u64) -> Result<DevPtr, RtError> {
+        Ok(self.session_mut().gmem.alloc(bytes)?)
+    }
+
+    /// Host-to-device transfer of raw bytes.
+    fn h2d(&mut self, ptr: DevPtr, data: &[u8]) -> Result<(), RtError> {
+        let s = self.session_mut();
+        s.gmem.copy_in(ptr, data)?;
+        s.advance_ns(MEMCPY_LATENCY_NS + data.len() as f64 / PCIE_GBS);
+        Ok(())
+    }
+
+    /// Device-to-host transfer of raw bytes.
+    fn d2h(&mut self, ptr: DevPtr, data: &mut [u8]) -> Result<(), RtError> {
+        let s = self.session_mut();
+        s.gmem.copy_out(ptr, data)?;
+        s.advance_ns(MEMCPY_LATENCY_NS + data.len() as f64 / PCIE_GBS);
+        Ok(())
+    }
+
+    /// Typed convenience: upload f32 slice.
+    fn h2d_f32(&mut self, ptr: DevPtr, data: &[f32]) -> Result<(), RtError> {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.h2d(ptr, &bytes)
+    }
+
+    /// Typed convenience: download f32 slice.
+    fn d2h_f32(&mut self, ptr: DevPtr, len: usize) -> Result<Vec<f32>, RtError> {
+        let mut bytes = vec![0u8; len * 4];
+        self.d2h(ptr, &mut bytes)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Typed convenience: upload u32 slice.
+    fn h2d_u32(&mut self, ptr: DevPtr, data: &[u32]) -> Result<(), RtError> {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.h2d(ptr, &bytes)
+    }
+
+    /// Typed convenience: download u32 slice.
+    fn d2h_u32(&mut self, ptr: DevPtr, len: usize) -> Result<Vec<u32>, RtError> {
+        let mut bytes = vec![0u8; len * 4];
+        self.d2h(ptr, &mut bytes)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Typed convenience: upload i32 slice.
+    fn h2d_i32(&mut self, ptr: DevPtr, data: &[i32]) -> Result<(), RtError> {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.h2d(ptr, &bytes)
+    }
+
+    /// Typed convenience: download i32 slice.
+    fn d2h_i32(&mut self, ptr: DevPtr, len: usize) -> Result<Vec<i32>, RtError> {
+        let mut bytes = vec![0u8; len * 4];
+        self.d2h(ptr, &mut bytes)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Build a kernel through this API's front-end and load it.
+    fn build(&mut self, def: &KernelDef) -> Result<KernelHandle, RtError> {
+        let style = self.api().style();
+        let cap = self.device().max_regs_per_thread;
+        let compiled = compile_with_style(def, &style, cap)
+            .map_err(|e| RtError::Compile(e.to_string()))?;
+        let resolved = compiled
+            .exec
+            .resolve()
+            .map_err(RtError::Compile)?;
+        let mut const_bank = def.const_data.clone();
+        // pad to 16 bytes like a real constant bank image
+        const_bank.resize(const_bank.len().next_multiple_of(16), 0);
+        let loaded = LoadedKernel {
+            name: def.name.clone(),
+            resolved: Arc::new(resolved),
+            const_bank: Arc::new(const_bank),
+            ptx_stats: compiled.ptx_stats,
+            spilled: compiled.ptxas.spilled,
+        };
+        Ok(self.session_mut().load(loaded))
+    }
+
+    /// Launch a kernel; advances the virtual clock by the API overhead plus
+    /// the modelled kernel duration.
+    fn launch(&mut self, h: KernelHandle, cfg: &LaunchConfig) -> Result<LaunchOutcome, RtError> {
+        let overhead = self.submit_overhead_ns() + self.device().hw_launch_ns;
+        {
+            let kernel = self.session().kernel(h)?;
+            self.validate_launch(kernel, cfg)?;
+        }
+        let s = self.session_mut();
+        // cheap Arc clones decouple the kernel from the session borrow
+        let kernel = Arc::clone(&s.kernels[h.0].resolved);
+        let const_bank = Arc::clone(&s.kernels[h.0].const_bank);
+        let report = sim_launch(&s.device, &kernel, &mut s.gmem, &const_bank, cfg)?;
+        s.launches += 1;
+        s.kernel_ns_total += report.timing.total_ns;
+        s.advance_ns(overhead + report.timing.total_ns);
+        Ok(LaunchOutcome {
+            report,
+            overhead_ns: overhead,
+        })
+    }
+}

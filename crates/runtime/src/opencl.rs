@@ -1,0 +1,113 @@
+//! The OpenCL-flavoured host runtime.
+//!
+//! Exposes the portability surface the paper evaluates in Section V:
+//! platform enumeration by `CL_DEVICE_TYPE_*`, online program builds
+//! through the OpenCL front-end, and software resource validation at
+//! `clEnqueueNDRangeKernel` time (the source of the `CL_OUT_OF_RESOURCES`
+//! aborts on the Cell/BE in Table VI).
+
+use crate::error::{ClStatus, RtError};
+use crate::gpu::{Gpu, LoadedKernel, Session};
+use gpucmp_compiler::Api;
+use gpucmp_sim::{Arch, DeviceKind, DeviceSpec, LaunchConfig};
+
+/// OpenCL runtime submit overhead per kernel enqueue, ns (larger than
+/// CUDA's — the paper's kernel-launch-time observation).
+pub const OPENCL_SUBMIT_NS: f64 = 20_000.0;
+
+/// An OpenCL context on one device.
+#[derive(Debug)]
+pub struct OpenCl {
+    session: Session,
+}
+
+impl OpenCl {
+    /// `clGetDeviceIDs`-style creation: the requested device type must
+    /// match the device (the paper's "minor modifications" when porting
+    /// SDK benchmarks from `CL_DEVICE_TYPE_GPU` to `_CPU`/`_ACCELERATOR`).
+    pub fn create(device: DeviceSpec, requested: DeviceKind) -> Result<Self, RtError> {
+        if device.kind != requested {
+            return Err(RtError::Cl(ClStatus::DeviceNotFound));
+        }
+        Ok(OpenCl {
+            session: Session::new(device),
+        })
+    }
+
+    /// Create with `CL_DEVICE_TYPE_ALL` (always succeeds — the paper's
+    /// recommended vendor-independent idiom).
+    pub fn create_any(device: DeviceSpec) -> Self {
+        OpenCl {
+            session: Session::new(device),
+        }
+    }
+
+    /// The SPE local store (256 KiB) must hold the kernel *code*, the
+    /// work-group's local memory, and per-work-item spill space — the model
+    /// of the budget the IBM OpenCL runtime enforces. Code size is the
+    /// dominant term for the big unrolled kernels (FFT, DXTC, the sorting
+    /// networks), which is why exactly those abort in the paper's Table VI.
+    fn spe_local_store_need(kernel: &LoadedKernel, wg_size: u64) -> u64 {
+        const SPE_INST_BYTES: u64 = 8; // dual-issue bundles
+        kernel.resolved.kernel.len_real() as u64 * SPE_INST_BYTES
+            + kernel.shared_bytes() as u64
+            + wg_size * kernel.local_bytes() as u64
+    }
+}
+
+/// Usable SPE local store after the OpenCL runtime, stacks and DMA buffers
+/// (of the physical 256 KiB).
+pub const SPE_USABLE_LOCAL_STORE: u64 = 10 * 1024;
+
+impl Gpu for OpenCl {
+    fn api(&self) -> Api {
+        Api::OpenCl
+    }
+
+    fn session(&self) -> &Session {
+        &self.session
+    }
+
+    fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    fn submit_overhead_ns(&self) -> f64 {
+        OPENCL_SUBMIT_NS
+    }
+
+    fn validate_launch(&self, kernel: &LoadedKernel, cfg: &LaunchConfig) -> Result<(), RtError> {
+        let d = self.device();
+        let wg = cfg.block.count();
+        if wg > d.max_workgroup_size as u64 {
+            return Err(RtError::Cl(ClStatus::InvalidWorkGroupSize));
+        }
+        if kernel.shared_bytes() > d.shared_mem_per_cu {
+            return Err(RtError::Cl(ClStatus::OutOfResources));
+        }
+        if d.arch == Arch::CellSpe
+            && Self::spe_local_store_need(kernel, wg) > SPE_USABLE_LOCAL_STORE
+        {
+            return Err(RtError::Cl(ClStatus::OutOfResources));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_type_filtering() {
+        assert!(OpenCl::create(DeviceSpec::gtx280(), DeviceKind::Gpu).is_ok());
+        assert!(matches!(
+            OpenCl::create(DeviceSpec::intel920(), DeviceKind::Gpu),
+            Err(RtError::Cl(ClStatus::DeviceNotFound))
+        ));
+        assert!(OpenCl::create(DeviceSpec::intel920(), DeviceKind::Cpu).is_ok());
+        assert!(OpenCl::create(DeviceSpec::cellbe(), DeviceKind::Accelerator).is_ok());
+        // TYPE_ALL works everywhere
+        let _ = OpenCl::create_any(DeviceSpec::hd5870());
+    }
+}

@@ -1,0 +1,111 @@
+//! Simulator errors.
+
+use gpucmp_ptx::Space;
+use std::fmt;
+
+/// A fault raised while executing a kernel.
+///
+/// Real GPUs would produce `unspecified launch failure` or silently corrupt
+/// memory for most of these; the simulator traps them precisely to keep the
+/// benchmark implementations honest.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// Out-of-bounds access in some state space.
+    OutOfBounds {
+        /// State space of the faulting access.
+        space: Space,
+        /// Faulting byte address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u32,
+        /// Size of the addressed space.
+        limit: u64,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// A texture fetch referenced an unbound texture slot.
+    UnboundTexture(u8),
+    /// A texture fetch indexed outside the bound buffer.
+    TextureOutOfRange {
+        /// Texture slot.
+        slot: u8,
+        /// Element index requested.
+        index: i64,
+        /// Number of elements bound.
+        len: u64,
+    },
+    /// Barrier deadlock: some warps exited while others wait at `bar.sync`.
+    BarrierDeadlock,
+    /// Divergence-stack misuse (e.g. divergent branch without `ssy`).
+    DivergenceError(&'static str),
+    /// The launch exceeded the dynamic instruction budget (runaway loop).
+    InstructionBudgetExceeded(u64),
+    /// Kernel failed label resolution or validation.
+    InvalidKernel(String),
+    /// Launch configuration invalid for the device (block too large, etc.).
+    InvalidLaunch(String),
+    /// Device memory allocation failed.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// Parameter slot count mismatch at launch.
+    BadParamCount {
+        /// Parameters the kernel declares.
+        expected: usize,
+        /// Parameters supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds { space, addr, size, limit } => write!(
+                f,
+                "out-of-bounds {space} access of {size} bytes at {addr:#x} (limit {limit:#x})"
+            ),
+            SimError::DivByZero => write!(f, "integer division by zero"),
+            SimError::UnboundTexture(slot) => write!(f, "texture slot {slot} not bound"),
+            SimError::TextureOutOfRange { slot, index, len } => {
+                write!(f, "texture {slot} fetch at index {index} of {len} elements")
+            }
+            SimError::BarrierDeadlock => write!(f, "barrier deadlock"),
+            SimError::DivergenceError(msg) => write!(f, "divergence error: {msg}"),
+            SimError::InstructionBudgetExceeded(n) => {
+                write!(f, "dynamic instruction budget of {n} exceeded")
+            }
+            SimError::InvalidKernel(msg) => write!(f, "invalid kernel: {msg}"),
+            SimError::InvalidLaunch(msg) => write!(f, "invalid launch: {msg}"),
+            SimError::OutOfMemory { requested, available } => {
+                write!(f, "device out of memory: requested {requested}, available {available}")
+            }
+            SimError::BadParamCount { expected, got } => {
+                write!(f, "kernel expects {expected} params, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::OutOfBounds {
+            space: Space::Global,
+            addr: 0x100,
+            size: 4,
+            limit: 0x80,
+        };
+        let s = e.to_string();
+        assert!(s.contains("global"));
+        assert!(s.contains("0x100"));
+        assert!(SimError::DivByZero.to_string().contains("division"));
+    }
+}

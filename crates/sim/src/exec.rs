@@ -1,0 +1,1549 @@
+//! The lockstep SIMT interpreter.
+//!
+//! Warps execute in lockstep over the hardware wavefront width of the
+//! device; divergence is handled with an explicit reconvergence stack driven
+//! by the `ssy`/`sync` markers the compiler emits for structured control
+//! flow (see `gpucmp-ptx` docs). Blocks execute serially in grid order and
+//! warps within a block execute round-robin between barriers, so execution
+//! is fully deterministic — including the memory corruption produced by
+//! warp-size-dependent kernels on 64-wide devices (the paper's Table VI
+//! "FL" rows).
+
+use crate::cache::{Cache, CacheAccess};
+use crate::device::{Arch, DeviceSpec};
+use crate::error::SimError;
+use crate::launch::{Dim3, LaunchConfig, TexBinding};
+use crate::mem::GlobalMemory;
+use crate::stats::ExecStats;
+use gpucmp_ptx::{
+    Address, AtomOp, CmpOp, Inst, Op1, Op2, Op3, Operand, Reg, ResolvedKernel, Space, Special, Ty,
+};
+
+/// Default dynamic warp-instruction budget per launch (runaway-loop guard).
+pub const DEFAULT_INST_BUDGET: u64 = 4_000_000_000;
+
+/// Divergence-stack frame (one per `ssy` region).
+#[derive(Clone, Debug)]
+struct Frame {
+    /// Mask to restore when the region fully reconverges.
+    restore_mask: u64,
+    /// A parked path: (target pc, mask), waiting to run when the current
+    /// path reaches the `sync`.
+    pending: Option<(usize, u64)>,
+}
+
+/// Warp scheduling status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WarpStatus {
+    Running,
+    AtBarrier,
+    Done,
+}
+
+/// Per-warp execution state.
+#[derive(Clone, Debug)]
+struct WarpState {
+    pc: usize,
+    /// Currently active lanes.
+    active: u64,
+    /// Lanes that exist in this warp (partial last warp of a block).
+    full: u64,
+    stack: Vec<Frame>,
+    status: WarpStatus,
+    /// Linear tid of lane 0 of this warp within the block.
+    base_tid: u32,
+}
+
+/// The interpreter for one kernel launch.
+///
+/// Borrows the device, kernel and global memory; owns all per-launch cache
+/// state and statistics. Use [`crate::launch::launch`] for the one-call
+/// wrapper that also produces timing.
+pub struct Interpreter<'a> {
+    device: &'a DeviceSpec,
+    kernel: &'a ResolvedKernel,
+    gmem: &'a mut GlobalMemory,
+    const_bank: &'a [u8],
+    textures: &'a [TexBinding],
+    /// Parameter slots as raw 64-bit images.
+    param_bytes: Vec<u8>,
+    grid: Dim3,
+    block: Dim3,
+    /// Statistics accumulated across all blocks.
+    pub stats: ExecStats,
+    /// L2 is device-wide: persistent across blocks within the launch.
+    l2: Option<Cache>,
+    budget: u64,
+    // ---- per-block state (reused across blocks to avoid reallocation) ----
+    regs: Vec<u64>,
+    shared: Vec<u8>,
+    local: Vec<u8>,
+    warps: Vec<WarpState>,
+    l1: Option<Cache>,
+    texc: Option<Cache>,
+    constc: Option<Cache>,
+    /// Scratch: per-lane addresses of the current memory instruction.
+    lane_addr: Vec<(u32, u64)>,
+    /// Linear id of the block currently executing (for the local-memory
+    /// address model).
+    cur_block: u64,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Build an interpreter for one launch.
+    pub fn new(
+        device: &'a DeviceSpec,
+        kernel: &'a ResolvedKernel,
+        gmem: &'a mut GlobalMemory,
+        cfg: &'a LaunchConfig,
+        const_bank: &'a [u8],
+    ) -> Result<Self, SimError> {
+        let k = &kernel.kernel;
+        if cfg.params.len() != k.params.len() {
+            return Err(SimError::BadParamCount {
+                expected: k.params.len(),
+                got: cfg.params.len(),
+            });
+        }
+        let threads = cfg.block.count();
+        if threads == 0 || cfg.grid.count() == 0 {
+            return Err(SimError::InvalidLaunch("empty grid or block".into()));
+        }
+        if threads > device.max_workgroup_size as u64 {
+            return Err(SimError::InvalidLaunch(format!(
+                "block of {threads} threads exceeds device max work-group size {}",
+                device.max_workgroup_size
+            )));
+        }
+        if k.shared_bytes > device.shared_mem_per_cu {
+            return Err(SimError::InvalidLaunch(format!(
+                "kernel needs {} bytes of shared memory, device CU has {}",
+                k.shared_bytes, device.shared_mem_per_cu
+            )));
+        }
+        let mut param_bytes = Vec::with_capacity(cfg.params.len() * 8);
+        for p in &cfg.params {
+            param_bytes.extend_from_slice(&p.to_le_bytes());
+        }
+        Ok(Interpreter {
+            device,
+            kernel,
+            gmem,
+            const_bank,
+            textures: &cfg.textures,
+            param_bytes,
+            grid: cfg.grid,
+            block: cfg.block,
+            stats: ExecStats::default(),
+            l2: device.l2.map(Cache::from_geom),
+            budget: cfg.inst_budget,
+            regs: Vec::new(),
+            shared: Vec::new(),
+            local: Vec::new(),
+            warps: Vec::new(),
+            l1: None,
+            texc: None,
+            constc: None,
+            lane_addr: Vec::new(),
+            cur_block: 0,
+        })
+    }
+
+    /// Execute every block of the grid. On success the statistics are in
+    /// [`Interpreter::stats`].
+    pub fn run(&mut self) -> Result<(), SimError> {
+        let blocks = self.grid.count();
+        let threads = self.block.count() as u32;
+        self.stats.blocks = blocks;
+        self.stats.threads = blocks * threads as u64;
+        // Per-work-item scheduling overhead (CPU/Cell OpenCL runtimes).
+        if self.device.wi_overhead_cycles > 0.0 {
+            self.stats.issue_millicycles +=
+                (self.stats.threads as f64 * self.device.wi_overhead_cycles * 1000.0) as u64;
+        }
+        let mut linear = 0u64;
+        for bz in 0..self.grid.z {
+            for by in 0..self.grid.y {
+                for bx in 0..self.grid.x {
+                    self.cur_block = linear;
+                    linear += 1;
+                    self.run_block(Dim3::new(bx, by, bz))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_block(&mut self, ctaid: Dim3) -> Result<(), SimError> {
+        let k = &self.kernel.kernel;
+        let threads = self.block.count() as u32;
+        let num_regs = k.regs.len() as u32;
+        let ww = self.device.warp_width;
+        // (Re)initialise per-block state.
+        self.regs.clear();
+        self.regs.resize((threads * num_regs.max(1)) as usize, 0);
+        self.shared.clear();
+        self.shared.resize(k.shared_bytes as usize, 0);
+        self.local.clear();
+        self.local.resize((threads * k.local_bytes) as usize, 0);
+        // Fresh per-CU caches each block (blocks land on arbitrary CUs; the
+        // conservative model gives each block a cold private cache).
+        self.l1 = self.device.l1.map(Cache::from_geom);
+        self.texc = self.device.tex_cache.map(Cache::from_geom);
+        self.constc = self.device.const_cache.map(Cache::from_geom);
+
+        let num_warps = threads.div_ceil(ww);
+        self.warps.clear();
+        for w in 0..num_warps {
+            let base_tid = w * ww;
+            let lanes = (threads - base_tid).min(ww);
+            let full = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+            self.warps.push(WarpState {
+                pc: 0,
+                active: full,
+                full,
+                stack: Vec::new(),
+                status: WarpStatus::Running,
+                base_tid,
+            });
+        }
+
+        loop {
+            let mut progressed = false;
+            for w in 0..self.warps.len() {
+                if self.warps[w].status == WarpStatus::Running {
+                    self.run_warp(w, ctaid)?;
+                    progressed = true;
+                }
+            }
+            let all_done = self.warps.iter().all(|w| w.status == WarpStatus::Done);
+            if all_done {
+                break;
+            }
+            let none_running = self
+                .warps
+                .iter()
+                .all(|w| w.status != WarpStatus::Running);
+            if none_running {
+                // Everyone left is at a barrier; release if no warp already
+                // finished (CUDA requires all threads to reach the barrier).
+                if self.warps.iter().any(|w| w.status == WarpStatus::Done) {
+                    return Err(SimError::BarrierDeadlock);
+                }
+                for w in &mut self.warps {
+                    w.status = WarpStatus::Running;
+                    w.pc += 1; // step past the bar
+                }
+                continue;
+            }
+            if !progressed {
+                return Err(SimError::BarrierDeadlock);
+            }
+        }
+        Ok(())
+    }
+
+    /// Run one warp until it blocks on a barrier or returns.
+    fn run_warp(&mut self, w: usize, ctaid: Dim3) -> Result<(), SimError> {
+        loop {
+            let pc = self.warps[w].pc;
+            let inst = self.kernel.kernel.body[pc];
+            if let Inst::Label(_) = inst {
+                self.warps[w].pc += 1;
+                continue;
+            }
+            if self.budget == 0 {
+                return Err(SimError::InstructionBudgetExceeded(0));
+            }
+            self.budget -= 1;
+            self.stats.warp_instructions += 1;
+            self.stats.lane_instructions += self.warps[w].active.count_ones() as u64;
+            self.stats.issue_millicycles += self.issue_cost_millicycles(&inst);
+
+            match inst {
+                Inst::Label(_) => unreachable!(),
+                Inst::Ssy { .. } => {
+                    let active = self.warps[w].active;
+                    self.warps[w].stack.push(Frame {
+                        restore_mask: active,
+                        pending: None,
+                    });
+                    self.warps[w].pc += 1;
+                }
+                Inst::SyncPoint => {
+                    let warp = &mut self.warps[w];
+                    let frame = warp
+                        .stack
+                        .last_mut()
+                        .ok_or(SimError::DivergenceError("sync without ssy frame"))?;
+                    if let Some((ppc, pmask)) = frame.pending.take() {
+                        warp.active = pmask;
+                        warp.pc = ppc;
+                    } else {
+                        warp.active = frame.restore_mask;
+                        warp.stack.pop();
+                        warp.pc += 1;
+                    }
+                }
+                Inst::Bra { target: _, pred } => {
+                    let t = self.kernel.target(pc);
+                    let refill = (self.device.taken_branch_cycles * 1000.0) as u64;
+                    match pred {
+                        None => {
+                            self.warps[w].pc = t;
+                            self.stats.issue_millicycles += refill;
+                        }
+                        Some((p, polarity)) => {
+                            let taken = self.pred_mask(w, p, polarity);
+                            let warp = &mut self.warps[w];
+                            let active = warp.active;
+                            if taken == active {
+                                warp.pc = t;
+                                self.stats.issue_millicycles += refill;
+                            } else if taken == 0 {
+                                warp.pc += 1;
+                            } else {
+                                self.stats.divergent_branches += 1;
+                                let frame = warp.stack.last_mut().ok_or(
+                                    SimError::DivergenceError("divergent branch without ssy"),
+                                )?;
+                                self.stats.issue_millicycles += refill;
+                                match &mut frame.pending {
+                                    None => frame.pending = Some((t, taken)),
+                                    Some((ppc, pmask)) if *ppc == t => {
+                                        *pmask |= taken;
+                                    }
+                                    Some(_) => {
+                                        return Err(SimError::DivergenceError(
+                                            "conflicting divergence targets in one region",
+                                        ))
+                                    }
+                                }
+                                warp.active = active & !taken;
+                                warp.pc += 1;
+                            }
+                        }
+                    }
+                }
+                Inst::Bar => {
+                    let warp = &mut self.warps[w];
+                    if warp.active != warp.full {
+                        return Err(SimError::DivergenceError(
+                            "barrier reached by divergent warp",
+                        ));
+                    }
+                    self.stats.barriers += 1;
+                    self.stats.issue_millicycles +=
+                        (self.device.barrier_cost_cycles * 1000.0) as u64;
+                    warp.status = WarpStatus::AtBarrier;
+                    return Ok(()); // pc advanced at release
+                }
+                Inst::Ret => {
+                    let warp = &mut self.warps[w];
+                    if !warp.stack.is_empty() {
+                        return Err(SimError::DivergenceError("ret inside ssy region"));
+                    }
+                    warp.status = WarpStatus::Done;
+                    return Ok(());
+                }
+                _ => {
+                    self.exec_lanes(w, ctaid, &inst)?;
+                    self.warps[w].pc += 1;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lane-level execution
+    // ------------------------------------------------------------------
+
+    /// Execute a data instruction for every active lane of warp `w`.
+    fn exec_lanes(&mut self, w: usize, ctaid: Dim3, inst: &Inst) -> Result<(), SimError> {
+        // Memory instructions need transaction modelling over the whole
+        // warp; everything else is a pure per-lane register update.
+        match inst {
+            Inst::Ld { space, ty, d, addr } => self.exec_ld(w, ctaid, *space, *ty, *d, *addr),
+            Inst::St { space, ty, addr, a } => self.exec_st(w, ctaid, *space, *ty, *addr, *a),
+            Inst::Tex { ty, d, tex, idx } => self.exec_tex(w, ctaid, *ty, *d, *tex, *idx),
+            Inst::Atom {
+                space,
+                op,
+                ty,
+                d,
+                addr,
+                b,
+                c,
+            } => self.exec_atom(w, ctaid, *space, *op, *ty, *d, *addr, *b, *c),
+            _ => {
+                let active = self.warps[w].active;
+                let base = self.warps[w].base_tid;
+                let ww = self.device.warp_width;
+                for lane in 0..ww {
+                    if active & (1u64 << lane) == 0 {
+                        continue;
+                    }
+                    let tid = base + lane;
+                    self.exec_scalar(tid, ctaid, inst)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Pure register-to-register execution for one thread.
+    fn exec_scalar(&mut self, tid: u32, ctaid: Dim3, inst: &Inst) -> Result<(), SimError> {
+        match *inst {
+            Inst::Mov { ty, d, a } => {
+                let v = load_extend(self.eval(tid, ctaid, a, ty), ty);
+                self.set_reg(tid, d, v);
+            }
+            Inst::Cvt { dty, sty, d, a } => {
+                let v = self.eval(tid, ctaid, a, sty);
+                self.set_reg(tid, d, convert(v, sty, dty));
+            }
+            Inst::Un { op, ty, d, a } => {
+                let v = self.eval(tid, ctaid, a, ty);
+                let r = alu1(op, ty, v);
+                if op == Op1::Sqrt || op == Op1::Rsqrt || op == Op1::Rcp {
+                    self.stats.flops += 1;
+                }
+                self.set_reg(tid, d, r);
+            }
+            Inst::Bin { op, ty, d, a, b } => {
+                let va = self.eval(tid, ctaid, a, ty);
+                let vb = self.eval(tid, ctaid, b, ty);
+                let r = alu2(op, ty, va, vb)?;
+                if ty.is_float() && !op.is_logic() && !op.is_shift() {
+                    self.stats.flops += 1;
+                }
+                self.set_reg(tid, d, r);
+            }
+            Inst::Tern { op, ty, d, a, b, c } => {
+                let va = self.eval(tid, ctaid, a, ty);
+                let vb = self.eval(tid, ctaid, b, ty);
+                let vc = self.eval(tid, ctaid, c, ty);
+                let r = alu3(op, ty, va, vb, vc);
+                if ty.is_float() {
+                    self.stats.flops += 2;
+                }
+                self.set_reg(tid, d, r);
+            }
+            Inst::Setp { cmp, ty, d, a, b } => {
+                let va = self.eval(tid, ctaid, a, ty);
+                let vb = self.eval(tid, ctaid, b, ty);
+                let r = compare(cmp, ty, va, vb) as u64;
+                self.set_reg(tid, d, r);
+            }
+            Inst::Selp { ty, d, a, b, p } => {
+                let va = self.eval(tid, ctaid, a, ty);
+                let vb = self.eval(tid, ctaid, b, ty);
+                let vp = self.get_reg(tid, p);
+                self.set_reg(tid, d, load_extend(if vp != 0 { va } else { vb }, ty));
+            }
+            _ => unreachable!("exec_scalar on non-scalar instruction"),
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Memory instructions
+    // ------------------------------------------------------------------
+
+    /// Gather the (lane, byte-address) pairs of the current warp memory op
+    /// into `self.lane_addr`.
+    fn gather_addresses(&mut self, w: usize, ctaid: Dim3, addr: Address) {
+        let active = self.warps[w].active;
+        let base = self.warps[w].base_tid;
+        let ww = self.device.warp_width;
+        self.lane_addr.clear();
+        for lane in 0..ww {
+            if active & (1u64 << lane) == 0 {
+                continue;
+            }
+            let tid = base + lane;
+            let b = self.eval(tid, ctaid, addr.base, Ty::U64);
+            self.lane_addr
+                .push((tid, b.wrapping_add(addr.offset as u64)));
+        }
+    }
+
+    fn exec_ld(
+        &mut self,
+        w: usize,
+        ctaid: Dim3,
+        space: Space,
+        ty: Ty,
+        d: Reg,
+        addr: Address,
+    ) -> Result<(), SimError> {
+        self.gather_addresses(w, ctaid, addr);
+        let size = ty.size_bytes();
+        // Cost model first (needs the address vector), then functional reads.
+        self.account_memory(space, size, false);
+        let threads = self.block.count() as u32;
+        for i in 0..self.lane_addr.len() {
+            let (tid, a) = self.lane_addr[i];
+            let v = self.space_read(space, tid, threads, a, size)?;
+            let v = load_extend(v, ty);
+            self.set_reg(tid, d, v);
+        }
+        Ok(())
+    }
+
+    fn exec_st(
+        &mut self,
+        w: usize,
+        ctaid: Dim3,
+        space: Space,
+        ty: Ty,
+        addr: Address,
+        a: Operand,
+    ) -> Result<(), SimError> {
+        self.gather_addresses(w, ctaid, addr);
+        let size = ty.size_bytes();
+        self.account_memory(space, size, true);
+        let threads = self.block.count() as u32;
+        for i in 0..self.lane_addr.len() {
+            let (tid, ad) = self.lane_addr[i];
+            let v = self.eval(tid, ctaid, a, ty);
+            self.space_write(space, tid, threads, ad, size, v)?;
+        }
+        Ok(())
+    }
+
+    fn exec_tex(
+        &mut self,
+        w: usize,
+        ctaid: Dim3,
+        ty: Ty,
+        d: Reg,
+        tex: gpucmp_ptx::TexRef,
+        idx: Operand,
+    ) -> Result<(), SimError> {
+        let binding = self
+            .textures
+            .get(tex.0 as usize)
+            .copied()
+            .ok_or(SimError::UnboundTexture(tex.0))?;
+        let size = ty.size_bytes();
+        let active = self.warps[w].active;
+        let base = self.warps[w].base_tid;
+        let ww = self.device.warp_width;
+        self.lane_addr.clear();
+        for lane in 0..ww {
+            if active & (1u64 << lane) == 0 {
+                continue;
+            }
+            let tid = base + lane;
+            let i = self.eval(tid, ctaid, idx, Ty::S32) as u32 as i64;
+            if i < 0 || i as u64 >= binding.elems {
+                return Err(SimError::TextureOutOfRange {
+                    slot: tex.0,
+                    index: i,
+                    len: binding.elems,
+                });
+            }
+            self.lane_addr
+                .push((tid, binding.ptr.0 + i as u64 * size as u64));
+        }
+        // Texture path: distinct lines through the texture cache; misses go
+        // to L2 (Fermi) or DRAM (GT200/Cypress).
+        let line = self
+            .texc
+            .as_ref()
+            .map(|c| c.line_bytes())
+            .unwrap_or(self.device.segment_bytes as u64);
+        let mut lines: Vec<u64> = self.lane_addr.iter().map(|&(_, a)| a / line).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        for l in lines {
+            match &mut self.texc {
+                Some(c) => match c.access(l * line) {
+                    CacheAccess::Hit => self.stats.tex_hits += 1,
+                    CacheAccess::Miss => {
+                        self.stats.tex_misses += 1;
+                        self.fill_from_l2_or_dram(l * line, line, false);
+                    }
+                },
+                None => {
+                    // No texture cache on this device: straight to DRAM.
+                    self.stats.tex_misses += 1;
+                    self.stats.gmem_transactions += 1;
+                    self.dram_traffic(l * line, line, false);
+                }
+            }
+        }
+        for i in 0..self.lane_addr.len() {
+            let (tid, a) = self.lane_addr[i];
+            let v = self.gmem.read(a, size)?;
+            self.set_reg(tid, d, load_extend(v, ty));
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_atom(
+        &mut self,
+        w: usize,
+        ctaid: Dim3,
+        space: Space,
+        op: AtomOp,
+        ty: Ty,
+        d: Reg,
+        addr: Address,
+        b: Operand,
+        c: Operand,
+    ) -> Result<(), SimError> {
+        self.gather_addresses(w, ctaid, addr);
+        let size = ty.size_bytes();
+        // Atomics serialise per lane: cost one transaction per lane.
+        self.stats.atomics += self.lane_addr.len() as u64;
+        if space == Space::Global {
+            self.stats.gmem_transactions += self.lane_addr.len() as u64;
+            for i in 0..self.lane_addr.len() {
+                let (_, a) = self.lane_addr[i];
+                self.dram_traffic(a, size as u64, false);
+                self.dram_traffic(a, size as u64, true);
+            }
+        } else {
+            self.stats.shared_cycles += self.lane_addr.len() as u64;
+        }
+        let threads = self.block.count() as u32;
+        for i in 0..self.lane_addr.len() {
+            let (tid, a) = self.lane_addr[i];
+            let old = self.space_read(space, tid, threads, a, size)?;
+            let old = load_extend(old, ty);
+            let vb = self.eval(tid, ctaid, b, ty);
+            let vc = self.eval(tid, ctaid, c, ty);
+            let new = match op {
+                AtomOp::Add => alu2(Op2::Add, ty, old, vb)?,
+                AtomOp::Min => alu2(Op2::Min, ty, old, vb)?,
+                AtomOp::Max => alu2(Op2::Max, ty, old, vb)?,
+                AtomOp::Exch => vb,
+                AtomOp::Cas => {
+                    if old == vc {
+                        vb
+                    } else {
+                        old
+                    }
+                }
+            };
+            self.space_write(space, tid, threads, a, size, new)?;
+            self.set_reg(tid, d, old);
+        }
+        Ok(())
+    }
+
+    /// Transaction/cache/bank accounting for a warp-wide global, shared,
+    /// local, const or param access whose addresses are in `self.lane_addr`.
+    fn account_memory(&mut self, space: Space, size: u32, is_store: bool) {
+        match space {
+            Space::Global => {
+                self.stats.gmem_instructions += 1;
+                let group = self.device.coalesce_group.max(1) as usize;
+                let seg = self.device.segment_bytes.max(32) as u64;
+                // For each coalesce group of lanes, count distinct segments.
+                let mut i = 0;
+                let mut segs: Vec<u64> = Vec::with_capacity(8);
+                while i < self.lane_addr.len() {
+                    let end = (i + group).min(self.lane_addr.len());
+                    segs.clear();
+                    for &(_, a) in &self.lane_addr[i..end] {
+                        // every byte the access touches (may straddle)
+                        let first = a / seg;
+                        let last = (a + size as u64 - 1) / seg;
+                        for s in first..=last {
+                            segs.push(s);
+                        }
+                    }
+                    segs.sort_unstable();
+                    segs.dedup();
+                    for &s in segs.iter() {
+                        self.stats.gmem_transactions += 1;
+                        self.global_transaction(s * seg, seg, is_store);
+                    }
+                    i = end;
+                }
+            }
+            Space::Shared => {
+                // Bank-conflict model: within each banking group (half-warp
+                // on GT200, warp on Fermi), the access takes as many cycles
+                // as the most-contended bank has distinct words.
+                let banks = self.device.shared_banks.max(1) as u64;
+                let group = self.device.coalesce_group.max(1) as usize;
+                let scale = self.device.shared_access_scale;
+                let mut i = 0;
+                while i < self.lane_addr.len() {
+                    let end = (i + group).min(self.lane_addr.len());
+                    let mut degree = 1u64;
+                    if banks > 1 {
+                        // words per bank
+                        let mut words: Vec<(u64, u64)> = self.lane_addr[i..end]
+                            .iter()
+                            .map(|&(_, a)| {
+                                let word = a / 4;
+                                (word % banks, word)
+                            })
+                            .collect();
+                        words.sort_unstable();
+                        words.dedup();
+                        let mut run = 0u64;
+                        let mut prev_bank = u64::MAX;
+                        for (bank, _) in words {
+                            if bank == prev_bank {
+                                run += 1;
+                            } else {
+                                run = 1;
+                                prev_bank = bank;
+                            }
+                            degree = degree.max(run);
+                        }
+                    }
+                    let cycles = (degree as f64 * scale).ceil() as u64;
+                    self.stats.shared_cycles += cycles;
+                    if degree > 1 {
+                        self.stats.shared_conflict_cycles += cycles - 1;
+                    }
+                    i = end;
+                }
+            }
+            Space::Local => {
+                // Local memory is physically lane-interleaved in device
+                // memory, so a warp's access to one per-thread slot is a
+                // fully coalesced burst. Synthesise stable per-(block,
+                // slot) addresses in a reserved high range: re-touching a
+                // slot hits the Fermi L1, while cacheless devices pay DRAM
+                // each time — the asymmetry behind the paper's Fig. 7.
+                let bytes = self.lane_addr.len() as u64 * size as u64;
+                let seg = self.device.segment_bytes.max(32) as u64;
+                let txns = bytes.div_ceil(seg);
+                let slot = self.lane_addr.first().map(|&(_, a)| a).unwrap_or(0);
+                let block_span = (self.kernel.kernel.local_bytes as u64 + 8)
+                    * self.block.count().max(1);
+                let base = (1u64 << 40)
+                    + self.cur_block * block_span.next_multiple_of(seg)
+                    + slot * self.block.count().max(1);
+                for t in 0..txns {
+                    self.stats.gmem_transactions += 1;
+                    self.global_transaction(base + t * seg, seg, is_store);
+                }
+            }
+            Space::Const => {
+                // Distinct addresses serialise; same-address is broadcast.
+                let mut addrs: Vec<u64> = self.lane_addr.iter().map(|&(_, a)| a).collect();
+                addrs.sort_unstable();
+                addrs.dedup();
+                self.stats.const_serializations += addrs.len() as u64 - 1;
+                let line = self
+                    .constc
+                    .as_ref()
+                    .map(|cc| cc.line_bytes())
+                    .unwrap_or(64);
+                let mut lines: Vec<u64> = addrs.iter().map(|a| a / line).collect();
+                lines.dedup();
+                for l in lines {
+                    match &mut self.constc {
+                        Some(cc) => {
+                            if cc.access(l * line) == CacheAccess::Miss {
+                                self.stats.const_misses += 1;
+                                self.dram_traffic(l * line, line, false);
+                            }
+                        }
+                        None => {
+                            self.stats.const_misses += 1;
+                            self.dram_traffic(l * line, line, false);
+                        }
+                    }
+                }
+            }
+            Space::Param => {
+                // Parameter loads hit a tiny dedicated buffer: free beyond
+                // the issue cost.
+            }
+        }
+    }
+
+    /// One DRAM-side transaction of `bytes` at `addr` through the cache
+    /// hierarchy (L1 for loads on Fermi, then L2, then DRAM).
+    fn global_transaction(&mut self, addr: u64, bytes: u64, is_store: bool) {
+        if !is_store {
+            if let Some(l1) = &mut self.l1 {
+                match l1.access(addr) {
+                    CacheAccess::Hit => {
+                        self.stats.l1_hits += 1;
+                        return;
+                    }
+                    CacheAccess::Miss => {
+                        self.stats.l1_misses += 1;
+                    }
+                }
+            }
+        }
+        self.fill_from_l2_or_dram(addr, bytes, is_store);
+    }
+
+    fn fill_from_l2_or_dram(&mut self, addr: u64, bytes: u64, is_store: bool) {
+        if let Some(l2) = &mut self.l2 {
+            self.stats.l2_touched_bytes += bytes;
+            match l2.access(addr) {
+                CacheAccess::Hit => {
+                    self.stats.l2_hits += 1;
+                    return;
+                }
+                CacheAccess::Miss => {
+                    self.stats.l2_misses += 1;
+                }
+            }
+        }
+        self.dram_traffic(addr, bytes, is_store);
+    }
+
+    /// Account DRAM traffic, including the per-partition striping that
+    /// produces GT200's partition-camping behaviour.
+    fn dram_traffic(&mut self, addr: u64, bytes: u64, is_store: bool) {
+        if is_store {
+            self.stats.dram_write_bytes += bytes;
+        } else {
+            self.stats.dram_read_bytes += bytes;
+        }
+        let parts = self.device.dram_partitions.max(1) as u64;
+        let stripe = addr / 256;
+        // Local (spill) space lives in the reserved high range; hardware
+        // interleaves it per-lane, which spreads partitions like a hash.
+        let p = if self.device.partition_hashed || addr >= (1u64 << 40) {
+            // Fermi-style address hash spreads any pattern evenly.
+            (stripe.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % parts
+        } else {
+            stripe % parts
+        };
+        self.stats.partition_bytes[p as usize] += bytes;
+    }
+
+    // ------------------------------------------------------------------
+    // State-space functional access
+    // ------------------------------------------------------------------
+
+    fn space_read(
+        &self,
+        space: Space,
+        tid: u32,
+        _threads: u32,
+        addr: u64,
+        size: u32,
+    ) -> Result<u64, SimError> {
+        match space {
+            Space::Global => self.gmem.read(addr, size),
+            Space::Shared => read_bytes(&self.shared, addr, size, Space::Shared),
+            Space::Local => {
+                let lb = self.kernel.kernel.local_bytes as u64;
+                let base = tid as u64 * lb;
+                if addr + size as u64 > lb {
+                    return Err(SimError::OutOfBounds {
+                        space: Space::Local,
+                        addr,
+                        size,
+                        limit: lb,
+                    });
+                }
+                read_bytes(&self.local, base + addr, size, Space::Local)
+            }
+            Space::Const => read_bytes(self.const_bank, addr, size, Space::Const),
+            Space::Param => read_bytes(&self.param_bytes, addr, size, Space::Param),
+        }
+    }
+
+    fn space_write(
+        &mut self,
+        space: Space,
+        tid: u32,
+        _threads: u32,
+        addr: u64,
+        size: u32,
+        value: u64,
+    ) -> Result<(), SimError> {
+        match space {
+            Space::Global => self.gmem.write(addr, size, value),
+            Space::Shared => write_bytes(&mut self.shared, addr, size, value, Space::Shared),
+            Space::Local => {
+                let lb = self.kernel.kernel.local_bytes as u64;
+                let base = tid as u64 * lb;
+                if addr + size as u64 > lb {
+                    return Err(SimError::OutOfBounds {
+                        space: Space::Local,
+                        addr,
+                        size,
+                        limit: lb,
+                    });
+                }
+                write_bytes(&mut self.local, base + addr, size, value, Space::Local)
+            }
+            Space::Const => Err(SimError::InvalidKernel("store to const space".into())),
+            Space::Param => Err(SimError::InvalidKernel("store to param space".into())),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Operand / register plumbing
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn get_reg(&self, tid: u32, r: Reg) -> u64 {
+        self.regs[(tid as usize) * self.kernel.kernel.regs.len() + r.index()]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, tid: u32, r: Reg, v: u64) {
+        let n = self.kernel.kernel.regs.len();
+        self.regs[(tid as usize) * n + r.index()] = v;
+    }
+
+    /// Evaluate an operand in the context of type `ty`, returning raw bits.
+    fn eval(&self, tid: u32, ctaid: Dim3, op: Operand, ty: Ty) -> u64 {
+        match op {
+            Operand::Reg(r) => self.get_reg(tid, r),
+            Operand::ImmI(v) => {
+                if ty.is_float() {
+                    float_bits(ty, v as f64)
+                } else {
+                    v as u64
+                }
+            }
+            Operand::ImmF(v) => float_bits(ty, v),
+            Operand::Special(s) => self.special(tid, ctaid, s),
+        }
+    }
+
+    fn special(&self, tid: u32, ctaid: Dim3, s: Special) -> u64 {
+        let b = self.block;
+        let tz = tid / (b.x * b.y);
+        let rem = tid % (b.x * b.y);
+        let ty_ = rem / b.x;
+        let tx = rem % b.x;
+        let ww = self.device.warp_width;
+        (match s {
+            Special::TidX => tx,
+            Special::TidY => ty_,
+            Special::TidZ => tz,
+            Special::NtidX => b.x,
+            Special::NtidY => b.y,
+            Special::NtidZ => b.z,
+            Special::CtaidX => ctaid.x,
+            Special::CtaidY => ctaid.y,
+            Special::CtaidZ => ctaid.z,
+            Special::NctaidX => self.grid.x,
+            Special::NctaidY => self.grid.y,
+            Special::NctaidZ => self.grid.z,
+            Special::LaneId => tid % ww,
+            Special::WarpId => tid / ww,
+            Special::WarpSize => ww,
+        }) as u64
+    }
+
+    /// Mask of active lanes whose predicate register `p` equals `polarity`.
+    fn pred_mask(&self, w: usize, p: Reg, polarity: bool) -> u64 {
+        let warp = &self.warps[w];
+        let ww = self.device.warp_width;
+        let mut mask = 0u64;
+        for lane in 0..ww {
+            let bit = 1u64 << lane;
+            if warp.active & bit == 0 {
+                continue;
+            }
+            let v = self.get_reg(warp.base_tid + lane, p) != 0;
+            if v == polarity {
+                mask |= bit;
+            }
+        }
+        mask
+    }
+
+    /// Issue-cost table, in millicycles per warp instruction.
+    fn issue_cost_millicycles(&self, inst: &Inst) -> u64 {
+        let d = self.device;
+        let float_scale = d.arith_cycle_scale;
+        let f64_penalty = match d.arch {
+            Arch::Gt200 => 8.0,
+            Arch::Fermi => 4.0,
+            _ => 4.0,
+        };
+        let cost_f = |c: f64| (c * 1000.0) as u64;
+        match inst {
+            Inst::Label(_) | Inst::Ssy { .. } | Inst::SyncPoint => 0,
+            Inst::Mov { .. } | Inst::Cvt { .. } => 1000,
+            Inst::Setp { .. } | Inst::Selp { .. } | Inst::Bra { .. } => 1000,
+            Inst::Un { op, ty, .. } => {
+                if op.is_sfu() {
+                    cost_f(4.0)
+                } else if ty.is_float() {
+                    let base = if ty.is_wide() { f64_penalty } else { 1.0 };
+                    cost_f(base * float_scale)
+                } else {
+                    1000
+                }
+            }
+            Inst::Bin { op, ty, .. } => match op {
+                Op2::Div | Op2::Rem => {
+                    if ty.is_float() {
+                        cost_f(8.0)
+                    } else {
+                        cost_f(16.0)
+                    }
+                }
+                Op2::Mul => {
+                    if ty.is_float() {
+                        let base = if ty.is_wide() { f64_penalty } else { 1.0 };
+                        cost_f(base * float_scale)
+                    } else if d.arch == Arch::Gt200 {
+                        cost_f(4.0) // 32-bit integer mul is slow on GT200
+                    } else {
+                        1000
+                    }
+                }
+                _ => {
+                    if ty.is_float() {
+                        let base = if ty.is_wide() { f64_penalty } else { 1.0 };
+                        cost_f(base * float_scale)
+                    } else {
+                        1000
+                    }
+                }
+            },
+            Inst::Tern { ty, .. } => {
+                if ty.is_float() {
+                    let base = if ty.is_wide() { f64_penalty } else { 1.0 };
+                    cost_f(base * float_scale)
+                } else if d.arch == Arch::Gt200 {
+                    cost_f(4.0)
+                } else {
+                    1000
+                }
+            }
+            Inst::Ld { .. } | Inst::St { .. } | Inst::Tex { .. } => 1000,
+            Inst::Atom { .. } => cost_f(4.0),
+            Inst::Bar => 1000, // barrier_cost added separately
+            Inst::Ret => 1000,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Scalar ALU semantics
+// ----------------------------------------------------------------------
+
+#[inline]
+fn f32b(v: u64) -> f32 {
+    f32::from_bits(v as u32)
+}
+
+#[inline]
+fn f64b(v: u64) -> f64 {
+    f64::from_bits(v)
+}
+
+#[inline]
+fn bf32(v: f32) -> u64 {
+    v.to_bits() as u64
+}
+
+#[inline]
+fn bf64(v: f64) -> u64 {
+    v.to_bits()
+}
+
+fn float_bits(ty: Ty, v: f64) -> u64 {
+    match ty {
+        Ty::F32 => bf32(v as f32),
+        Ty::F64 => bf64(v),
+        // Integer context: immediate numeric value.
+        _ => v as i64 as u64,
+    }
+}
+
+/// Zero/sign-extend a freshly loaded value of type `ty` into a register.
+fn load_extend(v: u64, ty: Ty) -> u64 {
+    match ty {
+        Ty::B8 => v & 0xff,
+        Ty::B16 => v & 0xffff,
+        Ty::S32 => v as u32 as i32 as i64 as u64,
+        Ty::U32 | Ty::B32 | Ty::F32 => v & 0xffff_ffff,
+        _ => v,
+    }
+}
+
+fn alu1(op: Op1, ty: Ty, v: u64) -> u64 {
+    match ty {
+        Ty::F32 => {
+            let x = f32b(v);
+            bf32(match op {
+                Op1::Neg => -x,
+                Op1::Abs => x.abs(),
+                Op1::Sqrt => x.sqrt(),
+                Op1::Rsqrt => 1.0 / x.sqrt(),
+                Op1::Rcp => 1.0 / x,
+                Op1::Sin => x.sin(),
+                Op1::Cos => x.cos(),
+                Op1::Ex2 => x.exp2(),
+                Op1::Lg2 => x.log2(),
+                Op1::Not => return !v & 0xffff_ffff,
+            })
+        }
+        Ty::F64 => {
+            let x = f64b(v);
+            bf64(match op {
+                Op1::Neg => -x,
+                Op1::Abs => x.abs(),
+                Op1::Sqrt => x.sqrt(),
+                Op1::Rsqrt => 1.0 / x.sqrt(),
+                Op1::Rcp => 1.0 / x,
+                Op1::Sin => x.sin(),
+                Op1::Cos => x.cos(),
+                Op1::Ex2 => x.exp2(),
+                Op1::Lg2 => x.log2(),
+                Op1::Not => return !v,
+            })
+        }
+        Ty::S32 | Ty::U32 | Ty::B32 => {
+            let x = v as u32;
+            (match op {
+                Op1::Neg => (x as i32).wrapping_neg() as u32,
+                Op1::Abs => (x as i32).wrapping_abs() as u32,
+                Op1::Not => !x,
+                _ => unreachable!("SFU op on integer type"),
+            }) as u64
+        }
+        _ => match op {
+            Op1::Neg => (v as i64).wrapping_neg() as u64,
+            Op1::Abs => (v as i64).wrapping_abs() as u64,
+            Op1::Not => !v,
+            _ => unreachable!("SFU op on integer type"),
+        },
+    }
+}
+
+fn alu2(op: Op2, ty: Ty, a: u64, b: u64) -> Result<u64, SimError> {
+    Ok(match ty {
+        Ty::F32 => {
+            let (x, y) = (f32b(a), f32b(b));
+            bf32(match op {
+                Op2::Add => x + y,
+                Op2::Sub => x - y,
+                Op2::Mul => x * y,
+                Op2::Div => x / y,
+                Op2::Rem => x % y,
+                Op2::Min => x.min(y),
+                Op2::Max => x.max(y),
+                _ => return int_logic(op, a & 0xffff_ffff, b, 32),
+            })
+        }
+        Ty::F64 => {
+            let (x, y) = (f64b(a), f64b(b));
+            bf64(match op {
+                Op2::Add => x + y,
+                Op2::Sub => x - y,
+                Op2::Mul => x * y,
+                Op2::Div => x / y,
+                Op2::Rem => x % y,
+                Op2::Min => x.min(y),
+                Op2::Max => x.max(y),
+                _ => return int_logic(op, a, b, 64),
+            })
+        }
+        Ty::S32 => {
+            let (x, y) = (a as u32 as i32, b as u32 as i32);
+            (match op {
+                Op2::Add => x.wrapping_add(y),
+                Op2::Sub => x.wrapping_sub(y),
+                Op2::Mul => x.wrapping_mul(y),
+                Op2::Div => {
+                    if y == 0 {
+                        return Err(SimError::DivByZero);
+                    }
+                    x.wrapping_div(y)
+                }
+                Op2::Rem => {
+                    if y == 0 {
+                        return Err(SimError::DivByZero);
+                    }
+                    x.wrapping_rem(y)
+                }
+                Op2::Min => x.min(y),
+                Op2::Max => x.max(y),
+                Op2::Shr => {
+                    let sh = (b as u32).min(63);
+                    if sh >= 32 {
+                        x >> 31
+                    } else {
+                        x >> sh
+                    }
+                }
+                _ => return int_logic(op, a & 0xffff_ffff, b, 32),
+            }) as u32 as u64
+        }
+        Ty::U32 | Ty::B32 => {
+            let (x, y) = (a as u32, b as u32);
+            (match op {
+                Op2::Add => x.wrapping_add(y),
+                Op2::Sub => x.wrapping_sub(y),
+                Op2::Mul => x.wrapping_mul(y),
+                Op2::Div => {
+                    if y == 0 {
+                        return Err(SimError::DivByZero);
+                    }
+                    x / y
+                }
+                Op2::Rem => {
+                    if y == 0 {
+                        return Err(SimError::DivByZero);
+                    }
+                    x % y
+                }
+                Op2::Min => x.min(y),
+                Op2::Max => x.max(y),
+                _ => return int_logic(op, a & 0xffff_ffff, b, 32),
+            }) as u64
+        }
+        Ty::S64 => {
+            let (x, y) = (a as i64, b as i64);
+            (match op {
+                Op2::Add => x.wrapping_add(y),
+                Op2::Sub => x.wrapping_sub(y),
+                Op2::Mul => x.wrapping_mul(y),
+                Op2::Div => {
+                    if y == 0 {
+                        return Err(SimError::DivByZero);
+                    }
+                    x.wrapping_div(y)
+                }
+                Op2::Rem => {
+                    if y == 0 {
+                        return Err(SimError::DivByZero);
+                    }
+                    x.wrapping_rem(y)
+                }
+                Op2::Min => x.min(y),
+                Op2::Max => x.max(y),
+                Op2::Shr => {
+                    let sh = (b as u32).min(127);
+                    if sh >= 64 {
+                        x >> 63
+                    } else {
+                        x >> sh
+                    }
+                }
+                _ => return int_logic(op, a, b, 64),
+            }) as u64
+        }
+        Ty::U64 | Ty::B64 => {
+            let (x, y) = (a, b);
+            match op {
+                Op2::Add => x.wrapping_add(y),
+                Op2::Sub => x.wrapping_sub(y),
+                Op2::Mul => x.wrapping_mul(y),
+                Op2::Div => {
+                    if y == 0 {
+                        return Err(SimError::DivByZero);
+                    }
+                    x / y
+                }
+                Op2::Rem => {
+                    if y == 0 {
+                        return Err(SimError::DivByZero);
+                    }
+                    x % y
+                }
+                Op2::Min => x.min(y),
+                Op2::Max => x.max(y),
+                _ => return int_logic(op, a, b, 64),
+            }
+        }
+        Ty::Pred | Ty::B8 | Ty::B16 => {
+            return int_logic(op, a, b, 64);
+        }
+    })
+}
+
+/// and/or/xor/shl/shr on raw bits of the given width.
+fn int_logic(op: Op2, a: u64, b: u64, width: u32) -> Result<u64, SimError> {
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let r = match op {
+        Op2::And => a & b,
+        Op2::Or => a | b,
+        Op2::Xor => a ^ b,
+        Op2::Shl => {
+            let sh = (b as u32).min(127);
+            if sh >= width {
+                0
+            } else {
+                a << sh
+            }
+        }
+        Op2::Shr => {
+            let sh = (b as u32).min(127);
+            if sh >= width {
+                0
+            } else {
+                (a & mask) >> sh
+            }
+        }
+        _ => unreachable!("int_logic on {op:?}"),
+    };
+    Ok(r & mask)
+}
+
+fn alu3(op: Op3, ty: Ty, a: u64, b: u64, c: u64) -> u64 {
+    match ty {
+        Ty::F32 => {
+            let (x, y, z) = (f32b(a), f32b(b), f32b(c));
+            match op {
+                // GT200-era mad rounds the intermediate product; the paper's
+                // kernels tolerate either, and we use fused for both so the
+                // two front-ends produce bit-identical results.
+                Op3::Mad | Op3::Fma => bf32(x.mul_add(y, z)),
+            }
+        }
+        Ty::F64 => {
+            let (x, y, z) = (f64b(a), f64b(b), f64b(c));
+            bf64(x.mul_add(y, z))
+        }
+        Ty::S32 | Ty::U32 | Ty::B32 => {
+            let r = (a as u32).wrapping_mul(b as u32).wrapping_add(c as u32);
+            r as u64
+        }
+        _ => a.wrapping_mul(b).wrapping_add(c),
+    }
+}
+
+fn compare(cmp: CmpOp, ty: Ty, a: u64, b: u64) -> bool {
+    match ty {
+        Ty::F32 => {
+            let (x, y) = (f32b(a), f32b(b));
+            match cmp {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            }
+        }
+        Ty::F64 => {
+            let (x, y) = (f64b(a), f64b(b));
+            match cmp {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            }
+        }
+        Ty::S32 => {
+            let (x, y) = (a as u32 as i32, b as u32 as i32);
+            int_cmp(cmp, x as i64, y as i64)
+        }
+        Ty::S64 => int_cmp(cmp, a as i64, b as i64),
+        Ty::U32 | Ty::B32 => {
+            let (x, y) = (a as u32 as u64, b as u32 as u64);
+            uint_cmp(cmp, x, y)
+        }
+        _ => uint_cmp(cmp, a, b),
+    }
+}
+
+fn int_cmp(cmp: CmpOp, x: i64, y: i64) -> bool {
+    match cmp {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
+fn uint_cmp(cmp: CmpOp, x: u64, y: u64) -> bool {
+    match cmp {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
+/// Convert raw bits between scalar types with numeric semantics.
+fn convert(v: u64, sty: Ty, dty: Ty) -> u64 {
+    // Decode source to a numeric domain.
+    enum Num {
+        I(i64),
+        U(u64),
+        F(f64),
+    }
+    let n = match sty {
+        Ty::F32 => Num::F(f32b(v) as f64),
+        Ty::F64 => Num::F(f64b(v)),
+        Ty::S32 => Num::I(v as u32 as i32 as i64),
+        Ty::S64 => Num::I(v as i64),
+        _ => Num::U(v),
+    };
+    match dty {
+        Ty::F32 => bf32(match n {
+            Num::I(x) => x as f32,
+            Num::U(x) => x as f32,
+            Num::F(x) => x as f32,
+        }),
+        Ty::F64 => bf64(match n {
+            Num::I(x) => x as f64,
+            Num::U(x) => x as f64,
+            Num::F(x) => x,
+        }),
+        Ty::S32 => (match n {
+            Num::I(x) => x as i32,
+            Num::U(x) => x as i32,
+            Num::F(x) => x as i32,
+        }) as u32 as u64,
+        Ty::S64 => (match n {
+            Num::I(x) => x,
+            Num::U(x) => x as i64,
+            Num::F(x) => x as i64,
+        }) as u64,
+        Ty::U32 | Ty::B32 => (match n {
+            Num::I(x) => x as u32,
+            Num::U(x) => x as u32,
+            Num::F(x) => x as u32,
+        }) as u64,
+        Ty::B8 => (match n {
+            Num::I(x) => x as u8,
+            Num::U(x) => x as u8,
+            Num::F(x) => x as u8,
+        }) as u64,
+        Ty::B16 => (match n {
+            Num::I(x) => x as u16,
+            Num::U(x) => x as u16,
+            Num::F(x) => x as u16,
+        }) as u64,
+        _ => match n {
+            Num::I(x) => x as u64,
+            Num::U(x) => x,
+            Num::F(x) => x as u64,
+        },
+    }
+}
+
+fn read_bytes(buf: &[u8], addr: u64, size: u32, space: Space) -> Result<u64, SimError> {
+    let a = addr as usize;
+    if addr.checked_add(size as u64).map_or(true, |e| e > buf.len() as u64) {
+        return Err(SimError::OutOfBounds {
+            space,
+            addr,
+            size,
+            limit: buf.len() as u64,
+        });
+    }
+    Ok(match size {
+        1 => buf[a] as u64,
+        2 => u16::from_le_bytes(buf[a..a + 2].try_into().unwrap()) as u64,
+        4 => u32::from_le_bytes(buf[a..a + 4].try_into().unwrap()) as u64,
+        8 => u64::from_le_bytes(buf[a..a + 8].try_into().unwrap()),
+        _ => unreachable!(),
+    })
+}
+
+fn write_bytes(buf: &mut [u8], addr: u64, size: u32, value: u64, space: Space) -> Result<(), SimError> {
+    let a = addr as usize;
+    if addr.checked_add(size as u64).map_or(true, |e| e > buf.len() as u64) {
+        return Err(SimError::OutOfBounds {
+            space,
+            addr,
+            size,
+            limit: buf.len() as u64,
+        });
+    }
+    match size {
+        1 => buf[a] = value as u8,
+        2 => buf[a..a + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+        4 => buf[a..a + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+        8 => buf[a..a + 8].copy_from_slice(&value.to_le_bytes()),
+        _ => unreachable!(),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod alu_tests {
+    use super::*;
+
+    #[test]
+    fn f32_arithmetic() {
+        let a = bf32(3.0);
+        let b = bf32(4.0);
+        assert_eq!(f32b(alu2(Op2::Add, Ty::F32, a, b).unwrap()), 7.0);
+        assert_eq!(f32b(alu2(Op2::Mul, Ty::F32, a, b).unwrap()), 12.0);
+        assert_eq!(f32b(alu2(Op2::Max, Ty::F32, a, b).unwrap()), 4.0);
+        assert_eq!(f32b(alu3(Op3::Mad, Ty::F32, a, b, bf32(1.0))), 13.0);
+    }
+
+    #[test]
+    fn s32_wrapping_and_division() {
+        let a = i32::MAX as u32 as u64;
+        assert_eq!(
+            alu2(Op2::Add, Ty::S32, a, 1).unwrap() as u32 as i32,
+            i32::MIN
+        );
+        assert_eq!(alu2(Op2::Div, Ty::S32, (-7i32) as u32 as u64, 2).unwrap() as u32 as i32, -3);
+        assert!(matches!(
+            alu2(Op2::Div, Ty::S32, 1, 0),
+            Err(SimError::DivByZero)
+        ));
+    }
+
+    #[test]
+    fn shifts_clamp() {
+        assert_eq!(int_logic(Op2::Shl, 1, 40, 32).unwrap(), 0);
+        assert_eq!(int_logic(Op2::Shl, 1, 4, 32).unwrap(), 16);
+        assert_eq!(int_logic(Op2::Shr, 0x8000_0000, 31, 32).unwrap(), 1);
+        // arithmetic shift for s32
+        assert_eq!(
+            alu2(Op2::Shr, Ty::S32, (-8i32) as u32 as u64, 1).unwrap() as u32 as i32,
+            -4
+        );
+    }
+
+    #[test]
+    fn unsigned_compare_differs_from_signed() {
+        let a = 0xffff_ffffu64; // -1 as i32, max as u32
+        assert!(compare(CmpOp::Lt, Ty::S32, a, 1));
+        assert!(!compare(CmpOp::Lt, Ty::U32, a, 1));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(f32b(convert(bf32(2.75), Ty::F32, Ty::F32)), 2.75);
+        assert_eq!(convert(bf32(2.75), Ty::F32, Ty::S32), 2);
+        assert_eq!(convert((-3i32) as u32 as u64, Ty::S32, Ty::S64) as i64, -3);
+        assert_eq!(f32b(convert(7, Ty::U32, Ty::F32)), 7.0);
+        assert_eq!(f64b(convert(bf32(1.5), Ty::F32, Ty::F64)), 1.5);
+        // negative float to signed int truncates toward zero
+        assert_eq!(convert(bf32(-2.9), Ty::F32, Ty::S32) as u32 as i32, -2);
+    }
+
+    #[test]
+    fn load_extension() {
+        assert_eq!(load_extend(0xffff_ffff_ffff_ffff, Ty::B8), 0xff);
+        assert_eq!(
+            load_extend(0x0000_0000_8000_0000, Ty::S32),
+            0xffff_ffff_8000_0000
+        );
+        assert_eq!(load_extend(0xdead_beef_0000_0001, Ty::U32), 1);
+    }
+
+    #[test]
+    fn sfu_ops() {
+        assert_eq!(f32b(alu1(Op1::Sqrt, Ty::F32, bf32(9.0))), 3.0);
+        assert!((f32b(alu1(Op1::Rsqrt, Ty::F32, bf32(4.0))) - 0.5).abs() < 1e-6);
+        assert_eq!(f32b(alu1(Op1::Neg, Ty::F32, bf32(2.0))), -2.0);
+        assert_eq!(alu1(Op1::Not, Ty::B32, 0) & 0xffff_ffff, 0xffff_ffff);
+    }
+}

@@ -1,0 +1,45 @@
+//! # gpucmp-sim — a deterministic SIMT architecture simulator
+//!
+//! This crate stands in for the physical hardware of the paper's three
+//! testbeds (Saturn/GTX480, Dutijc/GTX280, Jupiter/HD5870, plus the
+//! Intel i7-920 and Cell/BE OpenCL devices). It executes kernels expressed
+//! in the [`gpucmp_ptx`] virtual ISA both *functionally* (every thread's
+//! arithmetic and memory effects are interpreted, so benchmark outputs can
+//! be verified against CPU references) and *temporally* (an analytic timing
+//! model turns the observed execution trace into virtual nanoseconds).
+//!
+//! ## Architecture model
+//!
+//! - [`device`] — the device catalogue with datasheet-derived specifications
+//!   (paper Table IV) and the occupancy calculator.
+//! - [`exec`] — the lockstep SIMT interpreter: warps execute in lockstep
+//!   with a divergence stack (`ssy`/`sync` reconvergence), blocks execute
+//!   serially and deterministically, barriers synchronize warps within a
+//!   block.
+//! - [`mem`] and [`cache`] — flat global memory with a bump allocator, plus
+//!   the per-launch memory-system models: coalescing into DRAM transactions,
+//!   set-associative L1/L2/texture/constant caches, shared-memory bank
+//!   conflicts.
+//! - [`timing`] — the roofline-style cost model: compute cycles vs. DRAM
+//!   bytes vs. latency-hiding limits, modulated by occupancy.
+//!
+//! Determinism: there is no wall-clock or host-machine dependence anywhere;
+//! identical inputs produce bit-identical memory contents, statistics, and
+//! virtual times on every run.
+
+pub mod cache;
+pub mod device;
+pub mod error;
+pub mod exec;
+pub mod launch;
+pub mod mem;
+pub mod stats;
+pub mod timing;
+
+pub use cache::Cache;
+pub use device::{Arch, DeviceKind, DeviceSpec};
+pub use error::SimError;
+pub use launch::{launch, Dim3, LaunchConfig, LaunchReport, TexBinding};
+pub use mem::{DevPtr, GlobalMemory};
+pub use stats::ExecStats;
+pub use timing::kernel_time_ns;

@@ -1,0 +1,269 @@
+//! Device global memory: a flat byte array with a bump allocator.
+
+use crate::error::SimError;
+use gpucmp_ptx::Space;
+use serde::{Deserialize, Serialize};
+
+/// A device pointer: a byte offset into the device's global memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DevPtr(pub u64);
+
+impl DevPtr {
+    /// Null device pointer.
+    pub const NULL: DevPtr = DevPtr(0);
+
+    /// Byte offset `n` past this pointer.
+    pub fn offset(self, n: u64) -> DevPtr {
+        DevPtr(self.0 + n)
+    }
+}
+
+/// Simulated device global memory.
+///
+/// Allocation is a bump allocator with 256-byte alignment (matching the
+/// alignment guarantees of `cudaMalloc`/`clCreateBuffer`); `free` is a
+/// no-op except for accounting, which is all the benchmarks need.
+/// Address 0 is reserved so that `DevPtr::NULL` never aliases a live
+/// allocation.
+#[derive(Clone, Debug)]
+pub struct GlobalMemory {
+    data: Vec<u8>,
+    bump: u64,
+    live_bytes: u64,
+}
+
+impl GlobalMemory {
+    /// Alignment of every allocation.
+    pub const ALIGN: u64 = 256;
+
+    /// Create a memory of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        GlobalMemory {
+            data: vec![0u8; capacity as usize],
+            bump: Self::ALIGN, // reserve page 0 for NULL
+            live_bytes: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Bytes currently allocated (live).
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Allocate `bytes` bytes; contents are zeroed.
+    pub fn alloc(&mut self, bytes: u64) -> Result<DevPtr, SimError> {
+        let start = self.bump;
+        let end = start
+            .checked_add(bytes)
+            .ok_or(SimError::OutOfMemory {
+                requested: bytes,
+                available: self.capacity().saturating_sub(self.bump),
+            })?;
+        if end > self.capacity() {
+            return Err(SimError::OutOfMemory {
+                requested: bytes,
+                available: self.capacity() - self.bump,
+            });
+        }
+        self.data[start as usize..end as usize].fill(0);
+        self.bump = end.next_multiple_of(Self::ALIGN);
+        self.live_bytes += bytes;
+        Ok(DevPtr(start))
+    }
+
+    /// Release an allocation (accounting only; the bump pointer does not
+    /// move backwards).
+    pub fn free(&mut self, _ptr: DevPtr, bytes: u64) {
+        self.live_bytes = self.live_bytes.saturating_sub(bytes);
+    }
+
+    /// Bounds-check an access of `size` bytes at `addr`.
+    #[inline]
+    pub fn check(&self, addr: u64, size: u32) -> Result<(), SimError> {
+        if addr.checked_add(size as u64).map_or(true, |end| end > self.capacity()) {
+            Err(SimError::OutOfBounds {
+                space: Space::Global,
+                addr,
+                size,
+                limit: self.capacity(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read `size` (1/2/4/8) bytes little-endian into a u64.
+    #[inline]
+    pub fn read(&self, addr: u64, size: u32) -> Result<u64, SimError> {
+        self.check(addr, size)?;
+        let a = addr as usize;
+        Ok(match size {
+            1 => self.data[a] as u64,
+            2 => u16::from_le_bytes(self.data[a..a + 2].try_into().unwrap()) as u64,
+            4 => u32::from_le_bytes(self.data[a..a + 4].try_into().unwrap()) as u64,
+            8 => u64::from_le_bytes(self.data[a..a + 8].try_into().unwrap()),
+            _ => unreachable!("unsupported access size {size}"),
+        })
+    }
+
+    /// Write the low `size` (1/2/4/8) bytes of `value` little-endian.
+    #[inline]
+    pub fn write(&mut self, addr: u64, size: u32, value: u64) -> Result<(), SimError> {
+        self.check(addr, size)?;
+        let a = addr as usize;
+        match size {
+            1 => self.data[a] = value as u8,
+            2 => self.data[a..a + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            4 => self.data[a..a + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+            8 => self.data[a..a + 8].copy_from_slice(&value.to_le_bytes()),
+            _ => unreachable!("unsupported access size {size}"),
+        }
+        Ok(())
+    }
+
+    /// Host-to-device copy (`cudaMemcpy` / `clEnqueueWriteBuffer` backing).
+    pub fn copy_in(&mut self, ptr: DevPtr, bytes: &[u8]) -> Result<(), SimError> {
+        self.check(ptr.0, bytes.len() as u32)?;
+        let a = ptr.0 as usize;
+        self.data[a..a + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Device-to-host copy.
+    pub fn copy_out(&self, ptr: DevPtr, bytes: &mut [u8]) -> Result<(), SimError> {
+        self.check(ptr.0, bytes.len() as u32)?;
+        let a = ptr.0 as usize;
+        bytes.copy_from_slice(&self.data[a..a + bytes.len()]);
+        Ok(())
+    }
+
+    /// Typed helper: write a `&[f32]` slice at `ptr`.
+    pub fn write_f32_slice(&mut self, ptr: DevPtr, values: &[f32]) -> Result<(), SimError> {
+        let mut bytes = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.copy_in(ptr, &bytes)
+    }
+
+    /// Typed helper: read `len` f32 values at `ptr`.
+    pub fn read_f32_slice(&self, ptr: DevPtr, len: usize) -> Result<Vec<f32>, SimError> {
+        let mut bytes = vec![0u8; len * 4];
+        self.copy_out(ptr, &mut bytes)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Typed helper: write a `&[i32]` slice at `ptr`.
+    pub fn write_i32_slice(&mut self, ptr: DevPtr, values: &[i32]) -> Result<(), SimError> {
+        let mut bytes = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.copy_in(ptr, &bytes)
+    }
+
+    /// Typed helper: read `len` i32 values at `ptr`.
+    pub fn read_i32_slice(&self, ptr: DevPtr, len: usize) -> Result<Vec<i32>, SimError> {
+        let mut bytes = vec![0u8; len * 4];
+        self.copy_out(ptr, &mut bytes)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Typed helper: write a `&[u32]` slice at `ptr`.
+    pub fn write_u32_slice(&mut self, ptr: DevPtr, values: &[u32]) -> Result<(), SimError> {
+        let mut bytes = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.copy_in(ptr, &bytes)
+    }
+
+    /// Typed helper: read `len` u32 values at `ptr`.
+    pub fn read_u32_slice(&self, ptr: DevPtr, len: usize) -> Result<Vec<u32>, SimError> {
+        let mut bytes = vec![0u8; len * 4];
+        self.copy_out(ptr, &mut bytes)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_nonnull() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let a = m.alloc(10).unwrap();
+        let b = m.alloc(10).unwrap();
+        assert_ne!(a, DevPtr::NULL);
+        assert_eq!(a.0 % GlobalMemory::ALIGN, 0);
+        assert_eq!(b.0 % GlobalMemory::ALIGN, 0);
+        assert!(b.0 >= a.0 + 10);
+        assert_eq!(m.live_bytes(), 20);
+        m.free(a, 10);
+        assert_eq!(m.live_bytes(), 10);
+    }
+
+    #[test]
+    fn alloc_zeroes_memory() {
+        let mut m = GlobalMemory::new(1 << 12);
+        let p = m.alloc(8).unwrap();
+        m.write(p.0, 8, u64::MAX).unwrap();
+        // bump allocator never reuses, but contents must still be zeroed on
+        // fresh allocations
+        let q = m.alloc(8).unwrap();
+        assert_eq!(m.read(q.0, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let mut m = GlobalMemory::new(1024);
+        let e = m.alloc(4096).unwrap_err();
+        assert!(matches!(e, SimError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn read_write_round_trip_all_sizes() {
+        let mut m = GlobalMemory::new(4096);
+        let p = m.alloc(64).unwrap();
+        for (size, value) in [(1u32, 0xAAu64), (2, 0xBBCC), (4, 0xDEADBEEF), (8, 0x0123456789ABCDEF)] {
+            m.write(p.0, size, value).unwrap();
+            assert_eq!(m.read(p.0, size).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let m = GlobalMemory::new(64);
+        assert!(m.read(60, 8).is_err());
+        assert!(m.read(64, 1).is_err());
+        assert!(m.read(u64::MAX, 8).is_err());
+        assert!(m.read(56, 8).is_ok());
+    }
+
+    #[test]
+    fn typed_slices_round_trip() {
+        let mut m = GlobalMemory::new(4096);
+        let p = m.alloc(64).unwrap();
+        m.write_f32_slice(p, &[1.5, -2.5, 3.25]).unwrap();
+        assert_eq!(m.read_f32_slice(p, 3).unwrap(), vec![1.5, -2.5, 3.25]);
+        m.write_i32_slice(p, &[-7, 8]).unwrap();
+        assert_eq!(m.read_i32_slice(p, 2).unwrap(), vec![-7, 8]);
+        m.write_u32_slice(p, &[0xffff_ffff]).unwrap();
+        assert_eq!(m.read_u32_slice(p, 1).unwrap(), vec![0xffff_ffff]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Execution statistics gathered by the interpreter and consumed by the
+//! timing model.
+
+use serde::{Deserialize, Serialize};
+
+/// Dynamic statistics of one kernel launch.
+///
+/// All counts are exact (the interpreter executes every thread); the
+/// timing model in [`crate::timing`] converts them to virtual nanoseconds.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Thread blocks executed.
+    pub blocks: u64,
+    /// Total threads launched.
+    pub threads: u64,
+    /// Warp-level instructions issued (each costs issue cycles regardless
+    /// of how many lanes are active — the SIMT lockstep cost).
+    pub warp_instructions: u64,
+    /// Lane-level instructions executed (sum of active lanes over all
+    /// warp-instructions).
+    pub lane_instructions: u64,
+    /// Weighted issue cycles, in milli-cycles (scaled by 1000 so the
+    /// sub-cycle costs of dual-issue architectures stay integral). One
+    /// simple warp ALU op on a 1.0-scale device contributes 1000.
+    pub issue_millicycles: u64,
+    /// Floating-point operations executed (mad/fma count 2).
+    pub flops: u64,
+    /// DRAM traffic after all caches, in bytes, reads.
+    pub dram_read_bytes: u64,
+    /// DRAM traffic after all caches, in bytes, writes.
+    pub dram_write_bytes: u64,
+    /// Global-memory transactions issued by warps (before cache filtering).
+    pub gmem_transactions: u64,
+    /// Global-memory access instructions (warp-level).
+    pub gmem_instructions: u64,
+    /// L1 hits / misses (Fermi-style global cache).
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Bytes moved through the L2 (hits and misses alike).
+    pub l2_touched_bytes: u64,
+    /// Texture cache hits.
+    pub tex_hits: u64,
+    /// Texture cache misses.
+    pub tex_misses: u64,
+    /// Constant cache serialisation events (distinct addresses within one
+    /// warp constant load beyond the first).
+    pub const_serializations: u64,
+    /// Constant cache misses (line fills from DRAM).
+    pub const_misses: u64,
+    /// Shared-memory access cycles including bank-conflict serialisation.
+    pub shared_cycles: u64,
+    /// Shared-memory accesses that conflicted (extra cycles beyond 1).
+    pub shared_conflict_cycles: u64,
+    /// Block-wide barriers executed (per warp arrival).
+    pub barriers: u64,
+    /// Divergent branches (warp split into two paths).
+    pub divergent_branches: u64,
+    /// Atomic operations executed (lane level).
+    pub atomics: u64,
+    /// Post-cache DRAM traffic per memory partition (GT200-era GPUs stripe
+    /// DRAM across partitions at 256-byte granularity with *no* address
+    /// hashing, so hot segments — e.g. a filter kernel re-reading the same
+    /// few words from global memory — serialise on one partition: the
+    /// "partition camping" effect).
+    pub partition_bytes: [u64; 8],
+}
+
+impl ExecStats {
+    /// Merge another launch's stats into this one (used when a benchmark
+    /// aggregates several launches).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.blocks += other.blocks;
+        self.threads += other.threads;
+        self.warp_instructions += other.warp_instructions;
+        self.lane_instructions += other.lane_instructions;
+        self.issue_millicycles += other.issue_millicycles;
+        self.flops += other.flops;
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.gmem_transactions += other.gmem_transactions;
+        self.gmem_instructions += other.gmem_instructions;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.l2_touched_bytes += other.l2_touched_bytes;
+        self.tex_hits += other.tex_hits;
+        self.tex_misses += other.tex_misses;
+        self.const_serializations += other.const_serializations;
+        self.const_misses += other.const_misses;
+        self.shared_cycles += other.shared_cycles;
+        self.shared_conflict_cycles += other.shared_conflict_cycles;
+        self.barriers += other.barriers;
+        self.divergent_branches += other.divergent_branches;
+        self.atomics += other.atomics;
+        for (a, b) in self.partition_bytes.iter_mut().zip(&other.partition_bytes) {
+            *a += b;
+        }
+    }
+
+    /// Traffic of the hottest DRAM partition.
+    pub fn max_partition_bytes(&self) -> u64 {
+        self.partition_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Average active lanes per warp-instruction (SIMD efficiency).
+    pub fn simd_efficiency(&self, warp_width: u32) -> f64 {
+        if self.warp_instructions == 0 {
+            return 0.0;
+        }
+        self.lane_instructions as f64 / (self.warp_instructions as f64 * warp_width as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ExecStats {
+            blocks: 1,
+            flops: 10,
+            dram_read_bytes: 100,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            blocks: 2,
+            flops: 5,
+            dram_write_bytes: 50,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.blocks, 3);
+        assert_eq!(a.flops, 15);
+        assert_eq!(a.dram_bytes(), 150);
+    }
+
+    #[test]
+    fn simd_efficiency_bounds() {
+        let s = ExecStats {
+            warp_instructions: 10,
+            lane_instructions: 160,
+            ..Default::default()
+        };
+        assert!((s.simd_efficiency(32) - 0.5).abs() < 1e-12);
+        assert_eq!(ExecStats::default().simd_efficiency(32), 0.0);
+    }
+}

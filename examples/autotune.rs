@@ -1,0 +1,42 @@
+//! The paper's proposed future work, running: auto-tune a transpose kernel
+//! on every platform of the testbeds and watch the best configuration
+//! change with the architecture (Section V's observations, found
+//! automatically).
+//!
+//! ```text
+//! cargo run --release --example autotune
+//! ```
+
+use gpucmp::tuner::{TunableTranspose, Tuner};
+use gpucmp::runtime::OpenCl;
+use gpucmp::sim::DeviceSpec;
+
+fn main() {
+    let t = TunableTranspose::new(512);
+    println!("auto-tuning a 512x512 transpose (OpenCL) on every platform\n");
+    println!(
+        "{:<10} {:>6} {:<15} {:>10} {:>8}",
+        "device", "tile", "staging", "GB/s", "trials"
+    );
+    for device in DeviceSpec::all() {
+        let mut gpu = OpenCl::create_any(device.clone());
+        match Tuner::exhaustive().tune(&t, &mut gpu) {
+            Ok(r) => {
+                let cfg = t.describe(&r.best_config);
+                println!(
+                    "{:<10} {:>6} {:<15} {:>10.2} {:>8}",
+                    device.name,
+                    cfg["tile"],
+                    cfg["staging"],
+                    r.best_value,
+                    r.trials.len()
+                );
+            }
+            Err(e) => println!("{:<10} tuning failed: {e}", device.name),
+        }
+    }
+    println!(
+        "\nNote how the CPU device rejects local-memory staging — the paper's\n\
+         Section V TranP observation, discovered by search instead of analysis."
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: write a kernel once, run it through both programming models
+//! on a simulated GTX480, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gpucmp::compiler::{global_id_x, DslKernel, Expr};
+use gpucmp::core::Pr;
+use gpucmp::ptx::Ty;
+use gpucmp::runtime::{Cuda, Gpu, OpenCl};
+use gpucmp::sim::{DeviceSpec, LaunchConfig};
+
+fn main() {
+    // 1. Write the kernel once, in the DSL (the paper's "native kernel").
+    //    y[i] = a*x[i] + y[i]
+    let mut k = DslKernel::new("saxpy");
+    let x = k.param_ptr("x");
+    let y = k.param_ptr("y");
+    let a = k.param("a", Ty::F32);
+    let n = k.param("n", Ty::S32);
+    let gid = k.let_(Ty::S32, global_id_x());
+    k.if_(Expr::from(gid).lt(n), |k| {
+        let xi = gpucmp::compiler::ld_global(x.clone(), gid, Ty::F32);
+        let yi = gpucmp::compiler::ld_global(y.clone(), gid, Ty::F32);
+        k.st_global(y.clone(), gid, Ty::F32, a.clone() * xi + yi);
+    });
+    let def = k.finish();
+
+    // 2. Run it through each host API on the same (simulated) device.
+    let n_elems = 1 << 20;
+    let xs: Vec<f32> = (0..n_elems).map(|i| (i % 100) as f32).collect();
+    let ys: Vec<f32> = (0..n_elems).map(|i| (i % 7) as f32).collect();
+
+    let mut results = Vec::new();
+    for api in ["CUDA", "OpenCL"] {
+        let mut gpu: Box<dyn Gpu> = if api == "CUDA" {
+            Box::new(Cuda::new(DeviceSpec::gtx480()).expect("NVIDIA device"))
+        } else {
+            Box::new(OpenCl::create_any(DeviceSpec::gtx480()))
+        };
+        let dx = gpu.malloc(n_elems as u64 * 4).unwrap();
+        let dy = gpu.malloc(n_elems as u64 * 4).unwrap();
+        gpu.h2d_f32(dx, &xs).unwrap();
+        gpu.h2d_f32(dy, &ys).unwrap();
+        let h = gpu.build(&def).unwrap();
+        let cfg = LaunchConfig::new(n_elems as u32 / 256, 256u32)
+            .arg_ptr(dx)
+            .arg_ptr(dy)
+            .arg_f32(2.0)
+            .arg_i32(n_elems as i32);
+        let out = gpu.launch(h, &cfg).unwrap();
+        let t_ms = out.report.timing.total_ns / 1e6;
+        let gbs = (3 * n_elems * 4) as f64 / out.report.timing.total_ns;
+        println!(
+            "{api:<7} kernel time {t_ms:.3} ms  ({gbs:.1} GB/s effective), \
+             occupancy {:.0}%, {} DRAM bytes",
+            out.report.timing.occupancy * 100.0,
+            out.report.stats.dram_bytes()
+        );
+        // verify
+        let got = gpu.d2h_f32(dy, n_elems).unwrap();
+        assert!(got
+            .iter()
+            .zip(xs.iter().zip(&ys))
+            .all(|(&g, (&x, &y))| g == 2.0 * x + y));
+        results.push(1e9 / out.report.timing.total_ns); // performance = 1/t
+    }
+
+    // 3. The paper's metric: PR = Perf_OpenCL / Perf_CUDA (Eq. 1).
+    let pr = Pr::from_performance(results[1], results[0]);
+    println!("\nPR = {pr}  ->  {}", pr.verdict());
+    println!("(|1 - PR| < 0.1 is the paper's similarity band)");
+}

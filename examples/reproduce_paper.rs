@@ -1,0 +1,49 @@
+//! Reproduce every figure and table of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release --example reproduce_paper            # everything
+//! cargo run --release --example reproduce_paper fig3 fig8  # a subset
+//! cargo run --release --example reproduce_paper --quick    # small inputs
+//! ```
+
+use gpucmp::core::experiments as exp;
+use gpucmp_benchmarks::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    };
+    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let run = |name: &str| wanted.is_empty() || wanted.contains(&name);
+
+    if run("fig1") {
+        println!("{}\n", exp::fig1_peak_bandwidth(scale));
+    }
+    if run("fig2") {
+        println!("{}\n", exp::fig2_peak_flops(scale));
+    }
+    if run("fig3") {
+        println!("{}\n", exp::fig3_performance_ratio(scale));
+    }
+    if run("fig4") || run("fig5") {
+        println!("{}\n", exp::fig4_fig5_texture(scale));
+    }
+    if run("fig6") || run("fig7") {
+        println!("{}\n", exp::fig6_fig7_unroll(scale));
+    }
+    if run("fig8") {
+        println!("{}\n", exp::fig8_sobel_constant(scale));
+    }
+    if run("table5") {
+        println!("{}\n", exp::table5_ptx_stats());
+    }
+    if run("table6") {
+        println!("{}\n", exp::table6_portability(scale));
+    }
+    if run("launch") {
+        println!("{}\n", exp::launch_latency());
+    }
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: DSL → front-ends → ptxas → simulator →
+//! runtime → benchmark → methodology, exercised together.
+
+use gpucmp::compiler::{self, global_id_x, Api, DslKernel, Expr, Unroll};
+use gpucmp::core::{fairness, BuildConfig, Pr};
+use gpucmp::ptx::{InstStats, Ty};
+use gpucmp::runtime::{ClStatus, Cuda, Gpu, OpenCl, RtError};
+use gpucmp::sim::{DeviceKind, DeviceSpec, LaunchConfig};
+
+/// A vector-add kernel definition used across these tests.
+fn vadd() -> compiler::KernelDef {
+    let mut k = DslKernel::new("vadd");
+    let a = k.param_ptr("a");
+    let b = k.param_ptr("b");
+    let c = k.param_ptr("c");
+    let n = k.param("n", Ty::S32);
+    let gid = k.let_(Ty::S32, global_id_x());
+    k.if_(Expr::from(gid).lt(n), |k| {
+        let av = compiler::ld_global(a.clone(), gid, Ty::F32);
+        let bv = compiler::ld_global(b.clone(), gid, Ty::F32);
+        k.st_global(c.clone(), gid, Ty::F32, av + bv);
+    });
+    k.finish()
+}
+
+#[test]
+fn same_source_same_results_on_every_device() {
+    let def = vadd();
+    let n = 3000usize;
+    let xs: Vec<f32> = (0..n).map(|i| i as f32 * 0.25).collect();
+    let ys: Vec<f32> = (0..n).map(|i| (n - i) as f32 * 0.5).collect();
+    let want: Vec<f32> = xs.iter().zip(&ys).map(|(a, b)| a + b).collect();
+
+    let mut runtimes: Vec<Box<dyn Gpu>> = vec![
+        Box::new(Cuda::new(DeviceSpec::gtx280()).unwrap()),
+        Box::new(Cuda::new(DeviceSpec::gtx480()).unwrap()),
+        Box::new(OpenCl::create_any(DeviceSpec::gtx280())),
+        Box::new(OpenCl::create_any(DeviceSpec::hd5870())),
+        Box::new(OpenCl::create(DeviceSpec::intel920(), DeviceKind::Cpu).unwrap()),
+        Box::new(OpenCl::create(DeviceSpec::cellbe(), DeviceKind::Accelerator).unwrap()),
+    ];
+    for gpu in &mut runtimes {
+        let da = gpu.malloc((n * 4) as u64).unwrap();
+        let db = gpu.malloc((n * 4) as u64).unwrap();
+        let dc = gpu.malloc((n * 4) as u64).unwrap();
+        gpu.h2d_f32(da, &xs).unwrap();
+        gpu.h2d_f32(db, &ys).unwrap();
+        let h = gpu.build(&def).unwrap();
+        let cfg = LaunchConfig::new((n as u32).div_ceil(128), 128u32)
+            .arg_ptr(da)
+            .arg_ptr(db)
+            .arg_ptr(dc)
+            .arg_i32(n as i32);
+        gpu.launch(h, &cfg).unwrap();
+        let got = gpu.d2h_f32(dc, n).unwrap();
+        assert_eq!(got, want, "on {}", gpu.device().name);
+    }
+}
+
+#[test]
+fn front_ends_differ_statically_but_agree_dynamically() {
+    // A kernel with foldable conditionals: the two front-ends produce
+    // different PTX but identical results.
+    let mut k = DslKernel::new("folding");
+    let out = k.param_ptr("out");
+    let gid = k.let_(Ty::S32, global_id_x());
+    k.for_(0i64, 6i64, 1, Unroll::Full, |k, i| {
+        let w = compiler::select(i.clone().lt(3i32), 2.0f32, 0.5f32);
+        k.st_global(
+            out.clone(),
+            Expr::from(gid) * 6i32 + i,
+            Ty::F32,
+            w * Expr::from(gid).cast(Ty::F32),
+        );
+    });
+    let def = k.finish();
+
+    let c = compiler::compile(&def, Api::Cuda, 63).unwrap();
+    let o = compiler::compile(&def, Api::OpenCl, 63).unwrap();
+    assert_ne!(
+        InstStats::of_kernel(&c.ptx),
+        InstStats::of_kernel(&o.ptx),
+        "static code must differ"
+    );
+
+    let run = |api: Api| -> Vec<f32> {
+        let mut gpu: Box<dyn Gpu> = match api {
+            Api::Cuda => Box::new(Cuda::new(DeviceSpec::gtx480()).unwrap()),
+            Api::OpenCl => Box::new(OpenCl::create_any(DeviceSpec::gtx480())),
+        };
+        let out = gpu.malloc(64 * 6 * 4).unwrap();
+        let h = gpu.build(&def).unwrap();
+        let cfg = LaunchConfig::new(1u32, 64u32).arg_ptr(out);
+        gpu.launch(h, &cfg).unwrap();
+        gpu.d2h_f32(out, 64 * 6).unwrap()
+    };
+    assert_eq!(run(Api::Cuda), run(Api::OpenCl), "dynamic results must agree");
+}
+
+#[test]
+fn methodology_classifies_the_papers_comparisons() {
+    // Sobel, unmodified: OpenCL uses constant memory, CUDA doesn't, and
+    // the front-ends differ — the comparison is unfair at two
+    // programmer-owned steps plus the compiler step.
+    let c = BuildConfig::cuda("Sobel", &[], "GTX280", "16x16");
+    let o = BuildConfig::opencl("Sobel", &["constant-memory"], "GTX280", "16x16");
+    let f = fairness(&c, &o);
+    assert!(!f.is_fair());
+    assert!(!f.only_compilers_differ());
+
+    // After equalising the source and optimisations, only the compilers
+    // differ — the paper's residual, attributable comparison.
+    let mut c2 = c.clone();
+    let mut o2 = o.clone();
+    c2.source = "sobel.krn".into();
+    o2.source = "sobel.krn".into();
+    o2.optimizations.clear();
+    let f2 = fairness(&c2, &o2);
+    assert!(f2.only_compilers_differ());
+}
+
+#[test]
+fn pr_values_flow_from_end_to_end_runs() {
+    use gpucmp::benchmarks::common::{Benchmark, Scale};
+    use gpucmp::benchmarks::tranp::TranP;
+    let b = TranP::new(Scale::Quick);
+    let dev = DeviceSpec::gtx480();
+    let mut cuda = Cuda::new(dev.clone()).unwrap();
+    let rc = b.run(&mut cuda).unwrap();
+    let mut ocl = OpenCl::create_any(dev);
+    let ro = b.run(&mut ocl).unwrap();
+    assert!(rc.verify.is_pass() && ro.verify.is_pass());
+    let pr = Pr::from_performance(ro.performance(), rc.performance());
+    assert!(pr.0 > 0.5 && pr.0 < 2.0, "PR = {pr}");
+}
+
+#[test]
+fn cell_resource_errors_surface_as_cl_status() {
+    use gpucmp::benchmarks::common::{Benchmark, Scale};
+    use gpucmp::benchmarks::fft::Fft;
+    let b = Fft::new(Scale::Quick);
+    let mut cell = OpenCl::create(DeviceSpec::cellbe(), DeviceKind::Accelerator).unwrap();
+    match b.run(&mut cell) {
+        Err(RtError::Cl(ClStatus::OutOfResources)) => {}
+        other => panic!("expected CL_OUT_OF_RESOURCES, got {other:?}"),
+    }
+}
+
+#[test]
+fn determinism_across_repeated_full_runs() {
+    use gpucmp::benchmarks::common::{Benchmark, Scale};
+    use gpucmp::benchmarks::scan::Scan;
+    let b = Scan::new(Scale::Quick);
+    let run = || {
+        let mut gpu = Cuda::new(DeviceSpec::gtx280()).unwrap();
+        let r = b.run(&mut gpu).unwrap();
+        (r.value.to_bits(), r.kernel_ns.to_bits(), r.stats)
+    };
+    assert_eq!(run(), run());
+}
