@@ -9,7 +9,7 @@
 use crate::common::{check_i32, rng, verdict, Benchmark, Metric, RunOutput, Scale, Window};
 use gpucmp_compiler::{global_id_x, ld_global, DslKernel, Expr, KernelDef, Unroll};
 use gpucmp_ptx::Ty;
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::{ExecStats, LaunchConfig};
 use rand::Rng;
 use std::collections::VecDeque;
@@ -30,11 +30,11 @@ impl Graph {
     pub fn random(nodes: usize, degree: usize, seed: u64) -> Self {
         let mut r = rng(seed);
         let mut adj: Vec<Vec<i32>> = vec![Vec::with_capacity(degree + 2); nodes];
-        for v in 0..nodes {
+        for (v, edges) in adj.iter_mut().enumerate() {
             let next = (v + 1) % nodes;
-            adj[v].push(next as i32);
+            edges.push(next as i32);
             for _ in 0..degree {
-                adj[v].push(r.gen_range(0..nodes) as i32);
+                edges.push(r.gen_range(0..nodes) as i32);
             }
         }
         let mut offsets = Vec::with_capacity(nodes + 1);
@@ -109,28 +109,22 @@ impl Bfs {
         let n = k.param("n", Ty::S32);
         let tid = k.let_(Ty::S32, global_id_x());
         k.if_(Expr::from(tid).lt(n), |k| {
-            k.if_(
-                ld_global(frontier.clone(), tid, Ty::S32).ne_(0i32),
-                |k| {
-                    k.st_global(frontier.clone(), tid, Ty::S32, 0i32);
-                    let my_cost = k.let_(Ty::S32, ld_global(cost.clone(), tid, Ty::S32));
-                    let start = k.let_(Ty::S32, ld_global(offsets.clone(), tid, Ty::S32));
-                    let end = k.let_(
-                        Ty::S32,
-                        ld_global(offsets.clone(), Expr::from(tid) + 1i32, Ty::S32),
-                    );
-                    k.for_(start, end, 1, Unroll::None, |k, e| {
-                        let nb = k.let_(Ty::S32, ld_global(edges.clone(), e, Ty::S32));
-                        k.if_(
-                            ld_global(visited.clone(), nb, Ty::S32).eq_(0i32),
-                            |k| {
-                                k.st_global(cost.clone(), nb, Ty::S32, Expr::from(my_cost) + 1i32);
-                                k.st_global(updating.clone(), nb, Ty::S32, 1i32);
-                            },
-                        );
+            k.if_(ld_global(frontier.clone(), tid, Ty::S32).ne_(0i32), |k| {
+                k.st_global(frontier.clone(), tid, Ty::S32, 0i32);
+                let my_cost = k.let_(Ty::S32, ld_global(cost.clone(), tid, Ty::S32));
+                let start = k.let_(Ty::S32, ld_global(offsets.clone(), tid, Ty::S32));
+                let end = k.let_(
+                    Ty::S32,
+                    ld_global(offsets.clone(), Expr::from(tid) + 1i32, Ty::S32),
+                );
+                k.for_(start, end, 1, Unroll::None, |k, e| {
+                    let nb = k.let_(Ty::S32, ld_global(edges.clone(), e, Ty::S32));
+                    k.if_(ld_global(visited.clone(), nb, Ty::S32).eq_(0i32), |k| {
+                        k.st_global(cost.clone(), nb, Ty::S32, Expr::from(my_cost) + 1i32);
+                        k.st_global(updating.clone(), nb, Ty::S32, 1i32);
                     });
-                },
-            );
+                });
+            });
         });
         k.finish()
     }
@@ -146,15 +140,12 @@ impl Bfs {
         let n = k.param("n", Ty::S32);
         let tid = k.let_(Ty::S32, global_id_x());
         k.if_(Expr::from(tid).lt(n), |k| {
-            k.if_(
-                ld_global(updating.clone(), tid, Ty::S32).ne_(0i32),
-                |k| {
-                    k.st_global(frontier.clone(), tid, Ty::S32, 1i32);
-                    k.st_global(visited.clone(), tid, Ty::S32, 1i32);
-                    k.st_global(updating.clone(), tid, Ty::S32, 0i32);
-                    k.st_global(changed.clone(), 0i32, Ty::S32, 1i32);
-                },
-            );
+            k.if_(ld_global(updating.clone(), tid, Ty::S32).ne_(0i32), |k| {
+                k.st_global(frontier.clone(), tid, Ty::S32, 1i32);
+                k.st_global(visited.clone(), tid, Ty::S32, 1i32);
+                k.st_global(updating.clone(), tid, Ty::S32, 0i32);
+                k.st_global(changed.clone(), 0i32, Ty::S32, 1i32);
+            });
         });
         k.finish()
     }
@@ -181,25 +172,25 @@ impl Benchmark for Bfs {
         let d_cost = gpu.malloc((n * 4) as u64)?;
         let d_updating = gpu.malloc((n * 4) as u64)?;
         let d_changed = gpu.malloc(4)?;
-        gpu.h2d_i32(d_off, &g.offsets)?;
-        gpu.h2d_i32(d_edges, &g.edges)?;
+        gpu.h2d_t(d_off, &g.offsets)?;
+        gpu.h2d_t(d_edges, &g.edges)?;
         let mut frontier = vec![0i32; n];
         frontier[0] = 1;
         let mut visited = vec![0i32; n];
         visited[0] = 1;
         let mut cost = vec![-1i32; n];
         cost[0] = 0;
-        gpu.h2d_i32(d_frontier, &frontier)?;
-        gpu.h2d_i32(d_visited, &visited)?;
-        gpu.h2d_i32(d_cost, &cost)?;
-        gpu.h2d_i32(d_updating, &vec![0i32; n])?;
+        gpu.h2d_t(d_frontier, &frontier)?;
+        gpu.h2d_t(d_visited, &visited)?;
+        gpu.h2d_t(d_cost, &cost)?;
+        gpu.h2d_t(d_updating, &vec![0i32; n])?;
 
         let block = 256u32;
         let grid = (n as u32).div_ceil(block);
         let mut stats = ExecStats::default();
         let win = Window::open(gpu);
         loop {
-            gpu.h2d_i32(d_changed, &[0])?;
+            gpu.h2d_t(d_changed, &[0])?;
             let cfg1 = LaunchConfig::new(grid, block)
                 .arg_ptr(d_off)
                 .arg_ptr(d_edges)
@@ -218,13 +209,13 @@ impl Benchmark for Bfs {
                 .arg_i32(n as i32);
             let l2 = gpu.launch(k2, &cfg2)?;
             stats.merge(&l2.report.stats);
-            let flag = gpu.d2h_i32(d_changed, 1)?;
+            let flag = gpu.d2h_t::<i32>(d_changed, 1)?;
             if flag[0] == 0 {
                 break;
             }
         }
         let (wall_ns, kernel_ns, launches) = win.close(gpu);
-        let got = gpu.d2h_i32(d_cost, n)?;
+        let got = gpu.d2h_t::<i32>(d_cost, n)?;
         let want = g.bfs_cpu();
         let verify = verdict(check_i32(&got, &want));
         Ok(RunOutput {

@@ -7,7 +7,7 @@
 use crate::common::{check_f32, verdict, Benchmark, Metric, RunOutput, Scale, Window};
 use gpucmp_compiler::{global_id_x, global_size_x, ld_global, DslKernel, Expr, KernelDef, Unroll};
 use gpucmp_ptx::Ty;
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::LaunchConfig;
 
 /// Unrolled reads per outer iteration.
@@ -83,18 +83,20 @@ impl Benchmark for DeviceMemory {
         let n = threads * self.iters as usize * READS_PER_ITER;
         let def = self.kernel();
         let h = gpu.build(&def)?;
-        let input = gpu.malloc((n * 4) as u64)?;
-        let output = gpu.malloc((threads * 4) as u64)?;
+        let input = gpu.alloc::<f32>(n)?;
+        let output = gpu.alloc::<f32>(threads)?;
         // A compressible pattern keeps the CPU reference cheap: in[i] = 1.0.
-        gpu.h2d_f32(input, &vec![1.0f32; n])?;
-        let cfg = LaunchConfig::new(self.blocks, self.block_size)
+        gpu.h2d_buf(&input, &vec![1.0f32; n])?;
+        let cfg = LaunchConfig::builder()
+            .grid(self.blocks)
+            .block(self.block_size)
             .arg_ptr(input)
             .arg_ptr(output)
             .arg_i32(self.iters);
         let w = Window::open(gpu);
-        let out = gpu.launch(h, &cfg)?;
+        let out = gpu.launch(h, cfg)?;
         let (wall_ns, kernel_ns, launches) = w.close(gpu);
-        let got = gpu.d2h_f32(output, threads)?;
+        let got = gpu.d2h_buf(&output)?;
         let expect = (self.iters as usize * READS_PER_ITER) as f32;
         let want = vec![expect; threads];
         let verify = verdict(check_f32(&got, &want, 1e-5));

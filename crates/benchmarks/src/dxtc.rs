@@ -11,7 +11,7 @@
 use crate::common::{check_u32, rand_u32, verdict, Benchmark, Metric, RunOutput, Scale, Window};
 use gpucmp_compiler::{global_id_x, ld_global, select, DslKernel, Expr, KernelDef, Var};
 use gpucmp_ptx::Ty;
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::LaunchConfig;
 
 /// DXTC benchmark. Image is `width x height` RGBA pixels (multiples of 4;
@@ -57,7 +57,7 @@ impl Dxtc {
                 .map(|i| {
                     k.let_(
                         Ty::U32,
-                        ld_global(pixels.clone(), Expr::from(bid) * 16i32 + i as i32, Ty::U32),
+                        ld_global(pixels.clone(), Expr::from(bid) * 16i32 + i, Ty::U32),
                     )
                 })
                 .collect();
@@ -117,18 +117,9 @@ impl Dxtc {
                 let best_d = k.let_(Ty::S32, i32::MAX);
                 let best_i = k.let_(Ty::S32, 0i32);
                 for (e, entry) in pal.iter().enumerate() {
-                    let dr = k.let_(
-                        Ty::S32,
-                        Expr::from(r) - Expr::from(entry[0]).cast(Ty::S32),
-                    );
-                    let dg = k.let_(
-                        Ty::S32,
-                        Expr::from(g) - Expr::from(entry[1]).cast(Ty::S32),
-                    );
-                    let db = k.let_(
-                        Ty::S32,
-                        Expr::from(b) - Expr::from(entry[2]).cast(Ty::S32),
-                    );
+                    let dr = k.let_(Ty::S32, Expr::from(r) - Expr::from(entry[0]).cast(Ty::S32));
+                    let dg = k.let_(Ty::S32, Expr::from(g) - Expr::from(entry[1]).cast(Ty::S32));
+                    let db = k.let_(Ty::S32, Expr::from(b) - Expr::from(entry[2]).cast(Ty::S32));
                     let d = k.let_(
                         Ty::S32,
                         Expr::from(dr) * dr + Expr::from(dg) * dg + Expr::from(db) * db,
@@ -139,17 +130,16 @@ impl Dxtc {
                 }
                 k.assign(
                     indices,
-                    Expr::from(indices)
-                        | (Expr::from(best_i).cast(Ty::U32) << (2 * i as i32)),
+                    Expr::from(indices) | (Expr::from(best_i).cast(Ty::U32) << (2 * i as i32)),
                 );
             }
-            k.st_global(out.clone(), Expr::from(bid) * 2i32, Ty::U32, Expr::from(c0) | (Expr::from(c1) << 16i32));
             k.st_global(
                 out.clone(),
-                Expr::from(bid) * 2i32 + 1i32,
+                Expr::from(bid) * 2i32,
                 Ty::U32,
-                indices,
+                Expr::from(c0) | (Expr::from(c1) << 16i32),
             );
+            k.st_global(out.clone(), Expr::from(bid) * 2i32 + 1i32, Ty::U32, indices);
         });
         k.finish()
     }
@@ -169,8 +159,7 @@ impl Dxtc {
                     maxs[c] = maxs[c].max(chan(p, s));
                 }
             }
-            let to565 =
-                |r: u32, g: u32, b: u32| ((r >> 3) << 11) | ((g >> 2) << 5) | (b >> 3);
+            let to565 = |r: u32, g: u32, b: u32| ((r >> 3) << 11) | ((g >> 2) << 5) | (b >> 3);
             let c0 = to565(maxs[0], maxs[1], maxs[2]);
             let c1 = to565(mins[0], mins[1], mins[2]);
             let mut pal = [[0u32; 3]; 4];
@@ -220,8 +209,11 @@ impl Benchmark for Dxtc {
         let h = gpu.build(&def)?;
         let d_px = gpu.malloc((npix * 4) as u64)?;
         let d_out = gpu.malloc((nblocks as usize * 8) as u64)?;
-        let pixels: Vec<u32> = rand_u32(0xD8, npix).iter().map(|v| v & 0x00ff_ffff).collect();
-        gpu.h2d_u32(d_px, &pixels)?;
+        let pixels: Vec<u32> = rand_u32(0xD8, npix)
+            .iter()
+            .map(|v| v & 0x00ff_ffff)
+            .collect();
+        gpu.h2d_t(d_px, &pixels)?;
         let block = 256u32;
         let cfg = LaunchConfig::new(nblocks.div_ceil(block), block)
             .arg_ptr(d_px)
@@ -230,7 +222,7 @@ impl Benchmark for Dxtc {
         let win = Window::open(gpu);
         let launch = gpu.launch(h, &cfg)?;
         let (wall_ns, kernel_ns, launches) = win.close(gpu);
-        let got = gpu.d2h_u32(d_out, nblocks as usize * 2)?;
+        let got = gpu.d2h_t::<u32>(d_out, nblocks as usize * 2)?;
         let want = self.reference(&pixels);
         let verify = verdict(check_u32(&got, &want));
         Ok(RunOutput {

@@ -17,7 +17,7 @@
 use crate::common::{check_f32, rng, verdict, Benchmark, Metric, RunOutput, Scale, Window};
 use gpucmp_compiler::{ld_global, Api, Builtin, DslKernel, Expr, KernelDef, Unroll, Var};
 use gpucmp_ptx::Ty;
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::LaunchConfig;
 use rand::Rng;
 
@@ -214,9 +214,7 @@ impl Fdtd {
                     Ty::F32,
                     tile.ld((Expr::from(ty_) + r - rr.clone()) * tile_w + Expr::from(tx) + r)
                         + tile.ld((Expr::from(ty_) + r + rr.clone()) * tile_w + Expr::from(tx) + r)
-                        + tile.ld(
-                            (Expr::from(ty_) + r) * tile_w + Expr::from(tx) + r - rr.clone(),
-                        )
+                        + tile.ld((Expr::from(ty_) + r) * tile_w + Expr::from(tx) + r - rr.clone())
                         + tile.ld((Expr::from(ty_) + r) * tile_w + Expr::from(tx) + r + rr),
                 );
                 k.assign(acc, Expr::from(acc) + Expr::from(c) * sum);
@@ -278,9 +276,11 @@ impl Benchmark for Fdtd {
         let d_in = gpu.malloc((vol * 4) as u64)?;
         let d_out = gpu.malloc((vol * 4) as u64)?;
         let mut r = rng(0xFD7D);
-        let data: Vec<f32> = (0..vol).map(|_| r.gen_range(0..256) as f32 / 256.0).collect();
-        gpu.h2d_f32(d_in, &data)?;
-        gpu.h2d_f32(d_out, &data)?; // halo planes pass through
+        let data: Vec<f32> = (0..vol)
+            .map(|_| r.gen_range(0..256) as f32 / 256.0)
+            .collect();
+        gpu.h2d_t(d_in, &data)?;
+        gpu.h2d_t(d_out, &data)?; // halo planes pass through
         let cfg = LaunchConfig::new(
             ((self.dimx / TILE) as u32, (self.dimy / TILE) as u32),
             (TILE as u32, TILE as u32),
@@ -291,7 +291,7 @@ impl Benchmark for Fdtd {
         let win = Window::open(gpu);
         let launch = gpu.launch(h, &cfg)?;
         let (wall_ns, kernel_ns, launches) = win.close(gpu);
-        let got = gpu.d2h_f32(d_out, vol)?;
+        let got = gpu.d2h_t::<f32>(d_out, vol)?;
         let want = self.reference(&data);
         // verify interior region only (the tile grid covers exactly the
         // interior; halo columns pass through)
@@ -308,8 +308,7 @@ impl Benchmark for Fdtd {
             }
         }
         let verify = verdict(check_f32(&got_int, &want_int, 1e-4));
-        let points =
-            self.dimx as f64 * self.dimy as f64 * (self.dimz - 2 * RADIUS) as f64;
+        let points = self.dimx as f64 * self.dimy as f64 * (self.dimz - 2 * RADIUS) as f64;
         Ok(RunOutput {
             value: points / (kernel_ns * 1e-3), // points per µs = MPoints/s
             metric: Metric::MPixelsPerSec,

@@ -15,7 +15,7 @@
 use crate::common::{rng, verdict, Benchmark, Metric, RunOutput, Scale, Window};
 use gpucmp_compiler::{ld_global, Builtin, DslKernel, Expr, KernelDef};
 use gpucmp_ptx::Ty;
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::LaunchConfig;
 use rand::Rng;
 use std::f64::consts::PI;
@@ -61,7 +61,11 @@ impl Fft {
     /// it standalone.
     pub fn kernel(&self) -> KernelDef {
         let sign = if self.inverse { 1.0f64 } else { -1.0f64 };
-        let mut k = DslKernel::new(if self.inverse { "fft512_inv" } else { "fft512_fwd" });
+        let mut k = DslKernel::new(if self.inverse {
+            "fft512_inv"
+        } else {
+            "fft512_fwd"
+        });
         let in_re = k.param_ptr("in_re");
         let in_im = k.param_ptr("in_im");
         let out_re = k.param_ptr("out_re");
@@ -101,10 +105,7 @@ impl Fft {
                 // pos = bfly % half; written arithmetically: the OpenCL
                 // front-end strength-reduces, the CUDA one folds stage 0
                 let pos = k.let_(Ty::S32, bfly.clone() % half as i32);
-                let top = k.let_(
-                    Ty::S32,
-                    (bfly / half as i32) * (2 * half) as i32 + pos,
-                );
+                let top = k.let_(Ty::S32, (bfly / half as i32) * (2 * half) as i32 + pos);
                 let bot = k.let_(Ty::S32, Expr::from(top) + half as i32);
                 let xr = k.let_(Ty::F32, sm_re.ld(bot));
                 let xi = k.let_(Ty::F32, sm_im.ld(bot));
@@ -131,14 +132,8 @@ impl Fft {
                         );
                         let wr = k.let_(Ty::F32, Expr::from(angle).cos());
                         let wi = k.let_(Ty::F32, Expr::from(angle).sin());
-                        let tr = k.let_(
-                            Ty::F32,
-                            Expr::from(xr) * wr - Expr::from(xi) * wi,
-                        );
-                        let ti = k.let_(
-                            Ty::F32,
-                            Expr::from(xr) * wi + Expr::from(xi) * wr,
-                        );
+                        let tr = k.let_(Ty::F32, Expr::from(xr) * wr - Expr::from(xi) * wi);
+                        let ti = k.let_(Ty::F32, Expr::from(xr) * wi + Expr::from(xi) * wr);
                         k.st_shared(sm_re, top, Expr::from(ur) + tr);
                         k.st_shared(sm_im, top, Expr::from(ui) + ti);
                         k.st_shared(sm_re, bot, Expr::from(ur) - tr);
@@ -149,7 +144,11 @@ impl Fft {
         }
         k.barrier();
         // ---- store ----
-        let scale = if self.inverse { 1.0f32 / N as f32 } else { 1.0f32 };
+        let scale = if self.inverse {
+            1.0f32 / N as f32
+        } else {
+            1.0f32
+        };
         for j in 0..PER_THREAD {
             let i = Expr::from(tid) + (j as i32 * THREADS as i32);
             let re = sm_re.ld(i.clone());
@@ -245,8 +244,8 @@ impl Benchmark for Fft {
         let mut r = rng(0xFF7);
         let re: Vec<f32> = (0..total).map(|_| r.gen_range(-1.0..1.0)).collect();
         let im: Vec<f32> = (0..total).map(|_| r.gen_range(-1.0..1.0)).collect();
-        gpu.h2d_f32(d_ire, &re)?;
-        gpu.h2d_f32(d_iim, &im)?;
+        gpu.h2d_t(d_ire, &re)?;
+        gpu.h2d_t(d_iim, &im)?;
         let cfg = LaunchConfig::new(self.batches, THREADS)
             .arg_ptr(d_ire)
             .arg_ptr(d_iim)
@@ -255,12 +254,11 @@ impl Benchmark for Fft {
         let win = Window::open(gpu);
         let launch = gpu.launch(h, &cfg)?;
         let (wall_ns, kernel_ns, launches) = win.close(gpu);
-        let got_re = gpu.d2h_f32(d_ore, total)?;
-        let got_im = gpu.d2h_f32(d_oim, total)?;
+        let got_re = gpu.d2h_t::<f32>(d_ore, total)?;
+        let got_im = gpu.d2h_t::<f32>(d_oim, total)?;
         let (want_re, want_im) = self.reference(&re, &im);
-        let verify = verdict(
-            check_fft(&got_re, &want_re).and_then(|_| check_fft(&got_im, &want_im)),
-        );
+        let verify =
+            verdict(check_fft(&got_re, &want_re).and_then(|_| check_fft(&got_im, &want_im)));
         // 5 N log2 N flops per complex FFT (the conventional accounting)
         let flops = 5.0 * N as f64 * STAGES as f64 * self.batches as f64;
         Ok(RunOutput {

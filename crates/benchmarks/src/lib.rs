@@ -72,8 +72,8 @@ mod registry_tests {
         assert_eq!(
             names,
             vec![
-                "BFS", "Sobel", "TranP", "Reduce", "FFT", "MD", "SPMV", "St2D", "DXTC",
-                "RdxS", "Scan", "STNW", "MxM", "FDTD"
+                "BFS", "Sobel", "TranP", "Reduce", "FFT", "MD", "SPMV", "St2D", "DXTC", "RdxS",
+                "Scan", "STNW", "MxM", "FDTD"
             ]
         );
         assert_eq!(synthetic(Scale::Quick).len(), 2);
@@ -87,20 +87,20 @@ mod registry_tests {
         assert_eq!(
             metrics,
             vec![
-                Seconds,          // BFS
-                Seconds,          // Sobel
-                GBPerSec,         // TranP
-                GBPerSec,         // Reduce
-                GFlopsPerSec,     // FFT
-                GFlopsPerSec,     // MD
-                GFlopsPerSec,     // SPMV
-                Seconds,          // St2D
-                MPixelsPerSec,    // DXTC
-                MElementsPerSec,  // RdxS
-                MElementsPerSec,  // Scan
-                MElementsPerSec,  // STNW
-                GFlopsPerSec,     // MxM
-                MPixelsPerSec,    // FDTD (MPoints/s)
+                Seconds,         // BFS
+                Seconds,         // Sobel
+                GBPerSec,        // TranP
+                GBPerSec,        // Reduce
+                GFlopsPerSec,    // FFT
+                GFlopsPerSec,    // MD
+                GFlopsPerSec,    // SPMV
+                Seconds,         // St2D
+                MPixelsPerSec,   // DXTC
+                MElementsPerSec, // RdxS
+                MElementsPerSec, // Scan
+                MElementsPerSec, // STNW
+                GFlopsPerSec,    // MxM
+                MPixelsPerSec,   // FDTD (MPoints/s)
             ]
         );
     }

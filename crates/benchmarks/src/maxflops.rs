@@ -10,7 +10,7 @@
 use crate::common::{check_f32, rand_f32, verdict, Benchmark, Metric, RunOutput, Scale, Window};
 use gpucmp_compiler::{global_id_x, DslKernel, Expr, KernelDef, Unroll};
 use gpucmp_ptx::Ty;
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::{Arch, LaunchConfig};
 
 /// Unrolled operation pairs per outer-loop iteration.
@@ -116,8 +116,8 @@ impl Benchmark for MaxFlops {
         let def = self.kernel(dual);
         let h = gpu.build(&def)?;
         let buf = gpu.malloc((n * 4) as u64)?;
-        let init = rand_f32(0x5EED_01, n, 0.5, 1.0);
-        gpu.h2d_f32(buf, &init)?;
+        let init = rand_f32(0x5EED01, n, 0.5, 1.0);
+        gpu.h2d_t(buf, &init)?;
         let (a, b) = (0.999f32, 0.001f32);
         let cfg = LaunchConfig::new(self.blocks, self.block_size)
             .arg_ptr(buf)
@@ -127,7 +127,7 @@ impl Benchmark for MaxFlops {
         let w = Window::open(gpu);
         let out = gpu.launch(h, &cfg)?;
         let (wall_ns, kernel_ns, launches) = w.close(gpu);
-        let got = gpu.d2h_f32(buf, n)?;
+        let got = gpu.d2h_t::<f32>(buf, n)?;
         let want = self.reference(&init, a, b, dual);
         let verify = verdict(check_f32(&got, &want, 1e-4));
         let gflops = out.report.stats.flops as f64 / kernel_ns;

@@ -11,7 +11,7 @@
 use crate::common::{check_f32, rng, verdict, Benchmark, Metric, RunOutput, Scale, Window};
 use gpucmp_compiler::{global_id_x, ld_global, tex1d, Api, DslKernel, Expr, KernelDef, Unroll};
 use gpucmp_ptx::Ty;
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::LaunchConfig;
 use rand::Rng;
 
@@ -106,14 +106,8 @@ impl Md {
                 );
                 k.if_(Expr::from(r2).lt(CUTOFF2), |k| {
                     let inv = k.let_(Ty::F32, Expr::from(r2).rcp());
-                    let r6 = k.let_(
-                        Ty::F32,
-                        Expr::from(inv) * inv * inv,
-                    );
-                    let f = k.let_(
-                        Ty::F32,
-                        Expr::from(r6) * (Expr::from(r6) * LJ1 - LJ2) * inv,
-                    );
+                    let r6 = k.let_(Ty::F32, Expr::from(inv) * inv * inv);
+                    let f = k.let_(Ty::F32, Expr::from(r6) * (Expr::from(r6) * LJ1 - LJ2) * inv);
                     k.assign(fx, Expr::from(fx) + Expr::from(dx) * f);
                     k.assign(fy, Expr::from(fy) + Expr::from(dy) * f);
                     k.assign(fz, Expr::from(fz) + Expr::from(dz) * f);
@@ -206,10 +200,10 @@ impl Benchmark for Md {
         let d_fy = gpu.malloc((n * 4) as u64)?;
         let d_fz = gpu.malloc((n * 4) as u64)?;
         let d_ng = gpu.malloc((neigh.len() * 4) as u64)?;
-        gpu.h2d_f32(d_px, &px)?;
-        gpu.h2d_f32(d_py, &py)?;
-        gpu.h2d_f32(d_pz, &pz)?;
-        gpu.h2d_i32(d_ng, &neigh)?;
+        gpu.h2d_t(d_px, &px)?;
+        gpu.h2d_t(d_py, &py)?;
+        gpu.h2d_t(d_pz, &pz)?;
+        gpu.h2d_t(d_ng, &neigh)?;
         let block = 128u32;
         let mut cfg = LaunchConfig::new((self.n).div_ceil(block), block)
             .arg_ptr(d_px)
@@ -230,9 +224,9 @@ impl Benchmark for Md {
         let win = Window::open(gpu);
         let launch = gpu.launch(h, &cfg)?;
         let (wall_ns, kernel_ns, launches) = win.close(gpu);
-        let got_x = gpu.d2h_f32(d_fx, n)?;
-        let got_y = gpu.d2h_f32(d_fy, n)?;
-        let got_z = gpu.d2h_f32(d_fz, n)?;
+        let got_x = gpu.d2h_t::<f32>(d_fx, n)?;
+        let got_y = gpu.d2h_t::<f32>(d_fy, n)?;
+        let got_z = gpu.d2h_t::<f32>(d_fz, n)?;
         let want = self.reference(&px, &py, &pz, &neigh);
         let verify = verdict(
             check_f32(&got_x, &want[..n], 1e-3)
@@ -283,14 +277,20 @@ mod tests {
         let p_with = with_t.run(&mut g280).unwrap().value;
         let p_without = without.run(&mut g280).unwrap().value;
         let f280 = p_without / p_with;
-        assert!((0.6..0.95).contains(&f280), "GTX280 no-texture fraction {f280}");
+        assert!(
+            (0.6..0.95).contains(&f280),
+            "GTX280 no-texture fraction {f280}"
+        );
         // Fermi drops *more* (paper: 59.6%): without texture its gathers
         // move whole 128-byte L1 lines through the L2.
         let mut g480 = Cuda::new(DeviceSpec::gtx480()).unwrap();
         let q_with = with_t.run(&mut g480).unwrap().value;
         let q_without = without.run(&mut g480).unwrap().value;
         let f480 = q_without / q_with;
-        assert!((0.35..0.75).contains(&f480), "GTX480 no-texture fraction {f480}");
+        assert!(
+            (0.35..0.75).contains(&f480),
+            "GTX480 no-texture fraction {f480}"
+        );
         assert!(f480 < f280, "Fermi must lose more from texture removal");
     }
 

@@ -4,7 +4,7 @@
 use crate::common::{check_f32, rand_f32, verdict, Benchmark, Metric, RunOutput, Scale, Window};
 use gpucmp_compiler::{ld_global, Builtin, DslKernel, Expr, KernelDef, Unroll};
 use gpucmp_ptx::Ty;
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::LaunchConfig;
 
 /// Tile edge.
@@ -38,14 +38,8 @@ impl MxM {
         let b_tile = k.shared_array(Ty::F32, TILE * TILE);
         let tx = k.let_(Ty::S32, Expr::from(Builtin::TidX));
         let ty_ = k.let_(Ty::S32, Expr::from(Builtin::TidY));
-        let col = k.let_(
-            Ty::S32,
-            Expr::from(Builtin::CtaidX) * TILE as i32 + tx,
-        );
-        let row = k.let_(
-            Ty::S32,
-            Expr::from(Builtin::CtaidY) * TILE as i32 + ty_,
-        );
+        let col = k.let_(Ty::S32, Expr::from(Builtin::CtaidX) * TILE as i32 + tx);
+        let row = k.let_(Ty::S32, Expr::from(Builtin::CtaidY) * TILE as i32 + ty_);
         let acc = k.let_(Ty::F32, 0.0f32);
         let tiles = k.let_(Ty::S32, n.clone() / TILE as i32);
         k.for_(0i32, tiles, 1, Unroll::None, |k, t| {
@@ -112,22 +106,24 @@ impl Benchmark for MxM {
         let n = self.n as usize;
         let def = self.kernel();
         let h = gpu.build(&def)?;
-        let a = gpu.malloc((n * n * 4) as u64)?;
-        let b = gpu.malloc((n * n * 4) as u64)?;
-        let c = gpu.malloc((n * n * 4) as u64)?;
+        let a = gpu.alloc::<f32>(n * n)?;
+        let b = gpu.alloc::<f32>(n * n)?;
+        let c = gpu.alloc::<f32>(n * n)?;
         let av = rand_f32(0xA0, n * n, -1.0, 1.0);
         let bv = rand_f32(0xB0, n * n, -1.0, 1.0);
-        gpu.h2d_f32(a, &av)?;
-        gpu.h2d_f32(b, &bv)?;
-        let cfg = LaunchConfig::new((self.n / TILE, self.n / TILE), (TILE, TILE))
+        gpu.h2d_buf(&a, &av)?;
+        gpu.h2d_buf(&b, &bv)?;
+        let cfg = LaunchConfig::builder()
+            .grid((self.n / TILE, self.n / TILE))
+            .block((TILE, TILE))
             .arg_ptr(a)
             .arg_ptr(b)
             .arg_ptr(c)
             .arg_i32(self.n as i32);
         let w = Window::open(gpu);
-        let launch = gpu.launch(h, &cfg)?;
+        let launch = gpu.launch(h, cfg)?;
         let (wall_ns, kernel_ns, launches) = w.close(gpu);
-        let got = gpu.d2h_f32(c, n * n)?;
+        let got = gpu.d2h_buf(&c)?;
         let want = self.reference(&av, &bv);
         let verify = verdict(check_f32(&got, &want, 1e-4));
         let flops = 2.0 * (n as f64).powi(3);

@@ -15,7 +15,7 @@
 use crate::common::{check_u32, rand_u32, verdict, Benchmark, Metric, RunOutput, Scale, Window};
 use gpucmp_compiler::{global_id_x, ld_global, Builtin, DslKernel, Expr, KernelDef};
 use gpucmp_ptx::{AtomOp, Space, Ty};
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::{ExecStats, LaunchConfig};
 
 /// Keys per block (one per thread).
@@ -161,8 +161,8 @@ impl Rdxs {
         let warp_bases = k.shared_array(Ty::U32, warps_assumed * BUCKETS);
         let tid = k.let_(Ty::S32, Expr::from(Builtin::TidX));
         let lane32 = k.let_(Ty::S32, Expr::from(tid) % WARP_SIZE_SRC); // source-level 32
-        // THE BUG THE PAPER DESCRIBES: the counter base uses the *hardware*
-        // warp id while the serialisation below assumes 32-wide warps.
+                                                                       // THE BUG THE PAPER DESCRIBES: the counter base uses the *hardware*
+                                                                       // warp id while the serialisation below assumes 32-wide warps.
         let hw_warp = k.let_(Ty::S32, Expr::from(Builtin::WarpId).cast(Ty::S32));
         let key = k.let_(Ty::U32, ld_global(keys_in.clone(), global_id_x(), Ty::U32));
         let digit = k.let_(
@@ -170,12 +170,9 @@ impl Rdxs {
             ((Expr::from(key) >> shift.clone()) & (BUCKETS - 1) as i32).cast(Ty::S32),
         );
         // zero counters
-        k.if_(
-            Expr::from(tid).lt((warps_assumed * BUCKETS) as i32),
-            |k| {
-                k.st_shared(counters, tid, 0u32);
-            },
-        );
+        k.if_(Expr::from(tid).lt((warps_assumed * BUCKETS) as i32), |k| {
+            k.st_shared(counters, tid, 0u32);
+        });
         k.barrier();
         // warp-synchronous serial ranking: lane l of each (assumed 32-wide)
         // warp takes its turn; no barrier needed on 32-wide hardware
@@ -248,7 +245,10 @@ impl Benchmark for Rdxs {
         let n = self.n;
         assert_eq!(n % BLOCK, 0);
         let nblocks = n / BLOCK;
-        assert!(BUCKETS * nblocks <= 2 * BLOCK, "histogram must fit one scan block");
+        assert!(
+            BUCKETS * nblocks <= 2 * BLOCK,
+            "histogram must fit one scan block"
+        );
         let k_hist = gpu.build(&self.kernel_hist())?;
         let k_scan = gpu.build(&self.kernel_scan())?;
         let k_scat = gpu.build(&self.kernel_scatter())?;
@@ -256,14 +256,14 @@ impl Benchmark for Rdxs {
         let d_b = gpu.malloc((n * 4) as u64)?;
         let d_hist = gpu.malloc((2 * BLOCK * 4) as u64)?;
         let data = rand_u32(0x4D5, n as usize);
-        gpu.h2d_u32(d_a, &data)?;
+        gpu.h2d_t(d_a, &data)?;
         let mut stats = ExecStats::default();
         let win = Window::open(gpu);
         let (mut src, mut dst) = (d_a, d_b);
         for pass in 0..(32 / DIGIT_BITS) {
             let shift = (pass * DIGIT_BITS) as i32;
             // zero the padded histogram
-            gpu.h2d_u32(d_hist, &vec![0u32; (2 * BLOCK) as usize])?;
+            gpu.h2d_t(d_hist, &vec![0u32; (2 * BLOCK) as usize])?;
             let cfg = LaunchConfig::new(nblocks, BLOCK)
                 .arg_ptr(src)
                 .arg_ptr(d_hist)
@@ -285,7 +285,7 @@ impl Benchmark for Rdxs {
             std::mem::swap(&mut src, &mut dst);
         }
         let (wall_ns, kernel_ns, launches) = win.close(gpu);
-        let got = gpu.d2h_u32(src, n as usize)?;
+        let got = gpu.d2h_t::<u32>(src, n as usize)?;
         let want = Self::reference(&data);
         let verify = verdict(check_u32(&got, &want));
         Ok(RunOutput {

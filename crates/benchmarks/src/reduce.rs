@@ -8,7 +8,7 @@
 use crate::common::{check_f32, rng, verdict, Benchmark, Metric, RunOutput, Scale, Window};
 use gpucmp_compiler::{global_id_x, global_size_x, ld_global, Builtin, DslKernel, Expr, KernelDef};
 use gpucmp_ptx::Ty;
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::LaunchConfig;
 use rand::Rng;
 
@@ -59,11 +59,7 @@ impl Reduce {
         let s = k.let_(Ty::S32, (self.block_size / 2) as i32);
         k.while_(Expr::from(s).gt(0i32), |k| {
             k.if_(Expr::from(tid).lt(s), |k| {
-                k.st_shared(
-                    sm,
-                    tid,
-                    sm.ld(tid) + sm.ld(Expr::from(tid) + s),
-                );
+                k.st_shared(sm, tid, sm.ld(tid) + sm.ld(Expr::from(tid) + s));
             });
             k.barrier();
             k.assign(s, Expr::from(s) >> 1i32);
@@ -88,26 +84,32 @@ impl Benchmark for Reduce {
         let n = self.n as usize;
         let def = self.kernel();
         let h = gpu.build(&def)?;
-        let input = gpu.malloc((n * 4) as u64)?;
-        let partials = gpu.malloc((self.blocks as usize * 4) as u64)?;
-        let result = gpu.malloc((self.blocks as usize * 4).max(4) as u64)?;
+        let input = gpu.alloc::<f32>(n)?;
+        let partials = gpu.alloc::<f32>(self.blocks as usize)?;
+        let result = gpu.alloc::<f32>((self.blocks as usize).max(1))?;
         // small integers as f32: all tree orders sum exactly
-        let mut r = rng(0xEDC_E);
+        let mut r = rng(0xEDCE);
         let data: Vec<f32> = (0..n).map(|_| r.gen_range(0..8) as f32).collect();
-        gpu.h2d_f32(input, &data)?;
-        let cfg1 = LaunchConfig::new(self.blocks, self.block_size)
+        gpu.h2d_buf(&input, &data)?;
+        let cfg1 = LaunchConfig::builder()
+            .grid(self.blocks)
+            .block(self.block_size)
             .arg_ptr(input)
             .arg_ptr(partials)
-            .arg_i32(n as i32);
-        let cfg2 = LaunchConfig::new(1u32, self.block_size)
+            .arg_i32(n as i32)
+            .build();
+        let cfg2 = LaunchConfig::builder()
+            .grid(1u32)
+            .block(self.block_size)
             .arg_ptr(partials)
             .arg_ptr(result)
-            .arg_i32(self.blocks as i32);
+            .arg_i32(self.blocks as i32)
+            .build();
         let w = Window::open(gpu);
         let l1 = gpu.launch(h, &cfg1)?;
         let l2 = gpu.launch(h, &cfg2)?;
         let (wall_ns, kernel_ns, launches) = w.close(gpu);
-        let got = gpu.d2h_f32(result, 1)?;
+        let got = gpu.d2h_t::<f32>(result.ptr(), 1)?;
         let want: f32 = data.iter().sum();
         let verify = verdict(check_f32(&got, &[want], 0.0));
         let mut stats = l1.report.stats;

@@ -8,7 +8,7 @@
 use crate::common::{check_u32, rand_u32, verdict, Benchmark, Metric, RunOutput, Scale, Window};
 use gpucmp_compiler::{ld_global, Builtin, DslKernel, Expr, KernelDef};
 use gpucmp_ptx::Ty;
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::{ExecStats, LaunchConfig};
 
 /// Threads per block (each block scans `2 * BLOCK` elements).
@@ -47,7 +47,11 @@ impl Scan {
         k.st_shared(
             sm,
             Expr::from(tid) * 2i32,
-            ld_global(input.clone(), Expr::from(base) + Expr::from(tid) * 2i32, Ty::U32),
+            ld_global(
+                input.clone(),
+                Expr::from(base) + Expr::from(tid) * 2i32,
+                Ty::U32,
+            ),
         );
         k.st_shared(
             sm,
@@ -187,8 +191,8 @@ impl Benchmark for Scan {
         let d_sums_scanned = gpu.malloc((per_block * 4) as u64)?;
         let d_total = gpu.malloc(16)?;
         let data = rand_u32(0x5CA9, n);
-        gpu.h2d_i32(d_sums, &vec![0i32; per_block])?;
-        gpu.h2d_u32(d_in, &data)?;
+        gpu.h2d_t(d_sums, &vec![0i32; per_block])?;
+        gpu.h2d_t(d_in, &data)?;
         let mut stats = ExecStats::default();
         let win = Window::open(gpu);
         let cfg1 = LaunchConfig::new(blocks, BLOCK)
@@ -209,7 +213,7 @@ impl Benchmark for Scan {
         let l = gpu.launch(uadd, &cfg3)?;
         stats.merge(&l.report.stats);
         let (wall_ns, kernel_ns, launches) = win.close(gpu);
-        let got = gpu.d2h_u32(d_out, n)?;
+        let got = gpu.d2h_t::<u32>(d_out, n)?;
         let want = Self::reference(&data);
         let verify = verdict(check_u32(&got, &want));
         Ok(RunOutput {

@@ -12,7 +12,7 @@
 use crate::common::{check_f32, rand_f32, verdict, Benchmark, Metric, RunOutput, Scale, Window};
 use gpucmp_compiler::{ld_global, Api, Builtin, DslKernel, Expr, KernelDef};
 use gpucmp_ptx::Ty;
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::LaunchConfig;
 
 /// The Sobel X kernel coefficients (row-major 3x3).
@@ -58,7 +58,11 @@ impl Sobel {
     }
 
     fn kernel(&self, use_const: bool) -> KernelDef {
-        let mut k = DslKernel::new(if use_const { "sobel_const" } else { "sobel_glob" });
+        let mut k = DslKernel::new(if use_const {
+            "sobel_const"
+        } else {
+            "sobel_glob"
+        });
         let img = k.param_ptr("img");
         let out = k.param_ptr("out");
         let w = k.param("w", Ty::S32);
@@ -106,19 +110,13 @@ impl Sobel {
                                 };
                                 let pix = ld_global(
                                     img.clone(),
-                                    (Expr::from(y) + (j - 1)) * w.clone() + Expr::from(x)
-                                        + (i - 1),
+                                    (Expr::from(y) + (j - 1)) * w.clone() + Expr::from(x) + (i - 1),
                                     Ty::F32,
                                 );
                                 k.assign(acc, Expr::from(acc) + coeff * pix);
                             }
                         }
-                        k.st_global(
-                            out.clone(),
-                            Expr::from(y) * w.clone() + x,
-                            Ty::F32,
-                            acc,
-                        );
+                        k.st_global(out.clone(), Expr::from(y) * w.clone() + x, Ty::F32, acc);
                     },
                     |k| {
                         k.st_global(out.clone(), Expr::from(y) * w.clone() + x, Ty::F32, 0.0f32);
@@ -143,7 +141,7 @@ impl Sobel {
                 let mut acc = 0.0f32;
                 for j in 0..3 {
                     for i in 0..3 {
-                        acc = (FILTER[j * 3 + i] * img[(y + j - 1) * w + (x + i - 1)]) + acc;
+                        acc += FILTER[j * 3 + i] * img[(y + j - 1) * w + (x + i - 1)];
                     }
                 }
                 out[y * w + x] = acc;
@@ -170,31 +168,26 @@ impl Benchmark for Sobel {
         let (w, h) = (self.width as usize, self.height as usize);
         let def = self.kernel(use_const);
         let kh = gpu.build(&def)?;
-        let img = gpu.malloc((w * h * 4) as u64)?;
-        let out = gpu.malloc((w * h * 4) as u64)?;
+        let img = gpu.alloc::<f32>(w * h)?;
+        let out = gpu.alloc::<f32>(w * h)?;
         let data = rand_f32(0x50BE1, w * h, 0.0, 1.0);
-        gpu.h2d_f32(img, &data)?;
-        let mut cfg = LaunchConfig::new(
-            (self.width / 16, self.height / 16),
-            (16u32, 16u32),
-        )
-        .arg_ptr(img)
-        .arg_ptr(out)
-        .arg_i32(self.width as i32)
-        .arg_i32(self.height as i32);
-        let filt = if !use_const {
-            let f = gpu.malloc(36)?;
-            gpu.h2d_f32(f, &FILTER)?;
+        gpu.h2d_buf(&img, &data)?;
+        let mut cfg = LaunchConfig::builder()
+            .grid((self.width / 16, self.height / 16))
+            .block((16u32, 16u32))
+            .arg_ptr(img)
+            .arg_ptr(out)
+            .arg_i32(self.width as i32)
+            .arg_i32(self.height as i32);
+        if !use_const {
+            let f = gpu.alloc::<f32>(FILTER.len())?;
+            gpu.h2d_buf(&f, &FILTER)?;
             cfg = cfg.arg_ptr(f);
-            Some(f)
-        } else {
-            None
-        };
-        let _ = filt;
+        }
         let win = Window::open(gpu);
-        let launch = gpu.launch(kh, &cfg)?;
+        let launch = gpu.launch(kh, cfg)?;
         let (wall_ns, kernel_ns, launches) = win.close(gpu);
-        let got = gpu.d2h_f32(out, w * h)?;
+        let got = gpu.d2h_buf(&out)?;
         let want = self.reference(&data);
         let verify = verdict(check_f32(&got, &want, 1e-4));
         Ok(RunOutput {

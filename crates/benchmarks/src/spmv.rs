@@ -13,9 +13,11 @@
 //! fetches it through texture memory.
 
 use crate::common::{check_f32, rng, verdict, Benchmark, Metric, RunOutput, Scale, Window};
-use gpucmp_compiler::{global_id_x, ld_global, tex1d, Api, Builtin, DslKernel, Expr, KernelDef, Unroll};
+use gpucmp_compiler::{
+    global_id_x, ld_global, tex1d, Api, Builtin, DslKernel, Expr, KernelDef, Unroll,
+};
 use gpucmp_ptx::Ty;
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::LaunchConfig;
 use rand::Rng;
 
@@ -207,11 +209,7 @@ impl Spmv {
         while stride > 0 {
             k.barrier();
             k.if_(Expr::from(lane).lt(stride as i32), |k| {
-                k.st_shared(
-                    sm,
-                    tid,
-                    sm.ld(tid) + sm.ld(Expr::from(tid) + stride as i32),
-                );
+                k.st_shared(sm, tid, sm.ld(tid) + sm.ld(Expr::from(tid) + stride as i32));
             });
             stride /= 2;
         }
@@ -228,13 +226,13 @@ impl Spmv {
     /// fused; replicate exactly.
     fn reference(&self, m: &Csr, x: &[f32]) -> Vec<f32> {
         let mut y = vec![0.0f32; m.rows()];
-        for i in 0..m.rows() {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for e in m.row_offsets[i]..m.row_offsets[i + 1] {
                 let e = e as usize;
                 acc = m.vals[e].mul_add(x[m.cols[e] as usize], acc);
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -243,7 +241,7 @@ impl Spmv {
     fn reference_vector(&self, m: &Csr, x: &[f32]) -> Vec<f32> {
         let w = VWARP as usize;
         let mut y = vec![0.0f32; m.rows()];
-        for i in 0..m.rows() {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut partials = vec![0.0f32; w];
             let (s, e) = (m.row_offsets[i] as usize, m.row_offsets[i + 1] as usize);
             for (idx, e) in (s..e).enumerate() {
@@ -257,7 +255,7 @@ impl Spmv {
                 }
                 stride /= 2;
             }
-            y[i] = partials[0];
+            *yi = partials[0];
         }
         y
     }
@@ -289,10 +287,10 @@ impl Benchmark for Spmv {
         let d_off = gpu.malloc((m.row_offsets.len() * 4) as u64)?;
         let d_x = gpu.malloc((self.rows * 4) as u64)?;
         let d_y = gpu.malloc((self.rows * 4) as u64)?;
-        gpu.h2d_f32(d_vals, &m.vals)?;
-        gpu.h2d_i32(d_cols, &m.cols)?;
-        gpu.h2d_i32(d_off, &m.row_offsets)?;
-        gpu.h2d_f32(d_x, &x)?;
+        gpu.h2d_t(d_vals, &m.vals)?;
+        gpu.h2d_t(d_cols, &m.cols)?;
+        gpu.h2d_t(d_off, &m.row_offsets)?;
+        gpu.h2d_t(d_x, &x)?;
         let block = 128u32;
         let grid = match self.variant {
             SpmvVariant::Scalar => (self.rows as u32).div_ceil(block),
@@ -311,7 +309,7 @@ impl Benchmark for Spmv {
         let win = Window::open(gpu);
         let launch = gpu.launch(h, &cfg)?;
         let (wall_ns, kernel_ns, launches) = win.close(gpu);
-        let got = gpu.d2h_f32(d_y, self.rows)?;
+        let got = gpu.d2h_t::<f32>(d_y, self.rows)?;
         let want = match self.variant {
             SpmvVariant::Scalar => self.reference(&m, &x),
             SpmvVariant::Vector => self.reference_vector(&m, &x),
@@ -345,7 +343,11 @@ mod tests {
             assert!(r.verify.is_pass(), "tex={tex}: {:?}", r.verify);
         }
         let mut ocl = OpenCl::create_any(DeviceSpec::gtx480());
-        assert!(Spmv::new(Scale::Quick).run(&mut ocl).unwrap().verify.is_pass());
+        assert!(Spmv::new(Scale::Quick)
+            .run(&mut ocl)
+            .unwrap()
+            .verify
+            .is_pass());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use crate::common::{check_f32, rand_f32, verdict, Benchmark, Metric, RunOutput, Scale, Window};
 use gpucmp_compiler::{ld_global, Builtin, DslKernel, Expr, KernelDef};
 use gpucmp_ptx::Ty;
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::{ExecStats, LaunchConfig};
 
 /// Nine-point weights: center, edge (N/S/E/W), diagonal.
@@ -157,7 +157,7 @@ impl Benchmark for St2D {
         let buf_a = gpu.malloc((w * h * 4) as u64)?;
         let buf_b = gpu.malloc((w * h * 4) as u64)?;
         let data = rand_f32(0x57D2, w * h, 0.0, 1.0);
-        gpu.h2d_f32(buf_a, &data)?;
+        gpu.h2d_t(buf_a, &data)?;
         let mut stats = ExecStats::default();
         let win = Window::open(gpu);
         let (mut src, mut dst) = (buf_a, buf_b);
@@ -172,7 +172,7 @@ impl Benchmark for St2D {
             std::mem::swap(&mut src, &mut dst);
         }
         let (wall_ns, kernel_ns, launches) = win.close(gpu);
-        let got = gpu.d2h_f32(src, w * h)?;
+        let got = gpu.d2h_t::<f32>(src, w * h)?;
         let mut a = data.clone();
         let mut b = vec![0.0f32; w * h];
         for _ in 0..self.steps {

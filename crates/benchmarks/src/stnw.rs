@@ -13,7 +13,7 @@
 use crate::common::{check_u32, rand_u32, verdict, Benchmark, Metric, RunOutput, Scale, Window};
 use gpucmp_compiler::{ld_global, Builtin, DslKernel, Expr, KernelDef, Var};
 use gpucmp_ptx::Ty;
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::{ExecStats, LaunchConfig};
 
 /// Threads per block; each block owns `2 * BLOCK` elements.
@@ -42,7 +42,14 @@ impl Stnw {
 
     /// Emit one compare-exchange phase on the shared tile for stride `j`
     /// of stage `k_size`, using global indices for the direction.
-    fn shared_phase(k: &mut DslKernel, sm: gpucmp_compiler::SharedArray, base: Var, tid: Var, k_size: i64, j: i64) {
+    fn shared_phase(
+        k: &mut DslKernel,
+        sm: gpucmp_compiler::SharedArray,
+        base: Var,
+        tid: Var,
+        k_size: i64,
+        j: i64,
+    ) {
         k.barrier();
         // comparator t handles pair (i, i+j), i = (t/j)*2j + t%j
         let i_local = k.let_(
@@ -88,7 +95,11 @@ impl Stnw {
         k.st_shared(
             sm,
             Expr::from(tid) + BLOCK as i32,
-            ld_global(data.clone(), Expr::from(base) + Expr::from(tid) + BLOCK as i32, Ty::U32),
+            ld_global(
+                data.clone(),
+                Expr::from(base) + Expr::from(tid) + BLOCK as i32,
+                Ty::U32,
+            ),
         );
         let mut k_size = 2i64;
         while k_size <= TILE as i64 {
@@ -100,12 +111,7 @@ impl Stnw {
             k_size *= 2;
         }
         k.barrier();
-        k.st_global(
-            data.clone(),
-            Expr::from(base) + tid,
-            Ty::U32,
-            sm.ld(tid),
-        );
+        k.st_global(data.clone(), Expr::from(base) + tid, Ty::U32, sm.ld(tid));
         k.st_global(
             data,
             Expr::from(base) + Expr::from(tid) + BLOCK as i32,
@@ -128,8 +134,7 @@ impl Stnw {
         );
         let i = k.let_(
             Ty::S32,
-            (Expr::from(t) / j.clone()) * (Expr::from(j.clone()) * 2i32)
-                + Expr::from(t) % j.clone(),
+            (Expr::from(t) / j.clone()) * (j.clone() * 2i32) + Expr::from(t) % j.clone(),
         );
         let up = k.let_(
             Ty::S32,
@@ -162,11 +167,19 @@ impl Stnw {
         let sm = k.shared_array(Ty::U32, TILE);
         let tid = k.let_(Ty::S32, Expr::from(Builtin::TidX));
         let base = k.let_(Ty::S32, Expr::from(Builtin::CtaidX) * TILE as i32);
-        k.st_shared(sm, tid, ld_global(data.clone(), Expr::from(base) + tid, Ty::U32));
+        k.st_shared(
+            sm,
+            tid,
+            ld_global(data.clone(), Expr::from(base) + tid, Ty::U32),
+        );
         k.st_shared(
             sm,
             Expr::from(tid) + BLOCK as i32,
-            ld_global(data.clone(), Expr::from(base) + Expr::from(tid) + BLOCK as i32, Ty::U32),
+            ld_global(
+                data.clone(),
+                Expr::from(base) + Expr::from(tid) + BLOCK as i32,
+                Ty::U32,
+            ),
         );
         // direction is uniform per tile for k_size > TILE
         let up = k.let_(
@@ -217,17 +230,20 @@ impl Benchmark for Stnw {
 
     fn run(&self, gpu: &mut dyn Gpu) -> Result<RunOutput, RtError> {
         let n = self.n;
-        assert!(n.is_power_of_two() && n >= TILE, "n must be a power of two >= {TILE}");
+        assert!(
+            n.is_power_of_two() && n >= TILE,
+            "n must be a power of two >= {TILE}"
+        );
         let tiles = n / TILE;
         let sort_sh = gpu.build(&self.kernel_sort_shared())?;
         let merge_g = gpu.build(&self.kernel_merge_global())?;
         let merge_sh = gpu.build(&self.kernel_merge_shared())?;
         let d = gpu.malloc((n * 4) as u64)?;
         let data = rand_u32(0x57A7, n as usize);
-        gpu.h2d_u32(d, &data)?;
+        gpu.h2d_t(d, &data)?;
         let mut stats = ExecStats::default();
         let win = Window::open(gpu);
-        let l = gpu.launch(sort_sh, &LaunchConfig::new(tiles, BLOCK).arg_ptr(d))?;
+        let l = gpu.launch(sort_sh, LaunchConfig::new(tiles, BLOCK).arg_ptr(d))?;
         stats.merge(&l.report.stats);
         let mut k_size = (TILE * 2) as i64;
         while k_size <= n as i64 {
@@ -251,7 +267,7 @@ impl Benchmark for Stnw {
             k_size *= 2;
         }
         let (wall_ns, kernel_ns, launches) = win.close(gpu);
-        let got = gpu.d2h_u32(d, n as usize)?;
+        let got = gpu.d2h_t::<u32>(d, n as usize)?;
         let mut want = data.clone();
         want.sort_unstable();
         let verify = verdict(check_u32(&got, &want));

@@ -11,7 +11,7 @@
 use crate::common::{check_f32, rand_f32, verdict, Benchmark, Metric, RunOutput, Scale, Window};
 use gpucmp_compiler::{ld_global, Builtin, DslKernel, Expr, KernelDef};
 use gpucmp_ptx::Ty;
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::LaunchConfig;
 
 /// Tile edge.
@@ -77,14 +77,8 @@ impl TranP {
         let n = k.param("n", Ty::S32);
         let tx = k.let_(Ty::S32, Expr::from(Builtin::TidX));
         let ty_ = k.let_(Ty::S32, Expr::from(Builtin::TidY));
-        let x = k.let_(
-            Ty::S32,
-            Expr::from(Builtin::CtaidX) * TILE as i32 + tx,
-        );
-        let y = k.let_(
-            Ty::S32,
-            Expr::from(Builtin::CtaidY) * TILE as i32 + ty_,
-        );
+        let x = k.let_(Ty::S32, Expr::from(Builtin::CtaidX) * TILE as i32 + tx);
+        let y = k.let_(Ty::S32, Expr::from(Builtin::CtaidY) * TILE as i32 + ty_);
         if self.opts.use_shared {
             let tile = k.shared_array(Ty::F32, TILE * stride);
             k.st_shared(
@@ -93,14 +87,8 @@ impl TranP {
                 ld_global(input.clone(), Expr::from(y) * n.clone() + x, Ty::F32),
             );
             k.barrier();
-            let xo = k.let_(
-                Ty::S32,
-                Expr::from(Builtin::CtaidY) * TILE as i32 + tx,
-            );
-            let yo = k.let_(
-                Ty::S32,
-                Expr::from(Builtin::CtaidX) * TILE as i32 + ty_,
-            );
+            let xo = k.let_(Ty::S32, Expr::from(Builtin::CtaidY) * TILE as i32 + tx);
+            let yo = k.let_(Ty::S32, Expr::from(Builtin::CtaidX) * TILE as i32 + ty_);
             k.st_global(
                 output,
                 Expr::from(yo) * n.clone() + xo,
@@ -135,8 +123,8 @@ impl Benchmark for TranP {
         let h = gpu.build(&def)?;
         let input = gpu.malloc((n * n * 4) as u64)?;
         let output = gpu.malloc((n * n * 4) as u64)?;
-        let data = rand_f32(0x7104_5, n * n, -1.0, 1.0);
-        gpu.h2d_f32(input, &data)?;
+        let data = rand_f32(0x71045, n * n, -1.0, 1.0);
+        gpu.h2d_t(input, &data)?;
         let cfg = LaunchConfig::new((self.n / TILE, self.n / TILE), (TILE, TILE))
             .arg_ptr(input)
             .arg_ptr(output)
@@ -144,7 +132,7 @@ impl Benchmark for TranP {
         let w = Window::open(gpu);
         let launch = gpu.launch(h, &cfg)?;
         let (wall_ns, kernel_ns, launches) = w.close(gpu);
-        let got = gpu.d2h_f32(output, n * n)?;
+        let got = gpu.d2h_t::<f32>(output, n * n)?;
         let mut want = vec![0.0f32; n * n];
         for y in 0..n {
             for x in 0..n {

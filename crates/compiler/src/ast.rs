@@ -610,7 +610,9 @@ impl Expr {
         self.cmp(CmpOp::Ge, rhs)
     }
 
-    /// Unary negation.
+    /// Unary negation. Named like the DSL's other builders rather than
+    /// going through `std::ops::Neg`.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Expr {
         Expr::Un(Op1::Neg, Box::new(self))
     }
@@ -653,7 +655,11 @@ impl Expr {
 
 /// `cond ? a : b`.
 pub fn select(cond: impl Into<Expr>, a: impl Into<Expr>, b: impl Into<Expr>) -> Expr {
-    Expr::Select(Box::new(cond.into()), Box::new(a.into()), Box::new(b.into()))
+    Expr::Select(
+        Box::new(cond.into()),
+        Box::new(a.into()),
+        Box::new(b.into()),
+    )
 }
 
 /// Global element load.

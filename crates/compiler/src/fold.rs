@@ -89,14 +89,20 @@ pub fn fold_expr(e: &Expr, level: FoldLevel) -> Expr {
                 }
                 // Algebraic identities.
                 match (*op, &a, &b) {
-                    (Op2::Add, x, Expr::ImmI(0)) | (Op2::Sub, x, Expr::ImmI(0)) => return x.clone(),
+                    (Op2::Add, x, Expr::ImmI(0)) | (Op2::Sub, x, Expr::ImmI(0)) => {
+                        return x.clone()
+                    }
                     (Op2::Add, Expr::ImmI(0), x) => return x.clone(),
-                    (Op2::Mul, x, Expr::ImmI(1)) | (Op2::Div, x, Expr::ImmI(1)) => return x.clone(),
+                    (Op2::Mul, x, Expr::ImmI(1)) | (Op2::Div, x, Expr::ImmI(1)) => {
+                        return x.clone()
+                    }
                     (Op2::Mul, Expr::ImmI(1), x) => return x.clone(),
                     (Op2::Mul, _, Expr::ImmI(0)) | (Op2::Mul, Expr::ImmI(0), _) => {
                         return Expr::ImmI(0)
                     }
-                    (Op2::Shl, x, Expr::ImmI(0)) | (Op2::Shr, x, Expr::ImmI(0)) => return x.clone(),
+                    (Op2::Shl, x, Expr::ImmI(0)) | (Op2::Shr, x, Expr::ImmI(0)) => {
+                        return x.clone()
+                    }
                     (Op2::And, _, Expr::ImmI(0)) | (Op2::And, Expr::ImmI(0), _) => {
                         return Expr::ImmI(0)
                     }
@@ -157,7 +163,12 @@ pub fn fold_expr(e: &Expr, level: FoldLevel) -> Expr {
             }
             Expr::Cast(*ty, Box::new(a))
         }
-        Expr::Load { space, base, index, ty } => Expr::Load {
+        Expr::Load {
+            space,
+            base,
+            index,
+            ty,
+        } => Expr::Load {
             space: *space,
             base: Box::new(fold_expr(base, level)),
             index: Box::new(fold_expr(index, level)),
@@ -180,7 +191,13 @@ pub fn fold_stmts(stmts: &[Stmt], level: FoldLevel) -> Vec<Stmt> {
         match s {
             Stmt::Let(v, e) => out.push(Stmt::Let(*v, fold_expr(e, level))),
             Stmt::Assign(v, e) => out.push(Stmt::Assign(*v, fold_expr(e, level))),
-            Stmt::Store { space, base, index, ty, value } => out.push(Stmt::Store {
+            Stmt::Store {
+                space,
+                base,
+                index,
+                ty,
+                value,
+            } => out.push(Stmt::Store {
                 space: *space,
                 base: fold_expr(base, level),
                 index: fold_expr(index, level),
@@ -199,7 +216,14 @@ pub fn fold_stmts(stmts: &[Stmt], level: FoldLevel) -> Vec<Stmt> {
                 }
                 out.push(Stmt::If { cond, then_, else_ });
             }
-            Stmt::For { var, start, end, step, unroll, body } => out.push(Stmt::For {
+            Stmt::For {
+                var,
+                start,
+                end,
+                step,
+                unroll,
+                body,
+            } => out.push(Stmt::For {
                 var: *var,
                 start: fold_expr(start, level),
                 end: fold_expr(end, level),
@@ -212,17 +236,23 @@ pub fn fold_stmts(stmts: &[Stmt], level: FoldLevel) -> Vec<Stmt> {
                 body: fold_stmts(body, level),
             }),
             Stmt::Barrier => out.push(Stmt::Barrier),
-            Stmt::AtomicRmw { op, space, base, index, ty, value, old } => {
-                out.push(Stmt::AtomicRmw {
-                    op: *op,
-                    space: *space,
-                    base: fold_expr(base, level),
-                    index: fold_expr(index, level),
-                    ty: *ty,
-                    value: fold_expr(value, level),
-                    old: *old,
-                })
-            }
+            Stmt::AtomicRmw {
+                op,
+                space,
+                base,
+                index,
+                ty,
+                value,
+                old,
+            } => out.push(Stmt::AtomicRmw {
+                op: *op,
+                space: *space,
+                base: fold_expr(base, level),
+                index: fold_expr(index, level),
+                ty: *ty,
+                value: fold_expr(value, level),
+                old: *old,
+            }),
         }
     }
     out
@@ -321,6 +351,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)]
     fn identities() {
         let v = Expr::Var(crate::ast::Var { id: 0, ty: Ty::S32 });
         let e = v.clone() * 1i32 + 0i32;
@@ -334,7 +365,10 @@ mod tests {
     #[test]
     fn division_by_zero_not_folded() {
         let e = Expr::from(1i32) / 0i32;
-        assert!(matches!(fold_expr(&e, FoldLevel::Aggressive), Expr::Bin(..)));
+        assert!(matches!(
+            fold_expr(&e, FoldLevel::Aggressive),
+            Expr::Bin(..)
+        ));
     }
 
     #[test]
@@ -345,7 +379,7 @@ mod tests {
             then_: vec![Stmt::Let(v, Expr::ImmI(1))],
             else_: vec![Stmt::Let(v, Expr::ImmI(2))],
         };
-        let folded = fold_stmts(&[s.clone()], FoldLevel::Aggressive);
+        let folded = fold_stmts(std::slice::from_ref(&s), FoldLevel::Aggressive);
         assert_eq!(folded, vec![Stmt::Let(v, Expr::ImmI(2))]);
         let kept = fold_stmts(&[s], FoldLevel::Basic);
         assert!(matches!(kept[0], Stmt::If { .. }));

@@ -131,7 +131,11 @@ pub fn compile_with_style(
 }
 
 /// Compile for an API with a device register cap.
-pub fn compile(def: &KernelDef, api: Api, max_regs_per_thread: u32) -> Result<Compiled, CompileError> {
+pub fn compile(
+    def: &KernelDef,
+    api: Api,
+    max_regs_per_thread: u32,
+) -> Result<Compiled, CompileError> {
     compile_with_style(def, &api.style(), max_regs_per_thread)
 }
 
@@ -143,6 +147,7 @@ mod tests {
 
     /// A kernel with foldable structure: unrolled loop with per-iteration
     /// conditionals and constant math — a miniature of the FFT situation.
+    #[allow(clippy::approx_constant)] // deliberately a literal, like source code would have
     fn foldable_kernel() -> KernelDef {
         let mut k = DslKernel::new("mini_fft");
         let out = k.param_ptr("out");
@@ -176,10 +181,10 @@ mod tests {
             o.ptx_stats.class_total(InstClass::FlowControl)
         );
         // OpenCL strength-reduced to logic/shift ops; CUDA has none.
-        let o_bits = o.ptx_stats.class_total(InstClass::Logic)
-            + o.ptx_stats.class_total(InstClass::Shift);
-        let c_bits = c.ptx_stats.class_total(InstClass::Logic)
-            + c.ptx_stats.class_total(InstClass::Shift);
+        let o_bits =
+            o.ptx_stats.class_total(InstClass::Logic) + o.ptx_stats.class_total(InstClass::Shift);
+        let c_bits =
+            c.ptx_stats.class_total(InstClass::Logic) + c.ptx_stats.class_total(InstClass::Shift);
         assert!(o_bits > c_bits, "OpenCL bits={o_bits} CUDA bits={c_bits}");
         // CUDA is mov-heavy in PTX form.
         assert!(

@@ -32,6 +32,6 @@ pub use ast::{
 };
 pub use fold::FoldLevel;
 pub use frontend::{
-    compile, compile_with_style, cuda_style, opencl_style, Api, Compiled, CompileError,
+    compile, compile_with_style, cuda_style, opencl_style, Api, CompileError, Compiled,
 };
 pub use lower::CodegenStyle;

@@ -106,15 +106,11 @@ impl<'a> Lowerer<'a> {
         let mut params = Vec::new();
         let mut specials = Vec::new();
         scan_stmts(body, &mut |e| match e {
-            Expr::Param(i) => {
-                if !params.contains(i) {
-                    params.push(*i);
-                }
+            Expr::Param(i) if !params.contains(i) => {
+                params.push(*i);
             }
-            Expr::Special(s) => {
-                if !specials.contains(s) {
-                    specials.push(*s);
-                }
+            Expr::Special(s) if !specials.contains(s) => {
+                specials.push(*s);
             }
             _ => {}
         });
@@ -154,7 +150,13 @@ impl<'a> Lowerer<'a> {
                     self.b.emit(Inst::Mov { ty: v.ty, d, a: op });
                 }
             }
-            Stmt::Store { space, base, index, ty, value } => {
+            Stmt::Store {
+                space,
+                base,
+                index,
+                ty,
+                value,
+            } => {
                 let addr = self.address(*space, base, index, *ty);
                 let v = self.expr(value, *ty);
                 let v = self.maybe_mov(v, *ty);
@@ -182,10 +184,21 @@ impl<'a> Lowerer<'a> {
                     self.b.sync();
                 }
             }
-            Stmt::For { var, start, end, step, body, .. } => {
+            Stmt::For {
+                var,
+                start,
+                end,
+                step,
+                body,
+                ..
+            } => {
                 let d = self.var_reg(*var);
                 let s0 = self.expr(start, Ty::S32);
-                self.b.emit(Inst::Mov { ty: Ty::S32, d, a: s0 });
+                self.b.emit(Inst::Mov {
+                    ty: Ty::S32,
+                    d,
+                    a: s0,
+                });
                 let e0 = self.expr(end, Ty::S32);
                 // hoist a register copy so the bound isn't re-evaluated
                 let e0 = self.maybe_mov(e0, Ty::S32);
@@ -215,7 +228,15 @@ impl<'a> Lowerer<'a> {
                 self.b.sync();
             }
             Stmt::Barrier => self.b.bar(),
-            Stmt::AtomicRmw { op, space, base, index, ty, value, old } => {
+            Stmt::AtomicRmw {
+                op,
+                space,
+                base,
+                index,
+                ty,
+                value,
+                old,
+            } => {
                 let addr = self.address(*space, base, index, *ty);
                 let v = self.expr(value, *ty);
                 let d = self.b.atom(*space, *op, *ty, addr, v);
@@ -235,10 +256,7 @@ impl<'a> Lowerer<'a> {
     fn pred(&mut self, cond: &Expr) -> (Reg, bool) {
         match cond {
             Expr::Cmp(op, a, b) => {
-                let ty = self
-                    .infer(a)
-                    .or_else(|| self.infer(b))
-                    .unwrap_or(Ty::S32);
+                let ty = self.infer(a).or_else(|| self.infer(b)).unwrap_or(Ty::S32);
                 let va = self.expr(a, ty);
                 let vb = self.expr(b, ty);
                 (self.b.setp(*op, ty, va, vb), true)
@@ -269,7 +287,12 @@ impl<'a> Lowerer<'a> {
                 let va = self.expr(a, want);
                 let va = self.maybe_mov_if_style(va, want);
                 let d = dest.unwrap_or_else(|| self.b.reg(want));
-                self.b.emit(Inst::Un { op: *op, ty: want, d, a: va });
+                self.b.emit(Inst::Un {
+                    op: *op,
+                    ty: want,
+                    d,
+                    a: va,
+                });
                 Operand::Reg(d)
             }
             Expr::Bin(op, a, b) => {
@@ -299,15 +322,18 @@ impl<'a> Lowerer<'a> {
                 let vb = self.expr(b, bty);
                 let vb = self.maybe_mov_if_style(vb, bty);
                 let d = dest.unwrap_or_else(|| self.b.reg(want));
-                self.b.emit(Inst::Bin { op: *op, ty: want, d, a: va, b: vb });
+                self.b.emit(Inst::Bin {
+                    op: *op,
+                    ty: want,
+                    d,
+                    a: va,
+                    b: vb,
+                });
                 Operand::Reg(d)
             }
             Expr::Cmp(op, a, b) => {
                 // a comparison used as a value: produce 0/1 of `want`.
-                let ty = self
-                    .infer(a)
-                    .or_else(|| self.infer(b))
-                    .unwrap_or(Ty::S32);
+                let ty = self.infer(a).or_else(|| self.infer(b)).unwrap_or(Ty::S32);
                 let va = self.expr(a, ty);
                 let vb = self.expr(b, ty);
                 let p = self.b.setp(*op, ty, va, vb);
@@ -327,7 +353,13 @@ impl<'a> Lowerer<'a> {
                 let vb = self.expr(b, want);
                 let (va, vb) = if pol { (va, vb) } else { (vb, va) };
                 let d = dest.unwrap_or_else(|| self.b.reg(want));
-                self.b.emit(Inst::Selp { ty: want, d, a: va, b: vb, p });
+                self.b.emit(Inst::Selp {
+                    ty: want,
+                    d,
+                    a: va,
+                    b: vb,
+                    p,
+                });
                 Operand::Reg(d)
             }
             Expr::Cast(to, a) => {
@@ -337,13 +369,28 @@ impl<'a> Lowerer<'a> {
                 }
                 let va = self.expr(a, from);
                 let d = dest.unwrap_or_else(|| self.b.reg(*to));
-                self.b.emit(Inst::Cvt { dty: *to, sty: from, d, a: va });
+                self.b.emit(Inst::Cvt {
+                    dty: *to,
+                    sty: from,
+                    d,
+                    a: va,
+                });
                 Operand::Reg(d)
             }
-            Expr::Load { space, base, index, ty } => {
+            Expr::Load {
+                space,
+                base,
+                index,
+                ty,
+            } => {
                 let addr = self.address(*space, base, index, *ty);
                 let d = dest.unwrap_or_else(|| self.b.reg(*ty));
-                self.b.emit(Inst::Ld { space: *space, ty: *ty, d, addr });
+                self.b.emit(Inst::Ld {
+                    space: *space,
+                    ty: *ty,
+                    d,
+                    addr,
+                });
                 let r = Operand::Reg(d);
                 if *ty != want && want != Ty::Pred {
                     // loaded element feeding a different-typed context
@@ -365,20 +412,20 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn emit_mad(
-        &mut self,
-        x: &Expr,
-        y: &Expr,
-        c: &Expr,
-        want: Ty,
-        dest: Option<Reg>,
-    ) -> Operand {
+    fn emit_mad(&mut self, x: &Expr, y: &Expr, c: &Expr, want: Ty, dest: Option<Reg>) -> Operand {
         let vx = self.expr(x, want);
         let vy = self.expr(y, want);
         let vc = self.expr(c, want);
         let d = dest.unwrap_or_else(|| self.b.reg(want));
         let op = if want.is_float() { Op3::Fma } else { Op3::Mad };
-        self.b.emit(Inst::Tern { op, ty: want, d, a: vx, b: vy, c: vc });
+        self.b.emit(Inst::Tern {
+            op,
+            ty: want,
+            d,
+            a: vx,
+            b: vy,
+            c: vc,
+        });
         Operand::Reg(d)
     }
 
@@ -483,9 +530,7 @@ impl<'a> Lowerer<'a> {
             Expr::ImmI(_) | Expr::ImmF(_) | Expr::Param(_) | Expr::Special(_) => true,
             Expr::Un(_, a) | Expr::Cast(_, a) => self.memo_safe(a),
             Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => self.memo_safe(a) && self.memo_safe(b),
-            Expr::Select(c, a, b) => {
-                self.memo_safe(c) && self.memo_safe(a) && self.memo_safe(b)
-            }
+            Expr::Select(c, a, b) => self.memo_safe(c) && self.memo_safe(a) && self.memo_safe(b),
             // loads may read mutated memory
             Expr::Load { .. } | Expr::TexFetch { .. } => false,
         }
@@ -581,7 +626,10 @@ impl<'a> Lowerer<'a> {
         let scaled = if size == 1 {
             Operand::Reg(wide)
         } else if self.style.strength_reduce_bitops {
-            Operand::Reg(self.b.bin(Op2::Shl, Ty::U64, wide, size.trailing_zeros() as i64))
+            Operand::Reg(
+                self.b
+                    .bin(Op2::Shl, Ty::U64, wide, size.trailing_zeros() as i64),
+            )
         } else {
             Operand::Reg(self.b.bin(Op2::Mul, Ty::U64, wide, size))
         };
@@ -602,7 +650,12 @@ impl<'a> Lowerer<'a> {
 
     fn convert(&mut self, v: Operand, from: Ty, to: Ty) -> Operand {
         let d = self.b.reg(to);
-        self.b.emit(Inst::Cvt { dty: to, sty: from, d, a: v });
+        self.b.emit(Inst::Cvt {
+            dty: to,
+            sty: from,
+            d,
+            a: v,
+        });
         Operand::Reg(d)
     }
 
@@ -610,7 +663,11 @@ impl<'a> Lowerer<'a> {
     fn imm_operand(&mut self, imm: Operand, want: Ty, dest: Option<Reg>) -> Operand {
         if self.style.imm_via_mov {
             let d = dest.unwrap_or_else(|| self.b.reg(want));
-            self.b.emit(Inst::Mov { ty: want, d, a: imm });
+            self.b.emit(Inst::Mov {
+                ty: want,
+                d,
+                a: imm,
+            });
             Operand::Reg(d)
         } else {
             imm
@@ -729,7 +786,9 @@ fn scan_stmts(body: &[Stmt], f: &mut impl FnMut(&Expr)) {
     for s in body {
         match s {
             Stmt::Let(_, e) | Stmt::Assign(_, e) => scan_expr(e, f),
-            Stmt::Store { base, index, value, .. } => {
+            Stmt::Store {
+                base, index, value, ..
+            } => {
                 scan_expr(base, f);
                 scan_expr(index, f);
                 scan_expr(value, f);
@@ -739,7 +798,9 @@ fn scan_stmts(body: &[Stmt], f: &mut impl FnMut(&Expr)) {
                 scan_stmts(then_, f);
                 scan_stmts(else_, f);
             }
-            Stmt::For { start, end, body, .. } => {
+            Stmt::For {
+                start, end, body, ..
+            } => {
                 scan_expr(start, f);
                 scan_expr(end, f);
                 scan_stmts(body, f);
@@ -749,7 +810,9 @@ fn scan_stmts(body: &[Stmt], f: &mut impl FnMut(&Expr)) {
                 scan_stmts(body, f);
             }
             Stmt::Barrier => {}
-            Stmt::AtomicRmw { base, index, value, .. } => {
+            Stmt::AtomicRmw {
+                base, index, value, ..
+            } => {
                 scan_expr(base, f);
                 scan_expr(index, f);
                 scan_expr(value, f);

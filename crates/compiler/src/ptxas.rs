@@ -190,7 +190,14 @@ fn fuse_mad(kernel: &mut Kernel) -> usize {
                         };
                         if let Some(c) = c {
                             let op = if ty.is_float() { Op3::Fma } else { Op3::Mad };
-                            rest[0] = Inst::Tern { op, ty, d: e, a, b, c };
+                            rest[0] = Inst::Tern {
+                                op,
+                                ty,
+                                d: e,
+                                a,
+                                b,
+                                c,
+                            };
                             first[i] = Inst::Mov {
                                 ty,
                                 d,
@@ -256,7 +263,9 @@ mod tests {
             .body
             .iter()
             .find_map(|i| match i {
-                Inst::Bin { op: Op2::Add, a, .. } => Some(*a),
+                Inst::Bin {
+                    op: Op2::Add, a, ..
+                } => Some(*a),
                 _ => None,
             })
             .unwrap();
@@ -298,7 +307,10 @@ mod tests {
             .body
             .iter()
             .any(|i| matches!(i, Inst::Tern { op: Op3::Fma, .. })));
-        assert!(!k.body.iter().any(|i| matches!(i, Inst::Bin { op: Op2::Mul, .. })));
+        assert!(!k
+            .body
+            .iter()
+            .any(|i| matches!(i, Inst::Bin { op: Op2::Mul, .. })));
     }
 
     #[test]

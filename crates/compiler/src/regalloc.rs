@@ -119,10 +119,8 @@ pub fn build_cfg(kernel: &Kernel) -> Cfg {
                     is_leader[pc + 1] = true;
                 }
             }
-            Inst::Ret => {
-                if pc + 1 < n {
-                    is_leader[pc + 1] = true;
-                }
+            Inst::Ret if pc + 1 < n => {
+                is_leader[pc + 1] = true;
             }
             _ => {}
         }
@@ -132,9 +130,7 @@ pub fn build_cfg(kernel: &Kernel) -> Cfg {
     let mut blocks: Vec<Block> = Vec::with_capacity(leaders.len());
     for (bi, &start) in leaders.iter().enumerate() {
         let end = leaders.get(bi + 1).copied().unwrap_or(n);
-        for i in start..end {
-            block_of[i] = bi;
-        }
+        block_of[start..end].fill(bi);
         blocks.push(Block {
             start,
             end,
@@ -288,13 +284,13 @@ pub fn spill_to_local(kernel: &mut Kernel, budget: u32) -> u32 {
         }
         // Spill the longest-lived non-predicate candidates this round.
         let mut cands: Vec<(u32, usize)> = (0..kernel.regs.len())
-            .filter(|&r| {
-                kernel.regs[r] != Ty::Pred && !no_spill[r] && p.live_len[r] > 2
-            })
+            .filter(|&r| kernel.regs[r] != Ty::Pred && !no_spill[r] && p.live_len[r] > 2)
             .map(|r| (p.live_len[r], r))
             .collect();
         cands.sort_unstable_by(|a, b| b.cmp(a));
-        let take = ((p.max_live_slots - budget) as usize / 2 + 1).min(cands.len()).max(1);
+        let take = ((p.max_live_slots - budget) as usize / 2 + 1)
+            .min(cands.len())
+            .max(1);
         if cands.is_empty() {
             break;
         }
@@ -429,12 +425,7 @@ mod tests {
         for _ in 0..n_chain {
             prev = b.bin(Op2::Add, Ty::S32, prev, 1i32);
         }
-        b.st(
-            Space::Global,
-            Ty::S32,
-            Address::absolute(0),
-            prev,
-        );
+        b.st(Space::Global, Ty::S32, Address::absolute(0), prev);
         b.finish()
     }
 
@@ -486,12 +477,28 @@ mod tests {
         let lds = k
             .body
             .iter()
-            .filter(|i| matches!(i, Inst::Ld { space: Space::Local, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Ld {
+                        space: Space::Local,
+                        ..
+                    }
+                )
+            })
             .count();
         let sts = k
             .body
             .iter()
-            .filter(|i| matches!(i, Inst::St { space: Space::Local, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::St {
+                        space: Space::Local,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(lds > 0 && sts > 0);
     }
@@ -542,9 +549,7 @@ mod tests {
         let header = cfg
             .blocks
             .iter()
-            .position(|blk| {
-                (blk.start..blk.end).any(|pc| matches!(k.body[pc], Inst::Setp { .. }))
-            })
+            .position(|blk| (blk.start..blk.end).any(|pc| matches!(k.body[pc], Inst::Setp { .. })))
             .unwrap();
         assert!(lv.live_in[header].contains(acc.index()));
         assert!(lv.live_in[header].contains(i.index()));

@@ -55,7 +55,14 @@ pub fn unroll_stmts_with(
     let mut out = Vec::with_capacity(stmts.len());
     for s in stmts {
         match s {
-            Stmt::For { var, start, end, step, unroll, body } => {
+            Stmt::For {
+                var,
+                start,
+                end,
+                step,
+                unroll,
+                body,
+            } => {
                 let body = unroll_stmts_with(body, var_tys, opts, local_bytes);
                 match unroll {
                     Unroll::None => out.push(Stmt::For {
@@ -95,7 +102,15 @@ pub fn unroll_stmts_with(
                             }
                         }
                         partial_unroll(
-                            &mut out, *var, start, end, *step, k, &body, var_tys, opts,
+                            &mut out,
+                            *var,
+                            start,
+                            end,
+                            *step,
+                            k,
+                            &body,
+                            var_tys,
+                            opts,
                             local_bytes,
                         );
                     }
@@ -241,10 +256,8 @@ fn demote_carried(
     let mut upward: HashSet<u32> = HashSet::new();
     fn note_reads(e: &Expr, written: &HashSet<u32>, upward: &mut HashSet<u32>) {
         match e {
-            Expr::Var(v) => {
-                if !written.contains(&v.id) {
-                    upward.insert(v.id);
-                }
+            Expr::Var(v) if !written.contains(&v.id) => {
+                upward.insert(v.id);
             }
             Expr::Un(_, a) | Expr::Cast(_, a) => note_reads(a, written, upward),
             Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
@@ -271,7 +284,9 @@ fn demote_carried(
                     note_reads(e, written, upward);
                     written.insert(v.id);
                 }
-                Stmt::Store { base, index, value, .. } => {
+                Stmt::Store {
+                    base, index, value, ..
+                } => {
                     note_reads(base, written, upward);
                     note_reads(index, written, upward);
                     note_reads(value, written, upward);
@@ -281,7 +296,13 @@ fn demote_carried(
                     scan(then_, written, upward);
                     scan(else_, written, upward);
                 }
-                Stmt::For { start, end, body, var, .. } => {
+                Stmt::For {
+                    start,
+                    end,
+                    body,
+                    var,
+                    ..
+                } => {
                     note_reads(start, written, upward);
                     note_reads(end, written, upward);
                     written.insert(var.id);
@@ -292,7 +313,13 @@ fn demote_carried(
                     scan(body, written, upward);
                 }
                 Stmt::Barrier => {}
-                Stmt::AtomicRmw { base, index, value, old, .. } => {
+                Stmt::AtomicRmw {
+                    base,
+                    index,
+                    value,
+                    old,
+                    ..
+                } => {
                     note_reads(base, written, upward);
                     note_reads(index, written, upward);
                     note_reads(value, written, upward);
@@ -349,7 +376,12 @@ fn demote_carried(
 }
 
 /// Deterministic-order collection of carried variables.
-fn collect_carried(stmts: &[Stmt], written: &HashSet<u32>, upward: &HashSet<u32>, out: &mut Vec<Var>) {
+fn collect_carried(
+    stmts: &[Stmt],
+    written: &HashSet<u32>,
+    upward: &HashSet<u32>,
+    out: &mut Vec<Var>,
+) {
     for s in stmts {
         if let Stmt::Let(v, _) | Stmt::Assign(v, _) = s {
             if written.contains(&v.id)
@@ -404,7 +436,12 @@ fn demote_expr(e: &Expr, slots: &[(Var, i64)]) -> Expr {
             Box::new(demote_expr(a, slots)),
             Box::new(demote_expr(b, slots)),
         ),
-        Expr::Load { space, base, index, ty } => Expr::Load {
+        Expr::Load {
+            space,
+            base,
+            index,
+            ty,
+        } => Expr::Load {
             space: *space,
             base: Box::new(demote_expr(base, slots)),
             index: Box::new(demote_expr(index, slots)),
@@ -434,7 +471,13 @@ fn demote_stmt(s: &Stmt, slots: &[(Var, i64)]) -> Stmt {
                 None => Stmt::Assign(*v, e),
             }
         }
-        Stmt::Store { space, base, index, ty, value } => Stmt::Store {
+        Stmt::Store {
+            space,
+            base,
+            index,
+            ty,
+            value,
+        } => Stmt::Store {
             space: *space,
             base: demote_expr(base, slots),
             index: demote_expr(index, slots),
@@ -446,7 +489,14 @@ fn demote_stmt(s: &Stmt, slots: &[(Var, i64)]) -> Stmt {
             then_: then_.iter().map(|x| demote_stmt(x, slots)).collect(),
             else_: else_.iter().map(|x| demote_stmt(x, slots)).collect(),
         },
-        Stmt::For { var, start, end, step, unroll, body } => Stmt::For {
+        Stmt::For {
+            var,
+            start,
+            end,
+            step,
+            unroll,
+            body,
+        } => Stmt::For {
             var: *var,
             start: demote_expr(start, slots),
             end: demote_expr(end, slots),
@@ -459,7 +509,15 @@ fn demote_stmt(s: &Stmt, slots: &[(Var, i64)]) -> Stmt {
             body: body.iter().map(|x| demote_stmt(x, slots)).collect(),
         },
         Stmt::Barrier => Stmt::Barrier,
-        Stmt::AtomicRmw { op, space, base, index, ty, value, old } => Stmt::AtomicRmw {
+        Stmt::AtomicRmw {
+            op,
+            space,
+            base,
+            index,
+            ty,
+            value,
+            old,
+        } => Stmt::AtomicRmw {
             op: *op,
             space: *space,
             base: demote_expr(base, slots),
@@ -510,7 +568,9 @@ fn hoist_loads(body: &mut Vec<Stmt>, var_tys: &mut Vec<gpucmp_ptx::Ty>, opts: &U
             Stmt::Let(_, e) | Stmt::Assign(_, e) => {
                 hoist_in_expr(e, &defined, var_tys, opts, &mut hoisted)
             }
-            Stmt::Store { base, index, value, .. } => {
+            Stmt::Store {
+                base, index, value, ..
+            } => {
                 hoist_in_expr(base, &defined, var_tys, opts, &mut hoisted);
                 hoist_in_expr(index, &defined, var_tys, opts, &mut hoisted);
                 hoist_in_expr(value, &defined, var_tys, opts, &mut hoisted);
@@ -543,7 +603,12 @@ fn hoist_in_expr(
             hoist_in_expr(b, defined, var_tys, opts, hoisted);
         }
         Expr::TexFetch { index, .. } => hoist_in_expr(index, defined, var_tys, opts, hoisted),
-        Expr::Load { space, base, index, ty } => {
+        Expr::Load {
+            space,
+            base,
+            index,
+            ty,
+        } => {
             hoist_in_expr(index, defined, var_tys, opts, hoisted);
             let read_only_param = match &**base {
                 Expr::Param(p) => !opts.written_params.contains(p),
@@ -623,7 +688,12 @@ pub fn subst_expr(e: &Expr, var: Var, with: &Expr) -> Expr {
             Box::new(subst_expr(b, var, with)),
         ),
         Expr::Cast(ty, a) => Expr::Cast(*ty, Box::new(subst_expr(a, var, with))),
-        Expr::Load { space, base, index, ty } => Expr::Load {
+        Expr::Load {
+            space,
+            base,
+            index,
+            ty,
+        } => Expr::Load {
             space: *space,
             base: Box::new(subst_expr(base, var, with)),
             index: Box::new(subst_expr(index, var, with)),
@@ -650,7 +720,13 @@ pub fn subst_stmt(s: &Stmt, var: Var, with: &Expr) -> Stmt {
             debug_assert_ne!(v.id, var.id, "loop body writes its induction variable");
             Stmt::Assign(*v, subst_expr(e, var, with))
         }
-        Stmt::Store { space, base, index, ty, value } => Stmt::Store {
+        Stmt::Store {
+            space,
+            base,
+            index,
+            ty,
+            value,
+        } => Stmt::Store {
             space: *space,
             base: subst_expr(base, var, with),
             index: subst_expr(index, var, with),
@@ -662,7 +738,14 @@ pub fn subst_stmt(s: &Stmt, var: Var, with: &Expr) -> Stmt {
             then_: then_.iter().map(|s| subst_stmt(s, var, with)).collect(),
             else_: else_.iter().map(|s| subst_stmt(s, var, with)).collect(),
         },
-        Stmt::For { var: v, start, end, step, unroll, body } => Stmt::For {
+        Stmt::For {
+            var: v,
+            start,
+            end,
+            step,
+            unroll,
+            body,
+        } => Stmt::For {
             var: *v,
             start: subst_expr(start, var, with),
             end: subst_expr(end, var, with),
@@ -675,7 +758,15 @@ pub fn subst_stmt(s: &Stmt, var: Var, with: &Expr) -> Stmt {
             body: body.iter().map(|s| subst_stmt(s, var, with)).collect(),
         },
         Stmt::Barrier => Stmt::Barrier,
-        Stmt::AtomicRmw { op, space, base, index, ty, value, old } => Stmt::AtomicRmw {
+        Stmt::AtomicRmw {
+            op,
+            space,
+            base,
+            index,
+            ty,
+            value,
+            old,
+        } => Stmt::AtomicRmw {
             op: *op,
             space: *space,
             base: subst_expr(base, var, with),
@@ -708,10 +799,7 @@ mod tests {
         let (body, mut tys) = loop_kernel(Unroll::Full, 4);
         let u = unroll_stmts(&body, &mut tys);
         // 4 stores + final induction assignment, no For left
-        let stores = u
-            .iter()
-            .filter(|s| matches!(s, Stmt::Store { .. }))
-            .count();
+        let stores = u.iter().filter(|s| matches!(s, Stmt::Store { .. })).count();
         assert_eq!(stores, 4);
         assert!(!u.iter().any(|s| matches!(s, Stmt::For { .. })));
         // indices are substituted constants
@@ -775,7 +863,13 @@ mod tests {
         let def = k.finish();
         let mut tys = def.var_tys.clone();
         let u = unroll_stmts(&def.body, &mut tys);
-        assert!(matches!(u[0], Stmt::For { unroll: Unroll::None, .. }));
+        assert!(matches!(
+            u[0],
+            Stmt::For {
+                unroll: Unroll::None,
+                ..
+            }
+        ));
     }
 
     #[test]

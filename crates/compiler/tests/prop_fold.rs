@@ -91,17 +91,16 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             )
                 .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
             (
-                prop_oneof![
-                    Just(CmpOp::Eq),
-                    Just(CmpOp::Lt),
-                    Just(CmpOp::Ge),
-                ],
+                prop_oneof![Just(CmpOp::Eq), Just(CmpOp::Lt), Just(CmpOp::Ge),],
                 inner.clone(),
                 inner.clone()
             )
                 .prop_map(|(op, a, b)| Expr::Cmp(op, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| Expr::Select(Box::new(c), Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Expr::Select(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }

@@ -4,24 +4,46 @@
 
 use crate::pr::Pr;
 use gpucmp_benchmarks::common::{Benchmark, Scale, Verify};
+use gpucmp_benchmarks::{devicemem::DeviceMemory, maxflops::MaxFlops, mxm::MxM};
 use gpucmp_benchmarks::{fdtd::Fdtd, fft::Fft, md::Md, sobel::Sobel, spmv::Spmv};
-use gpucmp_benchmarks::{devicemem::DeviceMemory, maxflops::MaxFlops};
 use gpucmp_compiler::Api;
 use gpucmp_ptx::InstStats;
-use gpucmp_runtime::{ClStatus, Cuda, Gpu, OpenCl, RtError};
-use gpucmp_sim::DeviceSpec;
+use gpucmp_runtime::{ClStatus, Cuda, Gpu, GpuExt, OpenCl, RtError};
+use gpucmp_sim::{DeviceSpec, ExecOptions};
 use rayon::prelude::*;
 use std::fmt;
 
+/// Simulation options for experiment runs, from the environment.
+///
+/// `GPUCMP_SIM_THREADS=N` simulates thread blocks on `N` host workers
+/// (`0` = one per available core). Unset or unparsable means serial.
+/// Purely a host-side speed knob: every reported number is bit-identical
+/// for every setting.
+pub fn exec_options_from_env() -> ExecOptions {
+    std::env::var("GPUCMP_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(ExecOptions::with_threads)
+        .unwrap_or_default()
+}
+
 /// Run a benchmark through the CUDA runtime on `device`.
-pub fn run_cuda(bench: &dyn Benchmark, device: &DeviceSpec) -> Result<gpucmp_benchmarks::RunOutput, RtError> {
+pub fn run_cuda(
+    bench: &dyn Benchmark,
+    device: &DeviceSpec,
+) -> Result<gpucmp_benchmarks::RunOutput, RtError> {
     let mut gpu = Cuda::new(device.clone())?;
+    gpu.set_exec_options(exec_options_from_env());
     bench.run(&mut gpu)
 }
 
 /// Run a benchmark through the OpenCL runtime on `device`.
-pub fn run_opencl(bench: &dyn Benchmark, device: &DeviceSpec) -> Result<gpucmp_benchmarks::RunOutput, RtError> {
+pub fn run_opencl(
+    bench: &dyn Benchmark,
+    device: &DeviceSpec,
+) -> Result<gpucmp_benchmarks::RunOutput, RtError> {
     let mut gpu = OpenCl::create_any(device.clone());
+    gpu.set_exec_options(exec_options_from_env());
     bench.run(&mut gpu)
 }
 
@@ -196,11 +218,14 @@ impl Fig3 {
 
 impl fmt::Display for Fig3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig 3: PR = Perf_OpenCL / Perf_CUDA (unmodified benchmarks)")?;
         writeln!(
             f,
-            "{:<8} {:<8} {:>12} {:>12} {:<14} {:>7}  {}",
-            "App", "Device", "CUDA", "OpenCL", "unit", "PR", "verdict"
+            "Fig 3: PR = Perf_OpenCL / Perf_CUDA (unmodified benchmarks)"
+        )?;
+        writeln!(
+            f,
+            "{:<8} {:<8} {:>12} {:>12} {:<14} {:>7}  verdict",
+            "App", "Device", "CUDA", "OpenCL", "unit", "PR"
         )?;
         for r in &self.rows {
             writeln!(
@@ -257,6 +282,103 @@ pub fn fig3_performance_ratio(scale: Scale) -> Fig3 {
 }
 
 // ----------------------------------------------------------------------
+// Host-side parallel simulation speedup
+// ----------------------------------------------------------------------
+
+/// Host wall-clock comparison of serial vs block-parallel simulation of
+/// the same launches. The simulated results (stats, timing) are
+/// bit-identical; only the host time to produce them changes.
+#[derive(Clone, Debug)]
+pub struct ParallelSpeedup {
+    /// Benchmark used for the measurement.
+    pub bench: &'static str,
+    /// Device simulated.
+    pub device: &'static str,
+    /// Thread blocks simulated per run.
+    pub blocks: u64,
+    /// Host wall-clock at 1 worker, ns (execution + merge).
+    pub serial_ns: u64,
+    /// Host wall-clock at `threads` workers, ns (execution + merge).
+    pub parallel_ns: u64,
+    /// Worker threads used for the parallel run.
+    pub threads: usize,
+    /// CPU cores available to this process; speedup is bounded by
+    /// `min(threads, cores, blocks)`.
+    pub host_cores: usize,
+}
+
+impl ParallelSpeedup {
+    /// Serial / parallel host wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.serial_ns as f64 / self.parallel_ns as f64
+    }
+}
+
+impl fmt::Display for ParallelSpeedup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Host-side parallel simulation ({} on {}, {} blocks/launch)",
+            self.bench, self.device, self.blocks
+        )?;
+        writeln!(f, "  1 worker : {:>9.2} ms", self.serial_ns as f64 / 1e6)?;
+        writeln!(
+            f,
+            "  {} workers: {:>9.2} ms",
+            self.threads,
+            self.parallel_ns as f64 / 1e6
+        )?;
+        writeln!(
+            f,
+            "  speedup  : {:>9.2}x (simulated reports bit-identical)",
+            self.speedup()
+        )?;
+        if self.host_cores < self.threads {
+            writeln!(
+                f,
+                "  note     : only {} CPU core(s) available; wall-clock gain \
+                 is bounded by min(threads, cores)",
+                self.host_cores
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Measure the host wall-clock speedup of the block-parallel simulation
+/// engine on a compute-heavy launch (MxM), via the per-launch
+/// [`gpucmp_sim::ExecProfile`] counters. Best-of-3 per setting to damp
+/// scheduler noise.
+pub fn parallel_speedup(scale: Scale, threads: usize) -> ParallelSpeedup {
+    let device = DeviceSpec::gtx480();
+    let bench = MxM::new(scale);
+    let run_with = |threads: usize| -> (u64, u64) {
+        let mut best = u64::MAX;
+        let mut blocks = 0;
+        for _ in 0..3 {
+            let mut gpu = Cuda::new(device.clone()).expect("NVIDIA device");
+            gpu.set_exec_options(ExecOptions::with_threads(threads));
+            bench.run(&mut gpu).expect("MxM run");
+            let p = gpu.session().profile_total();
+            best = best.min(p.host_exec_ns + p.host_merge_ns);
+            blocks = p.blocks_simulated;
+        }
+        (best, blocks)
+    };
+    let (serial_ns, blocks) = run_with(1);
+    let (parallel_ns, _) = run_with(threads);
+    ParallelSpeedup {
+        bench: "MxM",
+        device: device.name,
+        blocks,
+        serial_ns,
+        parallel_ns,
+        threads,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+// ----------------------------------------------------------------------
 // Figs 4 & 5 — texture memory
 // ----------------------------------------------------------------------
 
@@ -301,7 +423,10 @@ pub struct TextureStudy {
 
 impl fmt::Display for TextureStudy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig 4: performance impact of texture memory (CUDA, GFlops/s)")?;
+        writeln!(
+            f,
+            "Fig 4: performance impact of texture memory (CUDA, GFlops/s)"
+        )?;
         writeln!(
             f,
             "{:<6} {:<8} {:>10} {:>12} {:>9}",
@@ -319,7 +444,10 @@ impl fmt::Display for TextureStudy {
             )?;
         }
         writeln!(f)?;
-        writeln!(f, "Fig 5: PR before/after removing texture from the CUDA version")?;
+        writeln!(
+            f,
+            "Fig 5: PR before/after removing texture from the CUDA version"
+        )?;
         writeln!(
             f,
             "{:<6} {:<8} {:>10} {:>10}",
@@ -420,7 +548,14 @@ impl fmt::Display for UnrollStudy {
         writeln!(
             f,
             "{:<8} {:>9} {:>9} {:>9} {:>9} | {:>11} {:>7} {:>13}",
-            "Device", "CUDA_ab", "CUDA_b", "OpenCL_b", "OpenCL_ab", "fig6 frac", "PR_b", "OCLab/CUDAab"
+            "Device",
+            "CUDA_ab",
+            "CUDA_b",
+            "OpenCL_b",
+            "OpenCL_ab",
+            "fig6 frac",
+            "PR_b",
+            "OCLab/CUDAab"
         )?;
         for r in &self.rows {
             writeln!(
@@ -512,7 +647,10 @@ impl fmt::Display for Fig8 {
             writeln!(
                 f,
                 "{:<8} {:>12.6} {:>14.6} {:>8.2}x",
-                r.device, r.with_const_s, r.without_const_s, r.speedup()
+                r.device,
+                r.with_const_s,
+                r.without_const_s,
+                r.speedup()
             )?;
         }
         Ok(())

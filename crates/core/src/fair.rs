@@ -162,8 +162,7 @@ impl Fairness {
     /// compiler-owned ones — the unavoidable difference when comparing two
     /// programming models on the same device with the same source.
     pub fn only_compilers_differ(&self) -> bool {
-        !self.differing.is_empty()
-            && self.differing.iter().all(|s| s.role() == Role::Compiler)
+        !self.differing.is_empty() && self.differing.iter().all(|s| s.role() == Role::Compiler)
     }
 }
 

@@ -47,8 +47,7 @@ mod tests {
         use gpucmp_ptx::InstClass;
         let t = table5_ptx_stats();
         assert!(
-            t.opencl.class_total(InstClass::Arithmetic)
-                > t.cuda.class_total(InstClass::Arithmetic)
+            t.opencl.class_total(InstClass::Arithmetic) > t.cuda.class_total(InstClass::Arithmetic)
         );
         assert!(
             t.opencl.class_total(InstClass::FlowControl)

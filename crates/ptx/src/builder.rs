@@ -181,7 +181,13 @@ impl KernelBuilder {
     }
 
     /// `setp` into a fresh predicate register.
-    pub fn setp(&mut self, cmp: CmpOp, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+    pub fn setp(
+        &mut self,
+        cmp: CmpOp,
+        ty: Ty,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> Reg {
         let d = self.reg(Ty::Pred);
         self.emit(Inst::Setp {
             cmp,

@@ -623,7 +623,14 @@ mod tests {
         assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
         assert_eq!(CmpOp::Lt.swapped(), CmpOp::Gt);
         assert_eq!(CmpOp::Eq.negated(), CmpOp::Ne);
-        for c in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for c in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(c.negated().negated(), c);
             assert_eq!(c.swapped().swapped(), c);
         }

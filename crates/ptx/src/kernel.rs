@@ -75,7 +75,10 @@ impl Kernel {
         for (pc, inst) in self.body.iter().enumerate() {
             if let Inst::Label(l) = inst {
                 if label_pc.insert(*l, pc).is_some() {
-                    return Err(format!("kernel {}: label L{} defined twice", self.name, l.0));
+                    return Err(format!(
+                        "kernel {}: label L{} defined twice",
+                        self.name, l.0
+                    ));
                 }
             }
         }

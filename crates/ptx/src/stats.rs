@@ -153,7 +153,8 @@ impl InstStats {
     /// layout of Table V.
     pub fn comparison_table(label_a: &str, a: &InstStats, label_b: &str, b: &InstStats) -> String {
         use std::fmt::Write as _;
-        let mut keys: Vec<(InstClass, String)> = a.rows.keys().chain(b.rows.keys()).cloned().collect();
+        let mut keys: Vec<(InstClass, String)> =
+            a.rows.keys().chain(b.rows.keys()).cloned().collect();
         keys.sort();
         keys.dedup();
         let mut out = String::new();
@@ -179,7 +180,14 @@ impl InstStats {
             }
             let ca = a.rows.get(&(*class, mnem.clone())).copied().unwrap_or(0);
             let cb = b.rows.get(&(*class, mnem.clone())).copied().unwrap_or(0);
-            let _ = writeln!(out, "{:<16} {:<12} {:>10} {:>10}", class.name(), mnem, ca, cb);
+            let _ = writeln!(
+                out,
+                "{:<16} {:<12} {:>10} {:>10}",
+                class.name(),
+                mnem,
+                ca,
+                cb
+            );
         }
         if let Some(prev) = current_class {
             let _ = writeln!(

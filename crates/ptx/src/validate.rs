@@ -42,9 +42,7 @@ pub fn validate_kernel(kernel: &Kernel) -> Result<(), ValidateError> {
     };
 
     // Labels resolve and are unique.
-    kernel
-        .resolve()
-        .map_err(|message| err(None, message))?;
+    kernel.resolve().map_err(|message| err(None, message))?;
 
     if kernel.body.is_empty() {
         return Err(err(None, "empty body".into()));
@@ -101,17 +99,13 @@ pub fn validate_kernel(kernel: &Kernel) -> Result<(), ValidateError> {
 
         // Predicate registers where predicates are expected.
         match inst {
-            Inst::Selp { p, .. } => {
-                if check_reg(pc, *p)? != Ty::Pred {
-                    return Err(err(Some(pc), "selp guard must be a predicate".into()));
-                }
+            Inst::Selp { p, .. } if check_reg(pc, *p)? != Ty::Pred => {
+                return Err(err(Some(pc), "selp guard must be a predicate".into()));
             }
             Inst::Bra {
                 pred: Some((p, _)), ..
-            } => {
-                if check_reg(pc, *p)? != Ty::Pred {
-                    return Err(err(Some(pc), "branch guard must be a predicate".into()));
-                }
+            } if check_reg(pc, *p)? != Ty::Pred => {
+                return Err(err(Some(pc), "branch guard must be a predicate".into()));
             }
             _ => {}
         }
@@ -128,7 +122,10 @@ pub fn validate_kernel(kernel: &Kernel) -> Result<(), ValidateError> {
             if off < 0 || off + 8 > max.max(8) && off >= max {
                 return Err(err(
                     Some(pc),
-                    format!("ld.param at byte {off} outside {} declared slots", kernel.params.len()),
+                    format!(
+                        "ld.param at byte {off} outside {} declared slots",
+                        kernel.params.len()
+                    ),
                 ));
             }
         }
@@ -184,7 +181,12 @@ mod tests {
         b.param("p", Ty::U64);
         let base = b.ld_param(0, Ty::U64);
         let v = b.ld(Space::Global, Ty::F32, Address::base(Operand::Reg(base)));
-        b.st(Space::Global, Ty::F32, Address::with_offset(base.into(), 4), v);
+        b.st(
+            Space::Global,
+            Ty::F32,
+            Address::with_offset(base.into(), 4),
+            v,
+        );
         let k = b.finish();
         validate_kernel(&k).unwrap();
     }

@@ -69,9 +69,9 @@ proptest! {
         }
         let k = b.finish();
         let r = k.resolve().unwrap();
-        for pc in 0..n {
+        for (pc, &label) in labels.iter().enumerate() {
             let t = r.target(pc);
-            prop_assert!(matches!(r.kernel.body[t], Inst::Label(l) if l == labels[pc]));
+            prop_assert!(matches!(r.kernel.body[t], Inst::Label(l) if l == label));
         }
     }
 

@@ -1,10 +1,23 @@
 //! The shared device session and the `Gpu` host-API trait.
+//!
+//! The trait splits in two so it stays object-safe (benchmarks run against
+//! `&mut dyn Gpu`): [`Gpu`] holds the dispatchable core (raw transfers,
+//! build, [`Gpu::launch_config`]), and the blanket extension [`GpuExt`]
+//! layers the generic typed API on top — [`GpuExt::h2d_t`] /
+//! [`GpuExt::d2h_t`] over [`DeviceScalar`], typed [`GpuExt::alloc`]
+//! returning [`Buffer`], and [`GpuExt::launch`] accepting any
+//! `impl Into<LaunchConfig>` (a config, a reference, or a
+//! [`gpucmp_sim::LaunchConfigBuilder`]).
 
+use crate::buffer::{Buffer, DeviceScalar};
 use crate::error::RtError;
 use gpucmp_compiler::{compile_with_style, Api, KernelDef};
 use gpucmp_ptx::ResolvedKernel;
+use gpucmp_sim::{
+    launch_with as sim_launch_with, DevPtr, DeviceSpec, ExecOptions, ExecProfile, GlobalMemory,
+    LaunchConfig, LaunchReport,
+};
 use std::sync::Arc;
-use gpucmp_sim::{launch as sim_launch, DevPtr, DeviceSpec, GlobalMemory, LaunchConfig, LaunchReport};
 
 /// PCIe effective host↔device bandwidth in GB/s (PCIe 2.0 x16 era).
 pub const PCIE_GBS: f64 = 5.7;
@@ -61,6 +74,8 @@ pub struct Session {
     now_ns: f64,
     launches: u64,
     kernel_ns_total: f64,
+    exec: ExecOptions,
+    profile_total: ExecProfile,
 }
 
 impl Session {
@@ -74,7 +89,20 @@ impl Session {
             now_ns: 0.0,
             launches: 0,
             kernel_ns_total: 0.0,
+            exec: ExecOptions::default(),
+            profile_total: ExecProfile::default(),
         }
+    }
+
+    /// How launches are simulated (host thread count). Purely a host-side
+    /// knob: reports are bit-identical for every setting.
+    pub fn exec_options(&self) -> ExecOptions {
+        self.exec
+    }
+
+    /// Set the simulation options for subsequent launches.
+    pub fn set_exec_options(&mut self, opts: ExecOptions) {
+        self.exec = opts;
     }
 
     /// Current virtual time in ns.
@@ -97,6 +125,12 @@ impl Session {
         self.kernel_ns_total
     }
 
+    /// Host-side simulator profiling summed over every launch so far:
+    /// blocks simulated, wall-clock execution/merge time, overlay traffic.
+    pub fn profile_total(&self) -> ExecProfile {
+        self.profile_total
+    }
+
     /// Look a loaded kernel up.
     pub fn kernel(&self, h: KernelHandle) -> Result<&LoadedKernel, RtError> {
         self.kernels.get(h.0).ok_or(RtError::BadHandle)
@@ -115,6 +149,14 @@ pub struct LaunchOutcome {
     pub report: LaunchReport,
     /// API-side launch overhead that was added to the clock, ns.
     pub overhead_ns: f64,
+}
+
+impl LaunchOutcome {
+    /// Host-side simulator profiling for this launch: blocks simulated,
+    /// worker threads used, wall-clock execution and merge time.
+    pub fn profile(&self) -> &ExecProfile {
+        &self.report.profile
+    }
 }
 
 /// The host-API surface shared by the CUDA-flavoured and OpenCL-flavoured
@@ -167,64 +209,60 @@ pub trait Gpu {
         Ok(())
     }
 
-    /// Typed convenience: upload f32 slice.
+    /// How launches on this runtime are simulated (host thread count).
+    fn exec_options(&self) -> ExecOptions {
+        self.session().exec_options()
+    }
+
+    /// Set the simulation options for subsequent launches. Host-side only:
+    /// reports stay bit-identical for every setting.
+    fn set_exec_options(&mut self, opts: ExecOptions) {
+        self.session_mut().set_exec_options(opts);
+    }
+
+    /// Deprecated alias for [`GpuExt::h2d_t`].
+    #[deprecated(since = "0.2.0", note = "use the generic `h2d_t`")]
     fn h2d_f32(&mut self, ptr: DevPtr, data: &[f32]) -> Result<(), RtError> {
-        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
-        self.h2d(ptr, &bytes)
+        self.h2d_t(ptr, data)
     }
 
-    /// Typed convenience: download f32 slice.
+    /// Deprecated alias for [`GpuExt::d2h_t`].
+    #[deprecated(since = "0.2.0", note = "use the generic `d2h_t`")]
     fn d2h_f32(&mut self, ptr: DevPtr, len: usize) -> Result<Vec<f32>, RtError> {
-        let mut bytes = vec![0u8; len * 4];
-        self.d2h(ptr, &mut bytes)?;
-        Ok(bytes
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect())
+        self.d2h_t(ptr, len)
     }
 
-    /// Typed convenience: upload u32 slice.
+    /// Deprecated alias for [`GpuExt::h2d_t`].
+    #[deprecated(since = "0.2.0", note = "use the generic `h2d_t`")]
     fn h2d_u32(&mut self, ptr: DevPtr, data: &[u32]) -> Result<(), RtError> {
-        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
-        self.h2d(ptr, &bytes)
+        self.h2d_t(ptr, data)
     }
 
-    /// Typed convenience: download u32 slice.
+    /// Deprecated alias for [`GpuExt::d2h_t`].
+    #[deprecated(since = "0.2.0", note = "use the generic `d2h_t`")]
     fn d2h_u32(&mut self, ptr: DevPtr, len: usize) -> Result<Vec<u32>, RtError> {
-        let mut bytes = vec![0u8; len * 4];
-        self.d2h(ptr, &mut bytes)?;
-        Ok(bytes
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-            .collect())
+        self.d2h_t(ptr, len)
     }
 
-    /// Typed convenience: upload i32 slice.
+    /// Deprecated alias for [`GpuExt::h2d_t`].
+    #[deprecated(since = "0.2.0", note = "use the generic `h2d_t`")]
     fn h2d_i32(&mut self, ptr: DevPtr, data: &[i32]) -> Result<(), RtError> {
-        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
-        self.h2d(ptr, &bytes)
+        self.h2d_t(ptr, data)
     }
 
-    /// Typed convenience: download i32 slice.
+    /// Deprecated alias for [`GpuExt::d2h_t`].
+    #[deprecated(since = "0.2.0", note = "use the generic `d2h_t`")]
     fn d2h_i32(&mut self, ptr: DevPtr, len: usize) -> Result<Vec<i32>, RtError> {
-        let mut bytes = vec![0u8; len * 4];
-        self.d2h(ptr, &mut bytes)?;
-        Ok(bytes
-            .chunks_exact(4)
-            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
-            .collect())
+        self.d2h_t(ptr, len)
     }
 
     /// Build a kernel through this API's front-end and load it.
     fn build(&mut self, def: &KernelDef) -> Result<KernelHandle, RtError> {
         let style = self.api().style();
         let cap = self.device().max_regs_per_thread;
-        let compiled = compile_with_style(def, &style, cap)
-            .map_err(|e| RtError::Compile(e.to_string()))?;
-        let resolved = compiled
-            .exec
-            .resolve()
-            .map_err(RtError::Compile)?;
+        let compiled =
+            compile_with_style(def, &style, cap).map_err(|e| RtError::Compile(e.to_string()))?;
+        let resolved = compiled.exec.resolve().map_err(RtError::Compile)?;
         let mut const_bank = def.const_data.clone();
         // pad to 16 bytes like a real constant bank image
         const_bank.resize(const_bank.len().next_multiple_of(16), 0);
@@ -239,8 +277,13 @@ pub trait Gpu {
     }
 
     /// Launch a kernel; advances the virtual clock by the API overhead plus
-    /// the modelled kernel duration.
-    fn launch(&mut self, h: KernelHandle, cfg: &LaunchConfig) -> Result<LaunchOutcome, RtError> {
+    /// the modelled kernel duration. Object-safe core — call sites usually
+    /// prefer [`GpuExt::launch`], which also takes builders by value.
+    fn launch_config(
+        &mut self,
+        h: KernelHandle,
+        cfg: &LaunchConfig,
+    ) -> Result<LaunchOutcome, RtError> {
         let overhead = self.submit_overhead_ns() + self.device().hw_launch_ns;
         {
             let kernel = self.session().kernel(h)?;
@@ -250,9 +293,11 @@ pub trait Gpu {
         // cheap Arc clones decouple the kernel from the session borrow
         let kernel = Arc::clone(&s.kernels[h.0].resolved);
         let const_bank = Arc::clone(&s.kernels[h.0].const_bank);
-        let report = sim_launch(&s.device, &kernel, &mut s.gmem, &const_bank, cfg)?;
+        let opts = s.exec;
+        let report = sim_launch_with(&s.device, &kernel, &mut s.gmem, &const_bank, cfg, &opts)?;
         s.launches += 1;
         s.kernel_ns_total += report.timing.total_ns;
+        s.profile_total.accumulate(&report.profile);
         s.advance_ns(overhead + report.timing.total_ns);
         Ok(LaunchOutcome {
             report,
@@ -260,3 +305,60 @@ pub trait Gpu {
         })
     }
 }
+
+/// Generic conveniences over [`Gpu`], blanket-implemented for every
+/// runtime *and* for `dyn Gpu` itself, so benchmarks written against
+/// `&mut dyn Gpu` get the typed API with static dispatch.
+pub trait GpuExt: Gpu {
+    /// Launch a kernel from anything convertible to a [`LaunchConfig`]:
+    /// an owned config, a `&LaunchConfig`, or a
+    /// [`gpucmp_sim::LaunchConfigBuilder`].
+    fn launch(
+        &mut self,
+        h: KernelHandle,
+        cfg: impl Into<LaunchConfig>,
+    ) -> Result<LaunchOutcome, RtError> {
+        let cfg = cfg.into();
+        self.launch_config(h, &cfg)
+    }
+
+    /// Upload a slice of any [`DeviceScalar`] type.
+    fn h2d_t<T: DeviceScalar>(&mut self, ptr: DevPtr, data: &[T]) -> Result<(), RtError> {
+        let mut bytes = Vec::with_capacity(data.len() * T::BYTES);
+        for v in data {
+            v.write_le(&mut bytes);
+        }
+        self.h2d(ptr, &bytes)
+    }
+
+    /// Download `len` elements of any [`DeviceScalar`] type.
+    fn d2h_t<T: DeviceScalar>(&mut self, ptr: DevPtr, len: usize) -> Result<Vec<T>, RtError> {
+        let mut bytes = vec![0u8; len * T::BYTES];
+        self.d2h(ptr, &mut bytes)?;
+        Ok(bytes.chunks_exact(T::BYTES).map(T::from_le).collect())
+    }
+
+    /// Allocate a typed device buffer of `len` elements.
+    fn alloc<T: DeviceScalar>(&mut self, len: usize) -> Result<Buffer<T>, RtError> {
+        let ptr = self.malloc((len * T::BYTES) as u64)?;
+        Ok(Buffer::from_raw(ptr, len))
+    }
+
+    /// Upload into a typed buffer (panics if `data` outgrows the buffer).
+    fn h2d_buf<T: DeviceScalar>(&mut self, buf: &Buffer<T>, data: &[T]) -> Result<(), RtError> {
+        assert!(
+            data.len() <= buf.len(),
+            "upload of {} elements into Buffer of {}",
+            data.len(),
+            buf.len()
+        );
+        self.h2d_t(buf.ptr(), data)
+    }
+
+    /// Download a typed buffer in full.
+    fn d2h_buf<T: DeviceScalar>(&mut self, buf: &Buffer<T>) -> Result<Vec<T>, RtError> {
+        self.d2h_t(buf.ptr(), buf.len())
+    }
+}
+
+impl<G: Gpu + ?Sized> GpuExt for G {}

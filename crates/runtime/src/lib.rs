@@ -22,14 +22,18 @@
 //! overheads and modelled kernel durations advance it; benchmarks read it
 //! like a wall-clock timer.
 
+pub mod buffer;
 pub mod cuda;
 pub mod error;
 pub mod gpu;
 pub mod opencl;
 
+pub use buffer::{Buffer, DeviceScalar};
 pub use cuda::{Cuda, CUDA_SUBMIT_NS};
 pub use error::{ClStatus, RtError};
-pub use gpu::{Gpu, KernelHandle, LaunchOutcome, LoadedKernel, Session, MEMCPY_LATENCY_NS, PCIE_GBS};
+pub use gpu::{
+    Gpu, GpuExt, KernelHandle, LaunchOutcome, LoadedKernel, Session, MEMCPY_LATENCY_NS, PCIE_GBS,
+};
 pub use opencl::{OpenCl, OPENCL_SUBMIT_NS, SPE_USABLE_LOCAL_STORE};
 
 #[cfg(test)]
@@ -58,16 +62,20 @@ mod tests {
         let mut cuda = Cuda::new(DeviceSpec::gtx480()).unwrap();
         let buf = cuda.malloc((n * 4) as u64).unwrap();
         let h = cuda.build(&def).unwrap();
-        let cfg = LaunchConfig::new(8u32, 128u32).arg_ptr(buf).arg_i32(n as i32);
+        let cfg = LaunchConfig::new(8u32, 128u32)
+            .arg_ptr(buf)
+            .arg_i32(n as i32);
         cuda.launch(h, &cfg).unwrap();
-        let out_c = cuda.d2h_f32(buf, n).unwrap();
+        let out_c = cuda.d2h_t::<f32>(buf, n).unwrap();
 
         let mut ocl = OpenCl::create_any(DeviceSpec::gtx480());
         let buf2 = ocl.malloc((n * 4) as u64).unwrap();
         let h2 = ocl.build(&def).unwrap();
-        let cfg2 = LaunchConfig::new(8u32, 128u32).arg_ptr(buf2).arg_i32(n as i32);
+        let cfg2 = LaunchConfig::new(8u32, 128u32)
+            .arg_ptr(buf2)
+            .arg_i32(n as i32);
         ocl.launch(h2, &cfg2).unwrap();
-        let out_o = ocl.d2h_f32(buf2, n).unwrap();
+        let out_o = ocl.d2h_t::<f32>(buf2, n).unwrap();
 
         assert_eq!(out_c, out_o);
         assert!(out_c.iter().all(|&v| v == 2.5));
@@ -88,11 +96,17 @@ mod tests {
         };
         let c = time_of(Box::new(Cuda::new(DeviceSpec::gtx280()).unwrap()));
         let o = time_of(Box::new(OpenCl::create_any(DeviceSpec::gtx280())));
-        assert!(o > c, "OpenCL launches ({o} ns) must cost more than CUDA ({c} ns)");
+        assert!(
+            o > c,
+            "OpenCL launches ({o} ns) must cost more than CUDA ({c} ns)"
+        );
         // the gap is roughly 10 x (submit difference)
         let gap = o - c;
         let expected = 10.0 * (OPENCL_SUBMIT_NS - CUDA_SUBMIT_NS);
-        assert!((gap - expected).abs() < expected * 0.5, "gap {gap} vs {expected}");
+        assert!(
+            (gap - expected).abs() < expected * 0.5,
+            "gap {gap} vs {expected}"
+        );
     }
 
     #[test]
@@ -101,11 +115,11 @@ mod tests {
         let buf = cuda.malloc(1 << 20).unwrap();
         let t0 = cuda.now_ns();
         let data = vec![1.0f32; 1 << 18];
-        cuda.h2d_f32(buf, &data).unwrap();
+        cuda.h2d_t(buf, &data).unwrap();
         let dt = cuda.now_ns() - t0;
         // 1 MiB at 5.7 GB/s ≈ 184 µs + 10 µs latency
         assert!(dt > 150_000.0 && dt < 300_000.0, "dt={dt}");
-        let back = cuda.d2h_f32(buf, 1 << 18).unwrap();
+        let back = cuda.d2h_t::<f32>(buf, 1 << 18).unwrap();
         assert_eq!(back, data);
     }
 

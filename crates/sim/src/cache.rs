@@ -37,7 +37,10 @@ impl Cache {
     /// Panics if the geometry is degenerate (zero size/line/assoc, or size
     /// not divisible into at least one set).
     pub fn new(size: u64, line: u64, assoc: u32) -> Self {
-        assert!(size > 0 && line > 0 && assoc > 0, "degenerate cache geometry");
+        assert!(
+            size > 0 && line > 0 && assoc > 0,
+            "degenerate cache geometry"
+        );
         assert!(line.is_power_of_two(), "line size must be a power of two");
         let lines = (size / line).max(1);
         let assoc = (assoc as u64).min(lines) as usize;
@@ -146,7 +149,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = Cache::new(1024, 64, 4); // 16 lines
-        // stream over 64 lines twice: second pass still misses (LRU thrash)
+                                             // stream over 64 lines twice: second pass still misses (LRU thrash)
         for _pass in 0..2 {
             for i in 0..64u64 {
                 c.access(i * 64);

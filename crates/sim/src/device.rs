@@ -152,7 +152,8 @@ impl DeviceSpec {
     /// Theoretical peak single-precision GFlops/s (paper Eq. 3:
     /// `CC * #Cores * R * 1e-9` with MHz clock).
     pub fn theoretical_peak_gflops(&self) -> f64 {
-        self.core_clock_mhz as f64 * 1e6
+        self.core_clock_mhz as f64
+            * 1e6
             * (self.compute_units * self.cores_per_cu) as f64
             * self.flops_per_core_per_clock
             * 1e-9
@@ -178,7 +179,12 @@ impl DeviceSpec {
     /// that fills. This is the standard CUDA occupancy computation and is
     /// what turns register pressure (e.g. the OpenCL FDTD outer unroll of
     /// the paper's Fig. 7) into a performance effect.
-    pub fn occupancy(&self, threads_per_block: u32, regs_per_thread: u32, smem_per_block: u32) -> Occupancy {
+    pub fn occupancy(
+        &self,
+        threads_per_block: u32,
+        regs_per_thread: u32,
+        smem_per_block: u32,
+    ) -> Occupancy {
         assert!(threads_per_block > 0, "empty block");
         let warps = self.warps_per_block(threads_per_block);
         let by_threads = self.max_threads_per_cu / threads_per_block;
@@ -187,17 +193,20 @@ impl DeviceSpec {
         // Register allocation granularity: per-warp, rounded to 4 regs/lane.
         let regs_per_warp = (regs_per_thread.max(1).next_multiple_of(4)) * self.warp_width;
         let by_regs = self.regs_per_cu / (regs_per_warp * warps).max(1);
-        let by_smem = if smem_per_block == 0 {
-            u32::MAX
-        } else {
-            self.shared_mem_per_cu / smem_per_block
-        };
+        let by_smem = self
+            .shared_mem_per_cu
+            .checked_div(smem_per_block)
+            .unwrap_or(u32::MAX);
         let mut blocks = by_threads
             .min(by_warps)
             .min(by_blocks)
             .min(by_regs)
             .min(by_smem);
-        let limiter = if blocks == by_regs && by_regs <= by_smem && by_regs <= by_blocks && by_regs <= by_warps {
+        let limiter = if blocks == by_regs
+            && by_regs <= by_smem
+            && by_regs <= by_blocks
+            && by_regs <= by_warps
+        {
             "registers"
         } else if blocks == by_smem && by_smem <= by_blocks && by_smem <= by_warps {
             "shared memory"
@@ -207,7 +216,10 @@ impl DeviceSpec {
             "warp slots"
         };
         blocks = blocks.max(1); // a single block always "fits" (may be the whole CU)
-        let warps_per_cu = (blocks * warps).min(self.max_warps_per_cu).max(warps.min(self.max_warps_per_cu)).max(1);
+        let warps_per_cu = (blocks * warps)
+            .min(self.max_warps_per_cu)
+            .max(warps.min(self.max_warps_per_cu))
+            .max(1);
         Occupancy {
             blocks_per_cu: blocks,
             warps_per_cu,
@@ -245,8 +257,16 @@ impl DeviceSpec {
             shared_banks: 16,
             l1: None,
             l2: None,
-            tex_cache: Some(CacheGeom { size: 8 * 1024, line: 64, assoc: 8 }),
-            const_cache: Some(CacheGeom { size: 8 * 1024, line: 64, assoc: 4 }),
+            tex_cache: Some(CacheGeom {
+                size: 8 * 1024,
+                line: 64,
+                assoc: 8,
+            }),
+            const_cache: Some(CacheGeom {
+                size: 8 * 1024,
+                line: 64,
+                assoc: 4,
+            }),
             segment_bytes: 64,
             coalesce_group: 16,
             // Achieved peak fractions in the paper: 68.6% of bandwidth,
@@ -295,10 +315,26 @@ impl DeviceSpec {
             shared_mem_per_cu: 48 * 1024,
             max_workgroup_size: 1024,
             shared_banks: 32,
-            l1: Some(CacheGeom { size: 16 * 1024, line: 128, assoc: 4 }),
-            l2: Some(CacheGeom { size: 768 * 1024, line: 128, assoc: 16 }),
-            tex_cache: Some(CacheGeom { size: 12 * 1024, line: 64, assoc: 8 }),
-            const_cache: Some(CacheGeom { size: 8 * 1024, line: 64, assoc: 4 }),
+            l1: Some(CacheGeom {
+                size: 16 * 1024,
+                line: 128,
+                assoc: 4,
+            }),
+            l2: Some(CacheGeom {
+                size: 768 * 1024,
+                line: 128,
+                assoc: 16,
+            }),
+            tex_cache: Some(CacheGeom {
+                size: 12 * 1024,
+                line: 64,
+                assoc: 8,
+            }),
+            const_cache: Some(CacheGeom {
+                size: 8 * 1024,
+                line: 64,
+                assoc: 4,
+            }),
             segment_bytes: 128,
             coalesce_group: 32,
             // Achieved peak fractions in the paper: 87.7% of bandwidth,
@@ -347,8 +383,16 @@ impl DeviceSpec {
             shared_banks: 32,
             l1: None,
             l2: None,
-            tex_cache: Some(CacheGeom { size: 8 * 1024, line: 64, assoc: 8 }),
-            const_cache: Some(CacheGeom { size: 8 * 1024, line: 64, assoc: 4 }),
+            tex_cache: Some(CacheGeom {
+                size: 8 * 1024,
+                line: 64,
+                assoc: 8,
+            }),
+            const_cache: Some(CacheGeom {
+                size: 8 * 1024,
+                line: 64,
+                assoc: 4,
+            }),
             segment_bytes: 128,
             coalesce_group: 64,
             dram_efficiency: 0.72,
@@ -390,8 +434,16 @@ impl DeviceSpec {
             shared_mem_per_cu: 32 * 1024,
             max_workgroup_size: 1024,
             shared_banks: 1,
-            l1: Some(CacheGeom { size: 32 * 1024, line: 64, assoc: 8 }),
-            l2: Some(CacheGeom { size: 8 * 1024 * 1024, line: 64, assoc: 16 }),
+            l1: Some(CacheGeom {
+                size: 32 * 1024,
+                line: 64,
+                assoc: 8,
+            }),
+            l2: Some(CacheGeom {
+                size: 8 * 1024 * 1024,
+                line: 64,
+                assoc: 16,
+            }),
             tex_cache: None,
             const_cache: None,
             segment_bytes: 64,

@@ -63,7 +63,12 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::OutOfBounds { space, addr, size, limit } => write!(
+            SimError::OutOfBounds {
+                space,
+                addr,
+                size,
+                limit,
+            } => write!(
                 f,
                 "out-of-bounds {space} access of {size} bytes at {addr:#x} (limit {limit:#x})"
             ),
@@ -79,8 +84,14 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidKernel(msg) => write!(f, "invalid kernel: {msg}"),
             SimError::InvalidLaunch(msg) => write!(f, "invalid launch: {msg}"),
-            SimError::OutOfMemory { requested, available } => {
-                write!(f, "device out of memory: requested {requested}, available {available}")
+            SimError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "device out of memory: requested {requested}, available {available}"
+                )
             }
             SimError::BadParamCount { expected, got } => {
                 write!(f, "kernel expects {expected} params, got {got}")

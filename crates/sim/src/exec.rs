@@ -1,23 +1,36 @@
-//! The lockstep SIMT interpreter.
+//! The lockstep SIMT interpreter and the parallel block scheduler.
 //!
 //! Warps execute in lockstep over the hardware wavefront width of the
 //! device; divergence is handled with an explicit reconvergence stack driven
 //! by the `ssy`/`sync` markers the compiler emits for structured control
-//! flow (see `gpucmp-ptx` docs). Blocks execute serially in grid order and
-//! warps within a block execute round-robin between barriers, so execution
-//! is fully deterministic — including the memory corruption produced by
-//! warp-size-dependent kernels on 64-wide devices (the paper's Table VI
-//! "FL" rows).
+//! flow (see `gpucmp-ptx` docs). Warps within a block execute round-robin
+//! between barriers, so execution is fully deterministic — including the
+//! memory corruption produced by warp-size-dependent kernels on 64-wide
+//! devices (the paper's Table VI "FL" rows).
+//!
+//! Thread blocks are independent (they synchronize only via `bar.sync`
+//! *within* a block), so [`run_launch`] simulates them across a host thread
+//! pool: every block interprets against the launch-entry global-memory
+//! image through a private copy-on-write [`WriteOverlay`], accumulates its
+//! own [`ExecStats`], and records its L2-bound traffic as an event stream.
+//! After the join, per-block results are merged in ascending block index —
+//! stats add, L2 events replay through the device-wide L2 model, overlays
+//! commit to global memory — which makes the result a pure function of the
+//! launch inputs: `threads = 1` and `threads = N` are bit-identical by
+//! construction. Kernels that perform *global* atomics (cross-block
+//! read-modify-writes) take a coherent serial fallback so atomics resolve
+//! in deterministic block order.
 
 use crate::cache::{Cache, CacheAccess};
 use crate::device::{Arch, DeviceSpec};
 use crate::error::SimError;
 use crate::launch::{Dim3, LaunchConfig, TexBinding};
-use crate::mem::GlobalMemory;
+use crate::mem::{GlobalMemory, WriteOverlay};
 use crate::stats::ExecStats;
 use gpucmp_ptx::{
     Address, AtomOp, CmpOp, Inst, Op1, Op2, Op3, Operand, Reg, ResolvedKernel, Space, Special, Ty,
 };
+use std::time::Instant;
 
 /// Default dynamic warp-instruction budget per launch (runaway-loop guard).
 pub const DEFAULT_INST_BUDGET: u64 = 4_000_000_000;
@@ -54,25 +67,324 @@ struct WarpState {
     base_tid: u32,
 }
 
-/// The interpreter for one kernel launch.
+/// Host-side execution options for one launch: *how* to simulate, never
+/// *what* to compute — results are bit-identical for every setting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Number of host threads used to simulate thread blocks. `1` runs
+    /// serially on the calling thread; `0` means one per available CPU core.
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { threads: 1 }
+    }
+}
+
+impl ExecOptions {
+    /// Serial execution on the calling thread (the default).
+    pub fn serial() -> Self {
+        ExecOptions::default()
+    }
+
+    /// Execute blocks across `threads` host threads (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecOptions { threads }
+    }
+
+    /// Resolve `threads == 0` to the host's available parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Host-side profiling counters for one launch. These measure the
+/// *simulator* (wall-clock), not the simulated device, and are excluded
+/// from determinism guarantees.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ExecProfile {
+    /// Thread blocks simulated.
+    pub blocks_simulated: u64,
+    /// Host worker threads actually used (after clamping to the grid).
+    pub host_threads: usize,
+    /// Host wall-clock spent interpreting blocks, including worker join.
+    pub host_exec_ns: u64,
+    /// Host wall-clock spent merging per-block results (stats, L2 replay,
+    /// overlay commit).
+    pub host_merge_ns: u64,
+    /// Bytes of global memory committed from per-block write overlays
+    /// (zero on the coherent serial path, which writes through).
+    pub overlay_bytes: u64,
+}
+
+impl ExecProfile {
+    /// Fold another launch's counters into this one (session totals).
+    /// Counts and times add; `host_threads` keeps the latest value.
+    pub fn accumulate(&mut self, other: &ExecProfile) {
+        self.blocks_simulated += other.blocks_simulated;
+        self.host_threads = other.host_threads;
+        self.host_exec_ns += other.host_exec_ns;
+        self.host_merge_ns += other.host_merge_ns;
+        self.overlay_bytes += other.overlay_bytes;
+    }
+}
+
+/// One L2-bound memory transaction recorded during snapshot execution and
+/// replayed through the device-wide L2 at merge time.
+#[derive(Clone, Copy, Debug)]
+struct L2Event {
+    addr: u64,
+    bytes: u64,
+    store: bool,
+}
+
+/// How a block's global-memory traffic reaches memory.
+enum GmemPath<'a> {
+    /// Direct mutable access with the device-wide L2 inline — the serial
+    /// fallback used when a kernel performs global atomics, whose
+    /// cross-block read-modify-writes must resolve in deterministic
+    /// (ascending) block order.
+    Coherent {
+        gmem: &'a mut GlobalMemory,
+        l2: Option<Cache>,
+    },
+    /// Per-block snapshot: reads see the launch-entry image plus this
+    /// block's own writes; writes land in a private overlay; L2-bound
+    /// traffic is recorded for ascending-order replay at merge time.
+    Snapshot {
+        base: &'a GlobalMemory,
+        overlay: WriteOverlay,
+        events: Vec<L2Event>,
+        record_l2: bool,
+    },
+}
+
+/// Everything a block produces under snapshot execution.
+struct BlockOutcome {
+    stats: ExecStats,
+    overlay: WriteOverlay,
+    events: Vec<L2Event>,
+}
+
+/// Validate a launch configuration against the device and kernel.
+fn validate_launch(
+    device: &DeviceSpec,
+    kernel: &ResolvedKernel,
+    cfg: &LaunchConfig,
+) -> Result<(), SimError> {
+    let k = &kernel.kernel;
+    if cfg.params.len() != k.params.len() {
+        return Err(SimError::BadParamCount {
+            expected: k.params.len(),
+            got: cfg.params.len(),
+        });
+    }
+    let threads = cfg.block.count();
+    if threads == 0 || cfg.grid.count() == 0 {
+        return Err(SimError::InvalidLaunch("empty grid or block".into()));
+    }
+    if threads > device.max_workgroup_size as u64 {
+        return Err(SimError::InvalidLaunch(format!(
+            "block of {threads} threads exceeds device max work-group size {}",
+            device.max_workgroup_size
+        )));
+    }
+    if k.shared_bytes > device.shared_mem_per_cu {
+        return Err(SimError::InvalidLaunch(format!(
+            "kernel needs {} bytes of shared memory, device CU has {}",
+            k.shared_bytes, device.shared_mem_per_cu
+        )));
+    }
+    Ok(())
+}
+
+/// Replay one block's recorded L2-bound traffic through the device-wide L2.
+/// Replaying blocks in ascending index order reproduces exactly the L2
+/// state evolution (hits, misses, DRAM traffic) of serial block execution.
+fn replay_l2(device: &DeviceSpec, l2: &mut Cache, stats: &mut ExecStats, events: &[L2Event]) {
+    for e in events {
+        stats.l2_touched_bytes += e.bytes;
+        match l2.access(e.addr) {
+            CacheAccess::Hit => stats.l2_hits += 1,
+            CacheAccess::Miss => {
+                stats.l2_misses += 1;
+                dram_traffic(device, stats, e.addr, e.bytes, e.store);
+            }
+        }
+    }
+}
+
+/// Execute every block of a launch, in parallel across `opts.threads` host
+/// threads, and return the merged statistics plus host-side profiling.
 ///
-/// Borrows the device, kernel and global memory; owns all per-launch cache
-/// state and statistics. Use [`crate::launch::launch`] for the one-call
-/// wrapper that also produces timing.
-pub struct Interpreter<'a> {
+/// Results are bit-identical for every thread count: blocks run against
+/// private snapshots and merge in ascending block index. Kernels with
+/// global atomics run serially on a coherent path at any thread count.
+pub fn run_launch(
+    device: &DeviceSpec,
+    kernel: &ResolvedKernel,
+    gmem: &mut GlobalMemory,
+    cfg: &LaunchConfig,
+    const_bank: &[u8],
+    opts: &ExecOptions,
+) -> Result<(ExecStats, ExecProfile), SimError> {
+    validate_launch(device, kernel, cfg)?;
+    let blocks = cfg.grid.count();
+    let block_threads = cfg.block.count() as u32;
+
+    let mut stats = ExecStats {
+        blocks,
+        threads: blocks * block_threads as u64,
+        ..ExecStats::default()
+    };
+    // Per-work-item scheduling overhead (CPU/Cell OpenCL runtimes).
+    if device.wi_overhead_cycles > 0.0 {
+        stats.issue_millicycles +=
+            (stats.threads as f64 * device.wi_overhead_cycles * 1000.0) as u64;
+    }
+    let mut profile = ExecProfile {
+        blocks_simulated: blocks,
+        ..ExecProfile::default()
+    };
+
+    let has_global_atomics = kernel.kernel.body.iter().any(|i| {
+        matches!(
+            i,
+            Inst::Atom {
+                space: Space::Global,
+                ..
+            }
+        )
+    });
+
+    let t_exec = Instant::now();
+    if has_global_atomics {
+        profile.host_threads = 1;
+        let path = GmemPath::Coherent {
+            gmem,
+            l2: device.l2.map(Cache::from_geom),
+        };
+        let mut exec = BlockExec::new(device, kernel, cfg, const_bank, path);
+        let mut result = Ok(());
+        for b in 0..blocks {
+            result = exec.run_linear_block(b);
+            if result.is_err() {
+                break;
+            }
+        }
+        stats.merge(&exec.stats);
+        profile.host_exec_ns = t_exec.elapsed().as_nanos() as u64;
+        result?;
+        return Ok((stats, profile));
+    }
+
+    let workers = opts.resolved_threads().clamp(1, blocks as usize);
+    profile.host_threads = workers;
+    let base: &GlobalMemory = &*gmem;
+    // Blocks are assigned round-robin (block i -> worker i % workers); each
+    // worker reuses one interpreter, resets the per-block instruction
+    // budget, and stops its span at the first error.
+    let run_span = |worker: usize| -> Vec<(u64, Result<BlockOutcome, SimError>)> {
+        let mut out = Vec::new();
+        let path = GmemPath::Snapshot {
+            base,
+            overlay: WriteOverlay::new(),
+            events: Vec::new(),
+            record_l2: device.l2.is_some(),
+        };
+        let mut exec = BlockExec::new(device, kernel, cfg, const_bank, path);
+        let mut b = worker as u64;
+        while b < blocks {
+            exec.budget = cfg.inst_budget;
+            match exec.run_linear_block(b) {
+                Ok(()) => out.push((b, Ok(exec.take_snapshot_outcome()))),
+                Err(e) => {
+                    out.push((b, Err(e)));
+                    break;
+                }
+            }
+            b += workers as u64;
+        }
+        out
+    };
+
+    let mut results: Vec<Option<Result<BlockOutcome, SimError>>> = Vec::new();
+    results.resize_with(blocks as usize, || None);
+    if workers == 1 {
+        for (b, r) in run_span(0) {
+            results[b as usize] = Some(r);
+        }
+    } else {
+        let run_span = &run_span;
+        let spans = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers).map(|w| s.spawn(move || run_span(w))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulation worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for span in spans {
+            for (b, r) in span {
+                results[b as usize] = Some(r);
+            }
+        }
+    }
+    profile.host_exec_ns = t_exec.elapsed().as_nanos() as u64;
+
+    // Merge in ascending block order: stats add, L2 events replay through
+    // the device-wide L2, overlays commit to global memory. On error the
+    // blocks below the first failing index are committed first — exactly
+    // the memory state serial execution leaves behind.
+    let t_merge = Instant::now();
+    let mut l2 = device.l2.map(Cache::from_geom);
+    for slot in results {
+        let Some(r) = slot else {
+            // Only reachable past a worker's error entry, which returns
+            // first in this ascending scan.
+            break;
+        };
+        match r {
+            Ok(outcome) => {
+                stats.merge(&outcome.stats);
+                if let Some(l2) = &mut l2 {
+                    replay_l2(device, l2, &mut stats, &outcome.events);
+                }
+                profile.overlay_bytes += outcome.overlay.commit(gmem);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    profile.host_merge_ns = t_merge.elapsed().as_nanos() as u64;
+    Ok((stats, profile))
+}
+
+/// The interpreter for one thread block at a time.
+///
+/// Owns all per-block cache state and statistics; global memory is reached
+/// through a [`GmemPath`]. Use [`crate::launch::launch_with`] for the
+/// one-call wrapper that also produces timing.
+struct BlockExec<'a> {
     device: &'a DeviceSpec,
     kernel: &'a ResolvedKernel,
-    gmem: &'a mut GlobalMemory,
+    path: GmemPath<'a>,
     const_bank: &'a [u8],
     textures: &'a [TexBinding],
     /// Parameter slots as raw 64-bit images.
     param_bytes: Vec<u8>,
     grid: Dim3,
     block: Dim3,
-    /// Statistics accumulated across all blocks.
-    pub stats: ExecStats,
-    /// L2 is device-wide: persistent across blocks within the launch.
-    l2: Option<Cache>,
+    /// Statistics for the block(s) run so far (snapshot workers drain this
+    /// after every block; the coherent path accumulates across the launch).
+    stats: ExecStats,
+    /// Remaining warp-instruction budget (per block under snapshot
+    /// execution, per launch on the coherent path).
     budget: u64,
     // ---- per-block state (reused across blocks to avoid reallocation) ----
     regs: Vec<u64>,
@@ -89,53 +401,29 @@ pub struct Interpreter<'a> {
     cur_block: u64,
 }
 
-impl<'a> Interpreter<'a> {
-    /// Build an interpreter for one launch.
-    pub fn new(
+impl<'a> BlockExec<'a> {
+    /// Build a block interpreter (the launch must already be validated).
+    fn new(
         device: &'a DeviceSpec,
         kernel: &'a ResolvedKernel,
-        gmem: &'a mut GlobalMemory,
         cfg: &'a LaunchConfig,
         const_bank: &'a [u8],
-    ) -> Result<Self, SimError> {
-        let k = &kernel.kernel;
-        if cfg.params.len() != k.params.len() {
-            return Err(SimError::BadParamCount {
-                expected: k.params.len(),
-                got: cfg.params.len(),
-            });
-        }
-        let threads = cfg.block.count();
-        if threads == 0 || cfg.grid.count() == 0 {
-            return Err(SimError::InvalidLaunch("empty grid or block".into()));
-        }
-        if threads > device.max_workgroup_size as u64 {
-            return Err(SimError::InvalidLaunch(format!(
-                "block of {threads} threads exceeds device max work-group size {}",
-                device.max_workgroup_size
-            )));
-        }
-        if k.shared_bytes > device.shared_mem_per_cu {
-            return Err(SimError::InvalidLaunch(format!(
-                "kernel needs {} bytes of shared memory, device CU has {}",
-                k.shared_bytes, device.shared_mem_per_cu
-            )));
-        }
+        path: GmemPath<'a>,
+    ) -> Self {
         let mut param_bytes = Vec::with_capacity(cfg.params.len() * 8);
         for p in &cfg.params {
             param_bytes.extend_from_slice(&p.to_le_bytes());
         }
-        Ok(Interpreter {
+        BlockExec {
             device,
             kernel,
-            gmem,
+            path,
             const_bank,
             textures: &cfg.textures,
             param_bytes,
             grid: cfg.grid,
             block: cfg.block,
             stats: ExecStats::default(),
-            l2: device.l2.map(Cache::from_geom),
             budget: cfg.inst_budget,
             regs: Vec::new(),
             shared: Vec::new(),
@@ -146,32 +434,52 @@ impl<'a> Interpreter<'a> {
             constc: None,
             lane_addr: Vec::new(),
             cur_block: 0,
-        })
+        }
     }
 
-    /// Execute every block of the grid. On success the statistics are in
-    /// [`Interpreter::stats`].
-    pub fn run(&mut self) -> Result<(), SimError> {
-        let blocks = self.grid.count();
-        let threads = self.block.count() as u32;
-        self.stats.blocks = blocks;
-        self.stats.threads = blocks * threads as u64;
-        // Per-work-item scheduling overhead (CPU/Cell OpenCL runtimes).
-        if self.device.wi_overhead_cycles > 0.0 {
-            self.stats.issue_millicycles +=
-                (self.stats.threads as f64 * self.device.wi_overhead_cycles * 1000.0) as u64;
+    /// Simulate the block with linear grid index `linear`. Per-block
+    /// statistics accumulate in `self.stats`; the launch-level `blocks` /
+    /// `threads` totals are set by the driver, not here.
+    fn run_linear_block(&mut self, linear: u64) -> Result<(), SimError> {
+        self.cur_block = linear;
+        let gx = self.grid.x as u64;
+        let gy = self.grid.y as u64;
+        let bx = (linear % gx) as u32;
+        let by = ((linear / gx) % gy) as u32;
+        let bz = (linear / (gx * gy)) as u32;
+        self.run_block(Dim3::new(bx, by, bz))
+    }
+
+    /// Drain this block's results (snapshot path only), leaving the
+    /// interpreter ready for its next block.
+    fn take_snapshot_outcome(&mut self) -> BlockOutcome {
+        let stats = std::mem::take(&mut self.stats);
+        match &mut self.path {
+            GmemPath::Snapshot {
+                overlay, events, ..
+            } => BlockOutcome {
+                stats,
+                overlay: std::mem::take(overlay),
+                events: std::mem::take(events),
+            },
+            GmemPath::Coherent { .. } => unreachable!("snapshot outcome on coherent path"),
         }
-        let mut linear = 0u64;
-        for bz in 0..self.grid.z {
-            for by in 0..self.grid.y {
-                for bx in 0..self.grid.x {
-                    self.cur_block = linear;
-                    linear += 1;
-                    self.run_block(Dim3::new(bx, by, bz))?;
-                }
-            }
+    }
+
+    /// Functional global-memory read through the active path.
+    fn gmem_read(&self, addr: u64, size: u32) -> Result<u64, SimError> {
+        match &self.path {
+            GmemPath::Coherent { gmem, .. } => gmem.read(addr, size),
+            GmemPath::Snapshot { base, overlay, .. } => overlay.read(base, addr, size),
         }
-        Ok(())
+    }
+
+    /// Functional global-memory write through the active path.
+    fn gmem_write(&mut self, addr: u64, size: u32, value: u64) -> Result<(), SimError> {
+        match &mut self.path {
+            GmemPath::Coherent { gmem, .. } => gmem.write(addr, size, value),
+            GmemPath::Snapshot { base, overlay, .. } => overlay.write(base, addr, size, value),
+        }
     }
 
     fn run_block(&mut self, ctaid: Dim3) -> Result<(), SimError> {
@@ -197,7 +505,11 @@ impl<'a> Interpreter<'a> {
         for w in 0..num_warps {
             let base_tid = w * ww;
             let lanes = (threads - base_tid).min(ww);
-            let full = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+            let full = if lanes == 64 {
+                u64::MAX
+            } else {
+                (1u64 << lanes) - 1
+            };
             self.warps.push(WarpState {
                 pc: 0,
                 active: full,
@@ -220,10 +532,7 @@ impl<'a> Interpreter<'a> {
             if all_done {
                 break;
             }
-            let none_running = self
-                .warps
-                .iter()
-                .all(|w| w.status != WarpStatus::Running);
+            let none_running = self.warps.iter().all(|w| w.status != WarpStatus::Running);
             if none_running {
                 // Everyone left is at a barrier; release if no warp already
                 // finished (CUDA requires all threads to reach the barrier).
@@ -570,13 +879,13 @@ impl<'a> Interpreter<'a> {
                     // No texture cache on this device: straight to DRAM.
                     self.stats.tex_misses += 1;
                     self.stats.gmem_transactions += 1;
-                    self.dram_traffic(l * line, line, false);
+                    dram_traffic(self.device, &mut self.stats, l * line, line, false);
                 }
             }
         }
         for i in 0..self.lane_addr.len() {
             let (tid, a) = self.lane_addr[i];
-            let v = self.gmem.read(a, size)?;
+            let v = self.gmem_read(a, size)?;
             self.set_reg(tid, d, load_extend(v, ty));
         }
         Ok(())
@@ -603,8 +912,8 @@ impl<'a> Interpreter<'a> {
             self.stats.gmem_transactions += self.lane_addr.len() as u64;
             for i in 0..self.lane_addr.len() {
                 let (_, a) = self.lane_addr[i];
-                self.dram_traffic(a, size as u64, false);
-                self.dram_traffic(a, size as u64, true);
+                dram_traffic(self.device, &mut self.stats, a, size as u64, false);
+                dram_traffic(self.device, &mut self.stats, a, size as u64, true);
             }
         } else {
             self.stats.shared_cycles += self.lane_addr.len() as u64;
@@ -719,8 +1028,8 @@ impl<'a> Interpreter<'a> {
                 let seg = self.device.segment_bytes.max(32) as u64;
                 let txns = bytes.div_ceil(seg);
                 let slot = self.lane_addr.first().map(|&(_, a)| a).unwrap_or(0);
-                let block_span = (self.kernel.kernel.local_bytes as u64 + 8)
-                    * self.block.count().max(1);
+                let block_span =
+                    (self.kernel.kernel.local_bytes as u64 + 8) * self.block.count().max(1);
                 let base = (1u64 << 40)
                     + self.cur_block * block_span.next_multiple_of(seg)
                     + slot * self.block.count().max(1);
@@ -735,11 +1044,7 @@ impl<'a> Interpreter<'a> {
                 addrs.sort_unstable();
                 addrs.dedup();
                 self.stats.const_serializations += addrs.len() as u64 - 1;
-                let line = self
-                    .constc
-                    .as_ref()
-                    .map(|cc| cc.line_bytes())
-                    .unwrap_or(64);
+                let line = self.constc.as_ref().map(|cc| cc.line_bytes()).unwrap_or(64);
                 let mut lines: Vec<u64> = addrs.iter().map(|a| a / line).collect();
                 lines.dedup();
                 for l in lines {
@@ -747,12 +1052,12 @@ impl<'a> Interpreter<'a> {
                         Some(cc) => {
                             if cc.access(l * line) == CacheAccess::Miss {
                                 self.stats.const_misses += 1;
-                                self.dram_traffic(l * line, line, false);
+                                dram_traffic(self.device, &mut self.stats, l * line, line, false);
                             }
                         }
                         None => {
                             self.stats.const_misses += 1;
-                            self.dram_traffic(l * line, line, false);
+                            dram_traffic(self.device, &mut self.stats, l * line, line, false);
                         }
                     }
                 }
@@ -783,41 +1088,41 @@ impl<'a> Interpreter<'a> {
         self.fill_from_l2_or_dram(addr, bytes, is_store);
     }
 
+    /// Route an L1-missing (or uncached) transaction toward L2/DRAM. On the
+    /// coherent path the device-wide L2 is consulted inline; under snapshot
+    /// execution the transaction is recorded for ascending-order replay at
+    /// merge time (L2 state is the only cross-block cache state), or sent
+    /// straight to DRAM on devices without an L2.
     fn fill_from_l2_or_dram(&mut self, addr: u64, bytes: u64, is_store: bool) {
-        if let Some(l2) = &mut self.l2 {
-            self.stats.l2_touched_bytes += bytes;
-            match l2.access(addr) {
-                CacheAccess::Hit => {
-                    self.stats.l2_hits += 1;
-                    return;
-                }
-                CacheAccess::Miss => {
-                    self.stats.l2_misses += 1;
+        match &mut self.path {
+            GmemPath::Coherent { l2: Some(l2), .. } => {
+                self.stats.l2_touched_bytes += bytes;
+                match l2.access(addr) {
+                    CacheAccess::Hit => self.stats.l2_hits += 1,
+                    CacheAccess::Miss => {
+                        self.stats.l2_misses += 1;
+                        dram_traffic(self.device, &mut self.stats, addr, bytes, is_store);
+                    }
                 }
             }
+            GmemPath::Coherent { l2: None, .. } => {
+                dram_traffic(self.device, &mut self.stats, addr, bytes, is_store);
+            }
+            GmemPath::Snapshot {
+                events,
+                record_l2: true,
+                ..
+            } => events.push(L2Event {
+                addr,
+                bytes,
+                store: is_store,
+            }),
+            GmemPath::Snapshot {
+                record_l2: false, ..
+            } => {
+                dram_traffic(self.device, &mut self.stats, addr, bytes, is_store);
+            }
         }
-        self.dram_traffic(addr, bytes, is_store);
-    }
-
-    /// Account DRAM traffic, including the per-partition striping that
-    /// produces GT200's partition-camping behaviour.
-    fn dram_traffic(&mut self, addr: u64, bytes: u64, is_store: bool) {
-        if is_store {
-            self.stats.dram_write_bytes += bytes;
-        } else {
-            self.stats.dram_read_bytes += bytes;
-        }
-        let parts = self.device.dram_partitions.max(1) as u64;
-        let stripe = addr / 256;
-        // Local (spill) space lives in the reserved high range; hardware
-        // interleaves it per-lane, which spreads partitions like a hash.
-        let p = if self.device.partition_hashed || addr >= (1u64 << 40) {
-            // Fermi-style address hash spreads any pattern evenly.
-            (stripe.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % parts
-        } else {
-            stripe % parts
-        };
-        self.stats.partition_bytes[p as usize] += bytes;
     }
 
     // ------------------------------------------------------------------
@@ -833,7 +1138,7 @@ impl<'a> Interpreter<'a> {
         size: u32,
     ) -> Result<u64, SimError> {
         match space {
-            Space::Global => self.gmem.read(addr, size),
+            Space::Global => self.gmem_read(addr, size),
             Space::Shared => read_bytes(&self.shared, addr, size, Space::Shared),
             Space::Local => {
                 let lb = self.kernel.kernel.local_bytes as u64;
@@ -863,7 +1168,7 @@ impl<'a> Interpreter<'a> {
         value: u64,
     ) -> Result<(), SimError> {
         match space {
-            Space::Global => self.gmem.write(addr, size, value),
+            Space::Global => self.gmem_write(addr, size, value),
             Space::Shared => write_bytes(&mut self.shared, addr, size, value, Space::Shared),
             Space::Local => {
                 let lb = self.kernel.kernel.local_bytes as u64;
@@ -1025,6 +1330,30 @@ impl<'a> Interpreter<'a> {
             Inst::Ret => 1000,
         }
     }
+}
+
+/// Account DRAM traffic, including the per-partition striping that
+/// produces GT200's partition-camping behaviour. Free function (rather
+/// than a method) so both block interpreters and the merge-time L2 replay
+/// can charge traffic against any stats accumulator; every counter it
+/// touches is a commutative sum, so per-block accounting merges exactly.
+fn dram_traffic(device: &DeviceSpec, stats: &mut ExecStats, addr: u64, bytes: u64, is_store: bool) {
+    if is_store {
+        stats.dram_write_bytes += bytes;
+    } else {
+        stats.dram_read_bytes += bytes;
+    }
+    let parts = device.dram_partitions.max(1) as u64;
+    let stripe = addr / 256;
+    // Local (spill) space lives in the reserved high range; hardware
+    // interleaves it per-lane, which spreads partitions like a hash.
+    let p = if device.partition_hashed || addr >= (1u64 << 40) {
+        // Fermi-style address hash spreads any pattern evenly.
+        (stripe.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % parts
+    } else {
+        stripe % parts
+    };
+    stats.partition_bytes[p as usize] += bytes;
 }
 
 // ----------------------------------------------------------------------
@@ -1265,7 +1594,11 @@ fn alu2(op: Op2, ty: Ty, a: u64, b: u64) -> Result<u64, SimError> {
 
 /// and/or/xor/shl/shr on raw bits of the given width.
 fn int_logic(op: Op2, a: u64, b: u64, width: u32) -> Result<u64, SimError> {
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let r = match op {
         Op2::And => a & b,
         Op2::Or => a | b,
@@ -1399,31 +1732,41 @@ fn convert(v: u64, sty: Ty, dty: Ty) -> u64 {
             Num::U(x) => x as f64,
             Num::F(x) => x,
         }),
-        Ty::S32 => (match n {
-            Num::I(x) => x as i32,
-            Num::U(x) => x as i32,
-            Num::F(x) => x as i32,
-        }) as u32 as u64,
-        Ty::S64 => (match n {
-            Num::I(x) => x,
-            Num::U(x) => x as i64,
-            Num::F(x) => x as i64,
-        }) as u64,
-        Ty::U32 | Ty::B32 => (match n {
-            Num::I(x) => x as u32,
-            Num::U(x) => x as u32,
-            Num::F(x) => x as u32,
-        }) as u64,
-        Ty::B8 => (match n {
-            Num::I(x) => x as u8,
-            Num::U(x) => x as u8,
-            Num::F(x) => x as u8,
-        }) as u64,
-        Ty::B16 => (match n {
-            Num::I(x) => x as u16,
-            Num::U(x) => x as u16,
-            Num::F(x) => x as u16,
-        }) as u64,
+        Ty::S32 => {
+            (match n {
+                Num::I(x) => x as i32,
+                Num::U(x) => x as i32,
+                Num::F(x) => x as i32,
+            }) as u32 as u64
+        }
+        Ty::S64 => {
+            (match n {
+                Num::I(x) => x,
+                Num::U(x) => x as i64,
+                Num::F(x) => x as i64,
+            }) as u64
+        }
+        Ty::U32 | Ty::B32 => {
+            (match n {
+                Num::I(x) => x as u32,
+                Num::U(x) => x as u32,
+                Num::F(x) => x as u32,
+            }) as u64
+        }
+        Ty::B8 => {
+            (match n {
+                Num::I(x) => x as u8,
+                Num::U(x) => x as u8,
+                Num::F(x) => x as u8,
+            }) as u64
+        }
+        Ty::B16 => {
+            (match n {
+                Num::I(x) => x as u16,
+                Num::U(x) => x as u16,
+                Num::F(x) => x as u16,
+            }) as u64
+        }
         _ => match n {
             Num::I(x) => x as u64,
             Num::U(x) => x,
@@ -1434,7 +1777,10 @@ fn convert(v: u64, sty: Ty, dty: Ty) -> u64 {
 
 fn read_bytes(buf: &[u8], addr: u64, size: u32, space: Space) -> Result<u64, SimError> {
     let a = addr as usize;
-    if addr.checked_add(size as u64).map_or(true, |e| e > buf.len() as u64) {
+    if addr
+        .checked_add(size as u64)
+        .is_none_or(|e| e > buf.len() as u64)
+    {
         return Err(SimError::OutOfBounds {
             space,
             addr,
@@ -1451,9 +1797,18 @@ fn read_bytes(buf: &[u8], addr: u64, size: u32, space: Space) -> Result<u64, Sim
     })
 }
 
-fn write_bytes(buf: &mut [u8], addr: u64, size: u32, value: u64, space: Space) -> Result<(), SimError> {
+fn write_bytes(
+    buf: &mut [u8],
+    addr: u64,
+    size: u32,
+    value: u64,
+    space: Space,
+) -> Result<(), SimError> {
     let a = addr as usize;
-    if addr.checked_add(size as u64).map_or(true, |e| e > buf.len() as u64) {
+    if addr
+        .checked_add(size as u64)
+        .is_none_or(|e| e > buf.len() as u64)
+    {
         return Err(SimError::OutOfBounds {
             space,
             addr,
@@ -1492,7 +1847,10 @@ mod alu_tests {
             alu2(Op2::Add, Ty::S32, a, 1).unwrap() as u32 as i32,
             i32::MIN
         );
-        assert_eq!(alu2(Op2::Div, Ty::S32, (-7i32) as u32 as u64, 2).unwrap() as u32 as i32, -3);
+        assert_eq!(
+            alu2(Op2::Div, Ty::S32, (-7i32) as u32 as u64, 2).unwrap() as u32 as i32,
+            -3
+        );
         assert!(matches!(
             alu2(Op2::Div, Ty::S32, 1, 0),
             Err(SimError::DivByZero)

@@ -2,7 +2,7 @@
 
 use crate::device::DeviceSpec;
 use crate::error::SimError;
-use crate::exec::{Interpreter, DEFAULT_INST_BUDGET};
+use crate::exec::{run_launch, ExecOptions, ExecProfile, DEFAULT_INST_BUDGET};
 use crate::mem::{DevPtr, GlobalMemory};
 use crate::stats::ExecStats;
 use crate::timing::{kernel_time, Timing};
@@ -91,9 +91,16 @@ impl LaunchConfig {
         }
     }
 
-    /// Append a device-pointer parameter.
-    pub fn arg_ptr(mut self, p: DevPtr) -> Self {
-        self.params.push(p.0);
+    /// Start a [`LaunchConfigBuilder`]; finish with [`LaunchConfigBuilder::build`]
+    /// or pass the builder straight to a launch (it is `Into<LaunchConfig>`).
+    pub fn builder() -> LaunchConfigBuilder {
+        LaunchConfigBuilder::default()
+    }
+
+    /// Append a device-pointer parameter (accepts anything convertible to
+    /// a [`DevPtr`], e.g. a typed runtime buffer).
+    pub fn arg_ptr(mut self, p: impl Into<DevPtr>) -> Self {
+        self.params.push(p.into().0);
         self
     }
 
@@ -116,6 +123,90 @@ impl LaunchConfig {
     }
 }
 
+/// Chainable builder for [`LaunchConfig`]; converts into the config via
+/// [`LaunchConfigBuilder::build`] or `Into<LaunchConfig>`, so it can be
+/// handed directly to any launch entry point that takes
+/// `impl Into<LaunchConfig>`.
+#[derive(Clone, Debug)]
+pub struct LaunchConfigBuilder {
+    cfg: LaunchConfig,
+}
+
+impl Default for LaunchConfigBuilder {
+    fn default() -> Self {
+        LaunchConfigBuilder {
+            cfg: LaunchConfig::new(1u32, 1u32),
+        }
+    }
+}
+
+impl LaunchConfigBuilder {
+    /// Grid dimensions in blocks (default 1×1×1).
+    pub fn grid(mut self, g: impl Into<Dim3>) -> Self {
+        self.cfg.grid = g.into();
+        self
+    }
+
+    /// Block dimensions in threads (default 1×1×1).
+    pub fn block(mut self, b: impl Into<Dim3>) -> Self {
+        self.cfg.block = b.into();
+        self
+    }
+
+    /// Append a device-pointer parameter.
+    pub fn arg_ptr(mut self, p: impl Into<DevPtr>) -> Self {
+        self.cfg = self.cfg.arg_ptr(p);
+        self
+    }
+
+    /// Append a 32-bit integer parameter.
+    pub fn arg_i32(mut self, v: i32) -> Self {
+        self.cfg = self.cfg.arg_i32(v);
+        self
+    }
+
+    /// Append an f32 parameter.
+    pub fn arg_f32(mut self, v: f32) -> Self {
+        self.cfg = self.cfg.arg_f32(v);
+        self
+    }
+
+    /// Append a raw 64-bit parameter slot image.
+    pub fn arg_raw(mut self, v: u64) -> Self {
+        self.cfg.params.push(v);
+        self
+    }
+
+    /// Bind a texture slot (slots bind in call order: first call = slot 0).
+    pub fn texture(mut self, ptr: DevPtr, elems: u64) -> Self {
+        self.cfg = self.cfg.bind_texture(ptr, elems);
+        self
+    }
+
+    /// Override the dynamic warp-instruction budget (runaway guard).
+    pub fn inst_budget(mut self, budget: u64) -> Self {
+        self.cfg.inst_budget = budget;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> LaunchConfig {
+        self.cfg
+    }
+}
+
+impl From<LaunchConfigBuilder> for LaunchConfig {
+    fn from(b: LaunchConfigBuilder) -> Self {
+        b.cfg
+    }
+}
+
+impl From<&LaunchConfig> for LaunchConfig {
+    fn from(cfg: &LaunchConfig) -> Self {
+        cfg.clone()
+    }
+}
+
 /// Result of a launch: exact statistics plus modelled timing.
 #[derive(Clone, Debug)]
 pub struct LaunchReport {
@@ -123,6 +214,9 @@ pub struct LaunchReport {
     pub stats: ExecStats,
     /// Timing breakdown (modelled).
     pub timing: Timing,
+    /// Host-side (wall-clock) profiling of the simulator itself. Not part
+    /// of the deterministic result — compare `stats`/`timing` instead.
+    pub profile: ExecProfile,
 }
 
 impl LaunchReport {
@@ -134,6 +228,7 @@ impl LaunchReport {
 
 /// Execute a kernel launch on `device`, mutating `gmem`, and return the
 /// report. `const_bank` is the module's packed constant bank image.
+/// Serial execution; use [`launch_with`] to choose a thread count.
 pub fn launch(
     device: &DeviceSpec,
     kernel: &ResolvedKernel,
@@ -141,9 +236,28 @@ pub fn launch(
     const_bank: &[u8],
     cfg: &LaunchConfig,
 ) -> Result<LaunchReport, SimError> {
-    let mut interp = Interpreter::new(device, kernel, gmem, cfg, const_bank)?;
-    interp.run()?;
-    let stats = interp.stats.clone();
+    launch_with(
+        device,
+        kernel,
+        gmem,
+        const_bank,
+        cfg,
+        &ExecOptions::default(),
+    )
+}
+
+/// [`launch`] with explicit [`ExecOptions`] — in particular the number of
+/// host threads simulating blocks. The report's `stats` and `timing` are
+/// bit-identical for every thread count.
+pub fn launch_with(
+    device: &DeviceSpec,
+    kernel: &ResolvedKernel,
+    gmem: &mut GlobalMemory,
+    const_bank: &[u8],
+    cfg: &LaunchConfig,
+    opts: &ExecOptions,
+) -> Result<LaunchReport, SimError> {
+    let (stats, profile) = run_launch(device, kernel, gmem, cfg, const_bank, opts)?;
     let k = &kernel.kernel;
     // Pre-ptxas kernels (phys_regs == 0) get a rough estimate so occupancy
     // remains meaningful in unit tests.
@@ -160,7 +274,11 @@ pub fn launch(
         regs,
         k.shared_bytes,
     );
-    Ok(LaunchReport { stats, timing })
+    Ok(LaunchReport {
+        stats,
+        timing,
+        profile,
+    })
 }
 
 #[cfg(test)]
@@ -255,7 +373,11 @@ mod tests {
                 .arg_f32(1.5)
                 .arg_i32(1024);
             let r = launch(&device, &kernel, &mut gmem, &[], &cfg).unwrap();
-            (gmem.read_f32_slice(y, 1024).unwrap(), r.stats, r.timing.total_ns)
+            (
+                gmem.read_f32_slice(y, 1024).unwrap(),
+                r.stats,
+                r.timing.total_ns,
+            )
         };
         let (o1, s1, t1) = run();
         let (o2, s2, t2) = run();
@@ -271,7 +393,13 @@ mod tests {
         let mut gmem = GlobalMemory::new(1 << 16);
         let cfg = LaunchConfig::new(1u32, 32u32); // zero params
         let e = launch(&device, &kernel, &mut gmem, &[], &cfg).unwrap_err();
-        assert!(matches!(e, SimError::BadParamCount { expected: 4, got: 0 }));
+        assert!(matches!(
+            e,
+            SimError::BadParamCount {
+                expected: 4,
+                got: 0
+            }
+        ));
     }
 
     #[test]
@@ -316,7 +444,12 @@ mod tests {
         let o64 = b.cvt(Ty::U64, Ty::U32, tid);
         let off = b.bin(Op2::Shl, Ty::U64, o64, 2i32);
         let addr = b.bin(Op2::Add, Ty::U64, out, off);
-        b.st(Space::Global, Ty::U32, Address::base(Operand::Reg(addr)), wid);
+        b.st(
+            Space::Global,
+            Ty::U32,
+            Address::base(Operand::Reg(addr)),
+            wid,
+        );
         let kernel = b.finish().resolve().unwrap();
 
         let run = |device: &DeviceSpec| {

@@ -12,10 +12,13 @@
 //!
 //! - [`device`] — the device catalogue with datasheet-derived specifications
 //!   (paper Table IV) and the occupancy calculator.
-//! - [`exec`] — the lockstep SIMT interpreter: warps execute in lockstep
-//!   with a divergence stack (`ssy`/`sync` reconvergence), blocks execute
-//!   serially and deterministically, barriers synchronize warps within a
-//!   block.
+//! - [`exec`] — the lockstep SIMT interpreter and block scheduler: warps
+//!   execute in lockstep with a divergence stack (`ssy`/`sync`
+//!   reconvergence), barriers synchronize warps within a block, and
+//!   independent blocks are simulated in parallel across host threads
+//!   ([`ExecOptions`]) with per-block write overlays and stat buffers
+//!   merged in ascending block order — bit-identical at every thread
+//!   count.
 //! - [`mem`] and [`cache`] — flat global memory with a bump allocator, plus
 //!   the per-launch memory-system models: coalescing into DRAM transactions,
 //!   set-associative L1/L2/texture/constant caches, shared-memory bank
@@ -39,7 +42,10 @@ pub mod timing;
 pub use cache::Cache;
 pub use device::{Arch, DeviceKind, DeviceSpec};
 pub use error::SimError;
-pub use launch::{launch, Dim3, LaunchConfig, LaunchReport, TexBinding};
-pub use mem::{DevPtr, GlobalMemory};
+pub use exec::{ExecOptions, ExecProfile};
+pub use launch::{
+    launch, launch_with, Dim3, LaunchConfig, LaunchConfigBuilder, LaunchReport, TexBinding,
+};
+pub use mem::{DevPtr, GlobalMemory, WriteOverlay};
 pub use stats::ExecStats;
 pub use timing::kernel_time_ns;

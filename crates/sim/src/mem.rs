@@ -1,8 +1,11 @@
-//! Device global memory: a flat byte array with a bump allocator.
+//! Device global memory: a flat byte array with a bump allocator, plus the
+//! copy-on-write page overlay that gives each thread block a private view
+//! of global memory during parallel block execution.
 
 use crate::error::SimError;
 use gpucmp_ptx::Space;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// A device pointer: a byte offset into the device's global memory.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -58,12 +61,10 @@ impl GlobalMemory {
     /// Allocate `bytes` bytes; contents are zeroed.
     pub fn alloc(&mut self, bytes: u64) -> Result<DevPtr, SimError> {
         let start = self.bump;
-        let end = start
-            .checked_add(bytes)
-            .ok_or(SimError::OutOfMemory {
-                requested: bytes,
-                available: self.capacity().saturating_sub(self.bump),
-            })?;
+        let end = start.checked_add(bytes).ok_or(SimError::OutOfMemory {
+            requested: bytes,
+            available: self.capacity().saturating_sub(self.bump),
+        })?;
         if end > self.capacity() {
             return Err(SimError::OutOfMemory {
                 requested: bytes,
@@ -85,7 +86,10 @@ impl GlobalMemory {
     /// Bounds-check an access of `size` bytes at `addr`.
     #[inline]
     pub fn check(&self, addr: u64, size: u32) -> Result<(), SimError> {
-        if addr.checked_add(size as u64).map_or(true, |end| end > self.capacity()) {
+        if addr
+            .checked_add(size as u64)
+            .is_none_or(|end| end > self.capacity())
+        {
             Err(SimError::OutOfBounds {
                 space: Space::Global,
                 addr,
@@ -200,6 +204,167 @@ impl GlobalMemory {
     }
 }
 
+/// Bytes per overlay page.
+const PAGE_BYTES: usize = 4096;
+const PAGE_SHIFT: u32 = PAGE_BYTES.trailing_zeros();
+const PAGE_MASK: u64 = PAGE_BYTES as u64 - 1;
+const DIRTY_WORDS: usize = PAGE_BYTES / 64;
+
+/// One copy-on-write page: a snapshot copy of the base page plus a byte
+/// dirty bitmap recording exactly which bytes the owning block wrote.
+struct OverlayPage {
+    data: Box<[u8; PAGE_BYTES]>,
+    dirty: Box<[u64; DIRTY_WORDS]>,
+}
+
+/// A per-block write overlay over a read-only [`GlobalMemory`] snapshot.
+///
+/// During parallel block execution every block reads the launch-entry
+/// global memory through its overlay and writes only into the overlay;
+/// after all blocks join, overlays are committed in ascending block index
+/// order, which makes the final memory image a pure function of the launch
+/// inputs — identical for serial and parallel execution. A block sees its
+/// own writes (copied pages carry them) but never another block's, which
+/// matches the CUDA/OpenCL memory model: global writes of concurrent
+/// blocks are not ordered until the kernel completes.
+#[derive(Default)]
+pub struct WriteOverlay {
+    pages: HashMap<u64, OverlayPage>,
+}
+
+impl WriteOverlay {
+    /// An empty overlay.
+    pub fn new() -> Self {
+        WriteOverlay::default()
+    }
+
+    /// Number of copied (written-to) pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    #[inline]
+    fn byte_at(&self, base: &GlobalMemory, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p.data[(addr & PAGE_MASK) as usize],
+            None => base.data[addr as usize],
+        }
+    }
+
+    /// Read `size` (1/2/4/8) bytes little-endian through the overlay.
+    #[inline]
+    pub fn read(&self, base: &GlobalMemory, addr: u64, size: u32) -> Result<u64, SimError> {
+        if self.pages.is_empty() {
+            return base.read(addr, size);
+        }
+        base.check(addr, size)?;
+        let first = addr >> PAGE_SHIFT;
+        let last = (addr + size as u64 - 1) >> PAGE_SHIFT;
+        if first == last {
+            let a = (addr & PAGE_MASK) as usize;
+            let buf: &[u8] = match self.pages.get(&first) {
+                Some(p) => &p.data[..],
+                None => {
+                    let b = (addr as usize) & !(PAGE_BYTES - 1);
+                    &base.data[b..(b + PAGE_BYTES).min(base.data.len())]
+                }
+            };
+            Ok(match size {
+                1 => buf[a] as u64,
+                2 => u16::from_le_bytes(buf[a..a + 2].try_into().unwrap()) as u64,
+                4 => u32::from_le_bytes(buf[a..a + 4].try_into().unwrap()) as u64,
+                8 => u64::from_le_bytes(buf[a..a + 8].try_into().unwrap()),
+                _ => unreachable!("unsupported access size {size}"),
+            })
+        } else {
+            let mut v = 0u64;
+            for i in 0..size as u64 {
+                v |= (self.byte_at(base, addr + i) as u64) << (8 * i);
+            }
+            Ok(v)
+        }
+    }
+
+    fn page_mut(&mut self, base: &GlobalMemory, page: u64) -> &mut OverlayPage {
+        self.pages.entry(page).or_insert_with(|| {
+            let start = (page << PAGE_SHIFT) as usize;
+            let end = (start + PAGE_BYTES).min(base.data.len());
+            let mut data = Box::new([0u8; PAGE_BYTES]);
+            data[..end - start].copy_from_slice(&base.data[start..end]);
+            OverlayPage {
+                data,
+                dirty: Box::new([0u64; DIRTY_WORDS]),
+            }
+        })
+    }
+
+    /// Write the low `size` (1/2/4/8) bytes of `value` little-endian into
+    /// the overlay (bounds-checked against the base capacity).
+    #[inline]
+    pub fn write(
+        &mut self,
+        base: &GlobalMemory,
+        addr: u64,
+        size: u32,
+        value: u64,
+    ) -> Result<(), SimError> {
+        base.check(addr, size)?;
+        let bytes = value.to_le_bytes();
+        let first = addr >> PAGE_SHIFT;
+        let last = (addr + size as u64 - 1) >> PAGE_SHIFT;
+        if first == last {
+            let p = self.page_mut(base, first);
+            let a = (addr & PAGE_MASK) as usize;
+            p.data[a..a + size as usize].copy_from_slice(&bytes[..size as usize]);
+            for i in a..a + size as usize {
+                p.dirty[i >> 6] |= 1u64 << (i & 63);
+            }
+        } else {
+            for (i, &b) in bytes[..size as usize].iter().enumerate() {
+                let a = addr + i as u64;
+                let p = self.page_mut(base, a >> PAGE_SHIFT);
+                let o = (a & PAGE_MASK) as usize;
+                p.data[o] = b;
+                p.dirty[o >> 6] |= 1u64 << (o & 63);
+            }
+        }
+        Ok(())
+    }
+
+    /// Commit every dirty byte into `target`, in ascending page order, and
+    /// return the number of bytes written. Committing overlays in ascending
+    /// block index order reproduces the write-after-write resolution of
+    /// serial block execution (the highest-index writer wins).
+    pub fn commit(self, target: &mut GlobalMemory) -> u64 {
+        let mut pages: Vec<(u64, OverlayPage)> = self.pages.into_iter().collect();
+        pages.sort_unstable_by_key(|(p, _)| *p);
+        let mut written = 0u64;
+        for (page, op) in pages {
+            let base_addr = (page << PAGE_SHIFT) as usize;
+            for (w, &mask) in op.dirty.iter().enumerate() {
+                if mask == 0 {
+                    continue;
+                }
+                if mask == u64::MAX {
+                    let s = base_addr + w * 64;
+                    target.data[s..s + 64].copy_from_slice(&op.data[w * 64..w * 64 + 64]);
+                    written += 64;
+                } else {
+                    let mut m = mask;
+                    while m != 0 {
+                        let bit = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let off = w * 64 + bit;
+                        target.data[base_addr + off] = op.data[off];
+                        written += 1;
+                    }
+                }
+            }
+        }
+        written
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,7 +405,12 @@ mod tests {
     fn read_write_round_trip_all_sizes() {
         let mut m = GlobalMemory::new(4096);
         let p = m.alloc(64).unwrap();
-        for (size, value) in [(1u32, 0xAAu64), (2, 0xBBCC), (4, 0xDEADBEEF), (8, 0x0123456789ABCDEF)] {
+        for (size, value) in [
+            (1u32, 0xAAu64),
+            (2, 0xBBCC),
+            (4, 0xDEADBEEF),
+            (8, 0x0123456789ABCDEF),
+        ] {
             m.write(p.0, size, value).unwrap();
             assert_eq!(m.read(p.0, size).unwrap(), value);
         }

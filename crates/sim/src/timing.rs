@@ -106,7 +106,8 @@ pub fn kernel_time(
     let concurrent_warps = (occ.warps_per_cu as f64 * cus_busy).max(1.0);
     let waves = (total_warps / concurrent_warps).max(1.0);
     let hiding = (occ.warps_per_cu as f64 / device.latency_hiding_warps).min(1.0);
-    let latency_ns = waves * mem_insts_per_warp * device.mem_latency_ns / WARP_MLP * (1.0 - 0.85 * hiding);
+    let latency_ns =
+        waves * mem_insts_per_warp * device.mem_latency_ns / WARP_MLP * (1.0 - 0.85 * hiding);
 
     let dominant = compute_ns.max(memory_ns).max(latency_ns);
     let total_ns =
@@ -132,7 +133,15 @@ pub fn kernel_time_ns(
     regs_per_thread: u32,
     smem_per_block: u32,
 ) -> f64 {
-    kernel_time(device, stats, threads_per_block, blocks, regs_per_thread, smem_per_block).total_ns
+    kernel_time(
+        device,
+        stats,
+        threads_per_block,
+        blocks,
+        regs_per_thread,
+        smem_per_block,
+    )
+    .total_ns
 }
 
 #[cfg(test)]

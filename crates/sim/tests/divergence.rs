@@ -177,7 +177,10 @@ fn infinite_loop_hits_the_instruction_budget() {
     let mut cfg = LaunchConfig::new(1u32, 32u32);
     cfg.inst_budget = 10_000;
     let err = launch(&device, &kernel, &mut gmem, &[], &cfg).unwrap_err();
-    assert!(matches!(err, SimError::InstructionBudgetExceeded(_)), "{err}");
+    assert!(
+        matches!(err, SimError::InstructionBudgetExceeded(_)),
+        "{err}"
+    );
 }
 
 /// SIMD efficiency reflects masked-off lanes: a kernel where only a
@@ -240,11 +243,17 @@ fn partial_warps_mask_correctly_across_widths() {
     let def = k.finish();
     let compiled = compile(&def, Api::OpenCl, 124).unwrap();
     let resolved = compiled.exec.resolve().unwrap();
-    for device in [DeviceSpec::gtx280(), DeviceSpec::hd5870(), DeviceSpec::cellbe()] {
+    for device in [
+        DeviceSpec::gtx280(),
+        DeviceSpec::hd5870(),
+        DeviceSpec::cellbe(),
+    ] {
         let mut gmem = GlobalMemory::new(1 << 16);
         let n = 100usize; // 100 threads in one block: partial warp everywhere
         let d_out = gmem.alloc(4 * n as u64).unwrap();
-        let cfg = LaunchConfig::new(1u32, n as u32).arg_ptr(d_out).arg_i32(n as i32);
+        let cfg = LaunchConfig::new(1u32, n as u32)
+            .arg_ptr(d_out)
+            .arg_i32(n as i32);
         launch(&device, &resolved, &mut gmem, &[], &cfg).unwrap();
         let got = gmem.read_i32_slice(d_out, n).unwrap();
         for (i, &v) in got.iter().enumerate() {

@@ -22,7 +22,7 @@
 pub mod search;
 pub mod transpose;
 
-pub use search::{SearchStrategy, TuneResult, Tuner, Tunable, TunableParam, Trial};
+pub use search::{SearchStrategy, Trial, Tunable, TunableParam, TuneResult, Tuner};
 pub use transpose::TunableTranspose;
 
 #[cfg(test)]
@@ -37,8 +37,11 @@ mod tests {
         let mut gpu = OpenCl::create_any(DeviceSpec::gtx280());
         let r = Tuner::exhaustive().tune(&t, &mut gpu).unwrap();
         let cfg = t.describe(&r.best_config);
-        assert_eq!(cfg.get("staging").map(String::as_str), Some("shared+padded"),
-            "GTX280 best config: {cfg:?}");
+        assert_eq!(
+            cfg.get("staging").map(String::as_str),
+            Some("shared+padded"),
+            "GTX280 best config: {cfg:?}"
+        );
     }
 
     #[test]
@@ -48,8 +51,11 @@ mod tests {
         let mut cpu = OpenCl::create_any(DeviceSpec::intel920());
         let r = Tuner::exhaustive().tune(&t, &mut cpu).unwrap();
         let cfg = t.describe(&r.best_config);
-        assert_eq!(cfg.get("staging").map(String::as_str), Some("direct"),
-            "Intel920 best config: {cfg:?}");
+        assert_eq!(
+            cfg.get("staging").map(String::as_str),
+            Some("direct"),
+            "Intel920 best config: {cfg:?}"
+        );
     }
 
     #[test]

@@ -93,10 +93,8 @@ impl Tuner {
             if let Some(t) = trials.iter().find(|t| t.config == cfg) {
                 return t.value;
             }
-            let value = match t.run(gpu, cfg) {
-                Ok(v) => v,
-                Err(_) => None, // device rejected this configuration
-            };
+            // a run error means the device rejected this configuration
+            let value = t.run(gpu, cfg).unwrap_or_default();
             trials.push(Trial {
                 config: cfg.to_vec(),
                 value,
@@ -238,7 +236,11 @@ mod tests {
         let mut gpu = OpenCl::create_any(DeviceSpec::gtx480());
         let r = Tuner::greedy().tune(&Paraboloid, &mut gpu).unwrap();
         assert_eq!(r.best_config, vec![1, -1]);
-        assert!(r.trials.len() < 25, "greedy must search less: {}", r.trials.len());
+        assert!(
+            r.trials.len() < 25,
+            "greedy must search less: {}",
+            r.trials.len()
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::search::{Tunable, TunableParam};
 use gpucmp_compiler::{ld_global, Builtin, DslKernel, Expr, KernelDef};
 use gpucmp_ptx::Ty;
-use gpucmp_runtime::{Gpu, RtError};
+use gpucmp_runtime::{Gpu, GpuExt, RtError};
 use gpucmp_sim::LaunchConfig;
 use std::collections::HashMap;
 
@@ -114,7 +114,7 @@ impl Tunable for TunableTranspose {
         let d_in = gpu.malloc((n * n * 4) as u64)?;
         let d_out = gpu.malloc((n * n * 4) as u64)?;
         let data: Vec<f32> = (0..n * n).map(|i| (i % 251) as f32).collect();
-        gpu.h2d_f32(d_in, &data)?;
+        gpu.h2d_t(d_in, &data)?;
         let grid = self.n / tile as u32;
         let cfg = LaunchConfig::new((grid, grid), (tile as u32, tile as u32))
             .arg_ptr(d_in)
@@ -126,7 +126,7 @@ impl Tunable for TunableTranspose {
             Err(e) => return Err(e),
         };
         // tuned configurations must stay correct
-        let got = gpu.d2h_f32(d_out, n * n)?;
+        let got = gpu.d2h_t::<f32>(d_out, n * n)?;
         for yy in (0..n).step_by(97) {
             for xx in (0..n).step_by(89) {
                 if got[xx * n + yy] != data[yy * n + xx] {

@@ -7,9 +7,9 @@
 //! cargo run --release --example autotune
 //! ```
 
-use gpucmp::tuner::{TunableTranspose, Tuner};
 use gpucmp::runtime::OpenCl;
 use gpucmp::sim::DeviceSpec;
+use gpucmp::tuner::{TunableTranspose, Tuner};
 
 fn main() {
     let t = TunableTranspose::new(512);

@@ -63,5 +63,7 @@ fn main() {
     let o = BuildConfig::opencl("Reduce", &[], "HD5870", "block=256");
     let f = fairness(&c, &o);
     println!("\nfair-comparison verdict (CUDA/GTX280 vs OpenCL/HD5870): {f}");
-    println!("-> any PR between those two builds cannot be attributed to the programming model alone.");
+    println!(
+        "-> any PR between those two builds cannot be attributed to the programming model alone."
+    );
 }

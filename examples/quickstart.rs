@@ -8,7 +8,7 @@
 use gpucmp::compiler::{global_id_x, DslKernel, Expr};
 use gpucmp::core::Pr;
 use gpucmp::ptx::Ty;
-use gpucmp::runtime::{Cuda, Gpu, OpenCl};
+use gpucmp::runtime::{Cuda, Gpu, GpuExt, OpenCl};
 use gpucmp::sim::{DeviceSpec, LaunchConfig};
 
 fn main() {
@@ -41,8 +41,8 @@ fn main() {
         };
         let dx = gpu.malloc(n_elems as u64 * 4).unwrap();
         let dy = gpu.malloc(n_elems as u64 * 4).unwrap();
-        gpu.h2d_f32(dx, &xs).unwrap();
-        gpu.h2d_f32(dy, &ys).unwrap();
+        gpu.h2d_t(dx, &xs).unwrap();
+        gpu.h2d_t(dy, &ys).unwrap();
         let h = gpu.build(&def).unwrap();
         let cfg = LaunchConfig::new(n_elems as u32 / 256, 256u32)
             .arg_ptr(dx)
@@ -59,7 +59,7 @@ fn main() {
             out.report.stats.dram_bytes()
         );
         // verify
-        let got = gpu.d2h_f32(dy, n_elems).unwrap();
+        let got = gpu.d2h_t::<f32>(dy, n_elems).unwrap();
         assert!(got
             .iter()
             .zip(xs.iter().zip(&ys))

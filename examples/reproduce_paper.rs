@@ -16,7 +16,11 @@ fn main() {
     } else {
         Scale::Paper
     };
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let run = |name: &str| wanted.is_empty() || wanted.contains(&name);
 
     if run("fig1") {
@@ -27,6 +31,11 @@ fn main() {
     }
     if run("fig3") {
         println!("{}\n", exp::fig3_performance_ratio(scale));
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(4, 8);
+        println!("{}\n", exp::parallel_speedup(scale, threads));
     }
     if run("fig4") || run("fig5") {
         println!("{}\n", exp::fig4_fig5_texture(scale));

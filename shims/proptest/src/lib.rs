@@ -1,0 +1,128 @@
+//! Offline stand-in for the parts of `proptest` this workspace uses.
+//!
+//! Generation-only: strategies produce random values from a deterministic
+//! per-test stream and failures panic with the case's debug representation.
+//! There is no shrinking — a failing case prints its inputs instead. The
+//! supported surface is exactly what the repo's property tests need:
+//! `proptest!`, `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`, `Just`,
+//! `any::<T>()`, integer/float range strategies, tuple strategies,
+//! `prop::collection::vec`, `prop::array::uniform4`, `.prop_map`,
+//! `.prop_recursive`, and `BoxedStrategy`.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// `prop::collection`, `prop::array` namespaces.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    pub mod array {
+        pub use crate::strategy::uniform4;
+    }
+}
+
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+pub mod array {
+    pub use crate::strategy::uniform4;
+}
+
+/// The whole `proptest!` block: optional `#![proptest_config(..)]` header,
+/// then ordinary `#[test]` functions whose arguments are drawn from
+/// strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let dbg = format!(concat!($("\n  ", stringify!($arg), " = {:?}",)+), $(&$arg),+);
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(msg) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninputs:{}",
+                            case + 1, config.cases, msg, dbg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assertion that aborts only the current case (here: the whole test,
+/// since there is no shrinking to salvage).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)*)
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!("assertion failed: {:?} == {:?}", l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: {:?} == {:?}: {}",
+                l, r, format!($($fmt)*)
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,107 @@
+//! Offline stand-in for the sliver of `rayon` this workspace uses:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! Items are split into one contiguous chunk per available core and mapped
+//! on scoped threads; results are reassembled in input order, so `collect`
+//! is deterministic exactly like rayon's indexed parallel iterators.
+
+pub mod prelude {
+    pub use super::IntoParallelRefIterator;
+}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<O, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> O + Sync,
+        O: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    pub fn collect<C, O>(self) -> C
+    where
+        F: Fn(&'a T) -> O + Sync,
+        O: Send,
+        C: FromIterator<O>,
+    {
+        run_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+fn run_map<'a, T: Sync, O: Send, F: Fn(&'a T) -> O + Sync>(items: &'a [T], f: &F) -> Vec<O> {
+    if items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<Vec<O>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        out = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let v: Vec<u32> = vec![];
+        let r: Vec<u32> = v.par_iter().map(|x| *x).collect();
+        assert!(r.is_empty());
+        let one = [7u32];
+        let r: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(r, vec![8]);
+    }
+}

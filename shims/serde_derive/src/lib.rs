@@ -1,0 +1,19 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The companion `serde` shim blanket-implements its `Serialize` and
+//! `Deserialize` marker traits for every type, so the derives here only
+//! need to exist — emitting an empty token stream keeps every
+//! `#[derive(Serialize, Deserialize)]` in the workspace compiling without
+//! network access to the real serde.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

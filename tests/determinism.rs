@@ -1,0 +1,141 @@
+//! Regression tests for the block-parallel simulation engine: simulated
+//! results must be bit-identical at every host thread count. The worker
+//! count is a host-side speed knob, never an observable.
+
+use gpucmp::benchmarks::common::{Benchmark, Scale, Verify};
+use gpucmp::benchmarks::{fft::Fft, rdxs::Rdxs};
+use gpucmp::runtime::{Cuda, Gpu, OpenCl};
+use gpucmp::sim::{launch_with, DeviceSpec, ExecOptions, GlobalMemory, LaunchConfig};
+
+/// Run `bench` on a fresh CUDA session with `threads` simulation workers.
+fn run_cuda_with(
+    bench: &dyn Benchmark,
+    device: DeviceSpec,
+    threads: usize,
+) -> gpucmp::benchmarks::RunOutput {
+    let mut gpu = Cuda::new(device).expect("NVIDIA device");
+    gpu.set_exec_options(ExecOptions::with_threads(threads));
+    bench.run(&mut gpu).expect("benchmark run")
+}
+
+/// Same through the OpenCL runtime (needed for non-NVIDIA devices).
+fn run_opencl_with(
+    bench: &dyn Benchmark,
+    device: DeviceSpec,
+    threads: usize,
+) -> gpucmp::benchmarks::RunOutput {
+    let mut gpu = OpenCl::create_any(device);
+    gpu.set_exec_options(ExecOptions::with_threads(threads));
+    bench.run(&mut gpu).expect("benchmark run")
+}
+
+#[test]
+fn fft_forward_is_bit_identical_across_thread_counts() {
+    let bench = Fft::new(Scale::Quick);
+    let serial = run_cuda_with(&bench, DeviceSpec::gtx480(), 1);
+    assert!(serial.verify.is_pass(), "{:?}", serial.verify);
+    for threads in [2, 8] {
+        let par = run_cuda_with(&bench, DeviceSpec::gtx480(), threads);
+        assert_eq!(
+            serial.stats, par.stats,
+            "stats diverged at {threads} workers"
+        );
+        assert_eq!(
+            serial.kernel_ns, par.kernel_ns,
+            "modelled kernel time diverged at {threads} workers"
+        );
+        assert_eq!(serial.value, par.value);
+        assert!(par.verify.is_pass(), "{:?}", par.verify);
+    }
+}
+
+#[test]
+fn rdxs_is_bit_identical_across_thread_counts() {
+    // RdxS exercises shared-memory atomics and the hardware %warpid
+    // special register — the paper's most order-sensitive benchmark.
+    let bench = Rdxs::new(Scale::Quick);
+    let serial = run_cuda_with(&bench, DeviceSpec::gtx480(), 1);
+    assert!(serial.verify.is_pass(), "{:?}", serial.verify);
+    let par = run_cuda_with(&bench, DeviceSpec::gtx480(), 8);
+    assert_eq!(serial.stats, par.stats);
+    assert_eq!(serial.kernel_ns, par.kernel_ns);
+    assert_eq!(serial.value, par.value);
+    assert!(par.verify.is_pass(), "{:?}", par.verify);
+}
+
+#[test]
+fn table6_fl_corruption_survives_parallel_simulation() {
+    // Table VI: on the HD5870's 64-wide wavefronts two 32-thread software
+    // warps share one hardware %warpid and collide in RdxS's counters —
+    // the run completes with wrong results ("FL"). The corruption is part
+    // of the simulated semantics and must reproduce identically whether
+    // blocks are simulated serially or in parallel.
+    let bench = Rdxs::new(Scale::Quick);
+    let serial = run_opencl_with(&bench, DeviceSpec::hd5870(), 1);
+    let par = run_opencl_with(&bench, DeviceSpec::hd5870(), 8);
+    assert!(
+        matches!(serial.verify, Verify::Fail(_)),
+        "expected FL on 64-wide wavefronts, got {:?}",
+        serial.verify
+    );
+    assert!(matches!(par.verify, Verify::Fail(_)));
+    assert_eq!(serial.stats, par.stats, "corrupted stats must still match");
+    assert_eq!(serial.kernel_ns, par.kernel_ns);
+    assert_eq!(serial.value, par.value);
+}
+
+#[test]
+fn launch_report_and_memory_identical_at_sim_level() {
+    // Below the runtime: same kernel, same initial memory, thread counts
+    // 1 vs 8 — the full LaunchReport (stats + timing) and every byte of
+    // global memory must match.
+    use gpucmp::compiler::{global_id_x, ld_global, Api, DslKernel, Expr};
+    use gpucmp::ptx::Ty;
+
+    let mut k = DslKernel::new("scale2");
+    let buf = k.param_ptr("buf");
+    let n = k.param("n", Ty::S32);
+    let gid = k.let_(Ty::S32, global_id_x());
+    k.if_(Expr::from(gid).lt(n), |k| {
+        let v = ld_global(buf.clone(), gid, Ty::F32);
+        k.st_global(buf.clone(), gid, Ty::F32, v * 2.0f32);
+    });
+    let def = k.finish();
+
+    let device = DeviceSpec::gtx480();
+    let compiled =
+        gpucmp::compiler::compile(&def, Api::Cuda, device.max_regs_per_thread).expect("compile");
+    let kernel = compiled.exec.resolve().expect("resolve");
+
+    let n = 64 * 1024usize;
+    let run_with = |threads: usize| {
+        let mut gmem = GlobalMemory::new(1 << 20);
+        let ptr = gmem.alloc((n * 4) as u64).unwrap();
+        let bytes: Vec<u8> = (0..n)
+            .flat_map(|i| (i as f32 * 0.5).to_le_bytes())
+            .collect();
+        gmem.copy_in(ptr, &bytes).unwrap();
+        let cfg = LaunchConfig::new((n as u32).div_ceil(256), 256u32)
+            .arg_ptr(ptr)
+            .arg_i32(n as i32);
+        let report = launch_with(
+            &device,
+            &kernel,
+            &mut gmem,
+            &[],
+            &cfg,
+            &ExecOptions::with_threads(threads),
+        )
+        .expect("launch");
+        let mut out = vec![0u8; n * 4];
+        gmem.copy_out(ptr, &mut out).unwrap();
+        (report, out)
+    };
+
+    let (serial, mem_serial) = run_with(1);
+    let (par, mem_par) = run_with(8);
+    assert_eq!(serial.stats, par.stats);
+    assert_eq!(serial.timing, par.timing);
+    assert_eq!(mem_serial, mem_par);
+    assert!(par.profile.blocks_simulated > 0);
+}

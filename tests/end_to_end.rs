@@ -4,7 +4,7 @@
 use gpucmp::compiler::{self, global_id_x, Api, DslKernel, Expr, Unroll};
 use gpucmp::core::{fairness, BuildConfig, Pr};
 use gpucmp::ptx::{InstStats, Ty};
-use gpucmp::runtime::{ClStatus, Cuda, Gpu, OpenCl, RtError};
+use gpucmp::runtime::{ClStatus, Cuda, Gpu, GpuExt, OpenCl, RtError};
 use gpucmp::sim::{DeviceKind, DeviceSpec, LaunchConfig};
 
 /// A vector-add kernel definition used across these tests.
@@ -43,8 +43,8 @@ fn same_source_same_results_on_every_device() {
         let da = gpu.malloc((n * 4) as u64).unwrap();
         let db = gpu.malloc((n * 4) as u64).unwrap();
         let dc = gpu.malloc((n * 4) as u64).unwrap();
-        gpu.h2d_f32(da, &xs).unwrap();
-        gpu.h2d_f32(db, &ys).unwrap();
+        gpu.h2d_t(da, &xs).unwrap();
+        gpu.h2d_t(db, &ys).unwrap();
         let h = gpu.build(&def).unwrap();
         let cfg = LaunchConfig::new((n as u32).div_ceil(128), 128u32)
             .arg_ptr(da)
@@ -52,7 +52,7 @@ fn same_source_same_results_on_every_device() {
             .arg_ptr(dc)
             .arg_i32(n as i32);
         gpu.launch(h, &cfg).unwrap();
-        let got = gpu.d2h_f32(dc, n).unwrap();
+        let got = gpu.d2h_t::<f32>(dc, n).unwrap();
         assert_eq!(got, want, "on {}", gpu.device().name);
     }
 }
@@ -92,9 +92,13 @@ fn front_ends_differ_statically_but_agree_dynamically() {
         let h = gpu.build(&def).unwrap();
         let cfg = LaunchConfig::new(1u32, 64u32).arg_ptr(out);
         gpu.launch(h, &cfg).unwrap();
-        gpu.d2h_f32(out, 64 * 6).unwrap()
+        gpu.d2h_t::<f32>(out, 64 * 6).unwrap()
     };
-    assert_eq!(run(Api::Cuda), run(Api::OpenCl), "dynamic results must agree");
+    assert_eq!(
+        run(Api::Cuda),
+        run(Api::OpenCl),
+        "dynamic results must agree"
+    );
 }
 
 #[test]
