@@ -1,0 +1,255 @@
+//! CI gate over a `BENCH_<timestamp>.json` report.
+//!
+//! ```text
+//! cargo run -p gpucmp-bench --bin gate -- BENCH_1700000000.json
+//! ```
+//!
+//! Parses the report emitted by `examples/reproduce_paper` and fails
+//! (exit 1) if any *paper-shape invariant* regressed — the qualitative
+//! results of Fang et al. that must survive any simulator or benchmark
+//! change, at either problem scale:
+//!
+//! - the full 16 x {GTX280, GTX480} x {CUDA, OpenCL} matrix ran and
+//!   every run verified against its CPU reference;
+//! - Sobel on the GTX280 has PR > 1 (the unmodified OpenCL version uses
+//!   constant memory, the CUDA one does not — Fig. 8);
+//! - BFS has PR < 1 on both devices (OpenCL's higher kernel-launch
+//!   overhead, Section IV-B-4);
+//! - MD and SPMV have PR < 1 on both devices (the CUDA dialects read
+//!   via texture memory — Figs. 4/5);
+//! - the synthetic peak benchmarks are API-neutral (PR within 15 % of
+//!   1 — Figs. 1/2);
+//! - every run carries a populated hardware-counter set.
+
+use gpucmp_trace::BenchReport;
+use std::process::ExitCode;
+
+/// Expected campaign shape.
+const BENCHES: usize = 16;
+const DEVICES: [&str; 2] = ["GTX280", "GTX480"];
+const APIS: [&str; 2] = ["CUDA", "OpenCL"];
+
+fn check(report: &BenchReport) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut err = |msg: String| errors.push(msg);
+
+    let want_runs = BENCHES * DEVICES.len() * APIS.len();
+    if report.runs.len() != want_runs {
+        err(format!(
+            "expected {want_runs} runs (16 benchmarks x 2 devices x 2 APIs), found {}",
+            report.runs.len()
+        ));
+    }
+    if report.prs.len() != BENCHES * DEVICES.len() {
+        err(format!(
+            "expected {} PR entries, found {}",
+            BENCHES * DEVICES.len(),
+            report.prs.len()
+        ));
+    }
+
+    for r in &report.runs {
+        let id = format!("{}/{}/{}", r.bench, r.device, r.api);
+        if !r.verified {
+            err(format!("{id}: failed output verification"));
+        }
+        if !(r.value.is_finite() && r.value > 0.0) {
+            err(format!("{id}: non-positive metric value {}", r.value));
+        }
+        if r.counters.is_empty() || r.counters.get("warp_instructions").unwrap_or(0.0) <= 0.0 {
+            err(format!("{id}: empty or zeroed counter set"));
+        }
+        if r.launches == 0 {
+            err(format!("{id}: no kernel launches recorded"));
+        }
+    }
+
+    for p in &report.prs {
+        if !(p.pr.is_finite() && p.pr > 0.0) {
+            err(format!("{}/{}: degenerate PR {}", p.bench, p.device, p.pr));
+        }
+    }
+    let pr_of =
+        |bench: &str, device: &str| -> Option<f64> { report.pr(bench, device).map(|p| p.pr) };
+
+    // Fig. 8 shape: unmodified Sobel favours OpenCL on the GT200 because
+    // only the OpenCL dialect places the filter in constant memory.
+    match pr_of("Sobel", "GTX280") {
+        Some(pr) if pr > 1.0 => {}
+        Some(pr) => err(format!(
+            "Sobel/GTX280: PR {pr:.3} <= 1 (const-mem win lost)"
+        )),
+        None => err("Sobel/GTX280: PR entry missing".into()),
+    }
+
+    // Section IV-B-4 shape: BFS's many tiny launches make OpenCL slower.
+    // Figs. 4/5 shape: the CUDA texture path keeps MD and SPMV ahead.
+    for bench in ["BFS", "MD", "SPMV"] {
+        for device in DEVICES {
+            match pr_of(bench, device) {
+                Some(pr) if pr < 1.0 => {}
+                Some(pr) => err(format!(
+                    "{bench}/{device}: PR {pr:.3} >= 1 (CUDA advantage lost)"
+                )),
+                None => err(format!("{bench}/{device}: PR entry missing")),
+            }
+        }
+    }
+
+    // Figs. 1/2 shape: the synthetic peaks are API-neutral.
+    for bench in ["MaxFlops", "DeviceMemory"] {
+        for device in DEVICES {
+            match pr_of(bench, device) {
+                Some(pr) if (pr - 1.0).abs() <= 0.15 => {}
+                Some(pr) => err(format!(
+                    "{bench}/{device}: PR {pr:.3} outside the 15 % peak band"
+                )),
+                None => err(format!("{bench}/{device}: PR entry missing")),
+            }
+        }
+    }
+
+    errors
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: gate <BENCH_*.json>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match BenchReport::from_text(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gate: {path} is not a valid bench report: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let errors = check(&report);
+    if errors.is_empty() {
+        println!(
+            "gate: PASS — {} runs at scale '{}', all paper-shape invariants hold",
+            report.runs.len(),
+            report.scale
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("gate: FAIL — {e}");
+        }
+        eprintln!("gate: {} invariant(s) regressed in {path}", errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpucmp_trace::{BenchRun, PrEntry};
+
+    fn passing_report() -> BenchReport {
+        let benches = [
+            "BFS",
+            "Sobel",
+            "TranP",
+            "Reduce",
+            "FFT",
+            "MD",
+            "SPMV",
+            "St2D",
+            "DXTC",
+            "RdxS",
+            "Scan",
+            "STNW",
+            "MxM",
+            "FDTD",
+            "MaxFlops",
+            "DeviceMemory",
+        ];
+        let mut report = BenchReport {
+            scale: "quick".into(),
+            ..Default::default()
+        };
+        for bench in benches {
+            for device in DEVICES {
+                for api in APIS {
+                    let mut counters = gpucmp_sim::CounterSet::new();
+                    counters.push("warp_instructions", 1000.0);
+                    report.runs.push(BenchRun {
+                        bench: bench.into(),
+                        device: device.into(),
+                        api: api.into(),
+                        value: 1.0,
+                        unit: "sec".into(),
+                        verified: true,
+                        wall_ns: 1e6,
+                        kernel_ns: 9e5,
+                        launches: 3,
+                        sim_cycles: 1e5,
+                        counters,
+                    });
+                }
+                let pr = match bench {
+                    "BFS" | "MD" | "SPMV" => 0.8,
+                    "Sobel" => {
+                        if device == "GTX280" {
+                            4.0
+                        } else {
+                            1.0
+                        }
+                    }
+                    _ => 0.95,
+                };
+                report.prs.push(PrEntry {
+                    bench: bench.into(),
+                    device: device.into(),
+                    pr,
+                    dominant_counter: "comparable".into(),
+                });
+            }
+        }
+        report
+    }
+
+    #[test]
+    fn well_shaped_report_passes() {
+        assert!(check(&passing_report()).is_empty());
+    }
+
+    #[test]
+    fn regressions_are_caught() {
+        // Sobel const-mem win lost
+        let mut r = passing_report();
+        r.prs
+            .iter_mut()
+            .find(|p| p.bench == "Sobel" && p.device == "GTX280")
+            .unwrap()
+            .pr = 0.9;
+        assert!(check(&r).iter().any(|e| e.contains("Sobel/GTX280")));
+
+        // BFS faster under OpenCL would contradict the launch-overhead model
+        let mut r = passing_report();
+        r.prs
+            .iter_mut()
+            .find(|p| p.bench == "BFS" && p.device == "GTX480")
+            .unwrap()
+            .pr = 1.2;
+        assert!(check(&r).iter().any(|e| e.contains("BFS/GTX480")));
+
+        // a verification failure anywhere fails the gate
+        let mut r = passing_report();
+        r.runs[5].verified = false;
+        assert!(check(&r).iter().any(|e| e.contains("verification")));
+
+        // an incomplete matrix fails the gate
+        let mut r = passing_report();
+        r.runs.pop();
+        assert!(check(&r).iter().any(|e| e.contains("expected 64 runs")));
+    }
+}

@@ -1,0 +1,173 @@
+//! The full profiled benchmark campaign behind `BENCH_<timestamp>.json`.
+//!
+//! Runs all 16 benchmarks (Table II real-world + the two synthetic peaks)
+//! on both NVIDIA devices through both APIs — 64 runs — collecting the
+//! per-run hardware-counter sets, then derives the per-(benchmark,
+//! device) PRs with a machine-attributed *dominant counter* (the
+//! profiling analogue of the paper's Section IV prose explanations).
+
+use crate::experiments::{run_cuda, run_opencl};
+use crate::pr::Pr;
+use gpucmp_benchmarks::Scale;
+use gpucmp_sim::DeviceSpec;
+use gpucmp_trace::{dominant_counter, BenchReport, BenchRun, PrEntry};
+use rayon::prelude::*;
+
+/// Device names the campaign covers (the paper's CUDA-capable pair).
+pub const CAMPAIGN_DEVICES: [&str; 2] = ["GTX280", "GTX480"];
+
+fn all_benchmarks(scale: Scale) -> Vec<Box<dyn gpucmp_benchmarks::Benchmark>> {
+    let mut v = gpucmp_benchmarks::real_world(scale);
+    v.extend(gpucmp_benchmarks::synthetic(scale));
+    v
+}
+
+/// Run the whole campaign at `scale`. Parallelised over (benchmark,
+/// device, API) triples; every number is deterministic for any host
+/// thread count.
+pub fn bench_report(scale: Scale) -> BenchReport {
+    let n = all_benchmarks(scale).len();
+    let triples: Vec<(usize, &'static str, &'static str)> = (0..n)
+        .flat_map(|i| {
+            CAMPAIGN_DEVICES
+                .into_iter()
+                .flat_map(move |d| [(i, d, "CUDA"), (i, d, "OpenCL")])
+        })
+        .collect();
+    let mut runs: Vec<(usize, BenchRun)> = triples
+        .par_iter()
+        .map(|&(i, dev_name, api)| {
+            let bench = &all_benchmarks(scale)[i];
+            let device = DeviceSpec::by_name(dev_name).unwrap();
+            let out = if api == "CUDA" {
+                run_cuda(bench.as_ref(), &device)
+            } else {
+                run_opencl(bench.as_ref(), &device)
+            }
+            .expect("campaign benchmarks must run on NVIDIA devices");
+            let counters = out.stats.counter_set(device.warp_width);
+            let sim_cycles = counters.get("issue_cycles").unwrap_or(0.0);
+            (
+                i,
+                BenchRun {
+                    bench: bench.name().to_string(),
+                    device: dev_name.to_string(),
+                    api: api.to_string(),
+                    value: out.value,
+                    unit: out.metric.unit().to_string(),
+                    verified: out.verify.is_pass(),
+                    wall_ns: out.wall_ns,
+                    kernel_ns: out.kernel_ns,
+                    launches: out.launches,
+                    sim_cycles,
+                    counters,
+                },
+            )
+        })
+        .collect();
+    // deterministic order: benchmark registry order, device, then API
+    runs.sort_by(|a, b| (a.0, &a.1.device, &a.1.api).cmp(&(b.0, &b.1.device, &b.1.api)));
+    let runs: Vec<BenchRun> = runs.into_iter().map(|(_, r)| r).collect();
+
+    let bench_names: Vec<String> = {
+        let mut seen = Vec::new();
+        for r in &runs {
+            if !seen.contains(&r.bench) {
+                seen.push(r.bench.clone());
+            }
+        }
+        seen
+    };
+    let mut prs = Vec::new();
+    for bench in &bench_names {
+        for dev in CAMPAIGN_DEVICES {
+            let find = |api: &str| {
+                runs.iter()
+                    .find(|r| &r.bench == bench && r.device == dev && r.api == api)
+            };
+            let (Some(c), Some(o)) = (find("CUDA"), find("OpenCL")) else {
+                continue;
+            };
+            let perf = |r: &BenchRun| {
+                if r.unit == "sec" {
+                    1.0 / r.value
+                } else {
+                    r.value
+                }
+            };
+            let pr = Pr::from_performance(perf(o), perf(c));
+            // Inside the paper's |1 - PR| < 0.1 similarity band the APIs
+            // perform the same; attribution only explains real gaps.
+            let dominant = if pr.is_similar() {
+                "comparable".to_string()
+            } else {
+                dominant_counter(
+                    &c.counters,
+                    c.wall_ns,
+                    c.kernel_ns,
+                    &o.counters,
+                    o.wall_ns,
+                    o.kernel_ns,
+                )
+            };
+            prs.push(PrEntry {
+                bench: bench.clone(),
+                device: dev.to_string(),
+                pr: pr.0,
+                dominant_counter: dominant,
+            });
+        }
+    }
+
+    BenchReport {
+        scale: match scale {
+            Scale::Quick => "quick".to_string(),
+            Scale::Paper => "paper".to_string(),
+        },
+        runs,
+        prs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_campaign_covers_the_full_matrix() {
+        let report = bench_report(Scale::Quick);
+        assert_eq!(
+            report.runs.len(),
+            16 * 2 * 2,
+            "16 benchmarks x 2 devices x 2 APIs"
+        );
+        assert_eq!(report.prs.len(), 16 * 2);
+        assert!(
+            report.runs.iter().all(|r| r.verified),
+            "all NVIDIA runs verify"
+        );
+        // every run carries a populated counter set
+        assert!(report
+            .runs
+            .iter()
+            .all(|r| r.counters.get("warp_instructions").unwrap_or(0.0) > 0.0));
+        // the paper-shape invariants the CI gate enforces
+        let sobel = report.pr("Sobel", "GTX280").unwrap();
+        assert!(
+            sobel.pr > 1.0,
+            "Sobel GTX280 PR {} (OpenCL const-mem win)",
+            sobel.pr
+        );
+        let bfs = report.pr("BFS", "GTX280").unwrap();
+        assert!(
+            bfs.pr < 1.0,
+            "BFS GTX280 PR {} (OpenCL launch-overhead loss)",
+            bfs.pr
+        );
+        assert_eq!(bfs.dominant_counter, "launch_overhead_ns");
+        // and the report survives serialisation
+        let parsed = BenchReport::from_text(&report.to_text()).unwrap();
+        assert_eq!(parsed.runs.len(), report.runs.len());
+        assert_eq!(parsed.scale, "quick");
+    }
+}

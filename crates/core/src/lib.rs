@@ -13,8 +13,11 @@
 //!   configurations, step diffs, and fairness verdicts;
 //! - [`experiments`] — a registry with one entry per figure/table of the
 //!   paper's evaluation, producing the same rows/series from the
-//!   simulator-backed benchmark suite.
+//!   simulator-backed benchmark suite;
+//! - [`bench_report`] — the profiled 64-run campaign behind the
+//!   machine-readable `BENCH_<timestamp>.json` report that CI gates on.
 
+pub mod bench_report;
 pub mod experiments;
 pub mod fair;
 pub mod pr;

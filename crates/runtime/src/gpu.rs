@@ -13,9 +13,11 @@ use crate::buffer::{Buffer, DeviceScalar};
 use crate::error::RtError;
 use gpucmp_compiler::{compile_with_style, Api, KernelDef};
 use gpucmp_ptx::ResolvedKernel;
+use gpucmp_sim::launch::Dim3;
+use gpucmp_sim::timing::Timing;
 use gpucmp_sim::{
-    launch_with as sim_launch_with, DevPtr, DeviceSpec, ExecOptions, ExecProfile, GlobalMemory,
-    LaunchConfig, LaunchReport,
+    launch_with as sim_launch_with, DevPtr, DeviceSpec, ExecOptions, ExecProfile, ExecStats,
+    GlobalMemory, LaunchConfig, LaunchReport,
 };
 use std::sync::Arc;
 
@@ -63,6 +65,57 @@ impl LoadedKernel {
     }
 }
 
+/// Transfer direction of a recorded PCIe copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferDir {
+    /// Host to device.
+    H2D,
+    /// Device to host.
+    D2H,
+}
+
+/// One event of a traced session, on the virtual timeline.
+///
+/// Recorded only while [`Session::set_tracing`] is on; the stream is what
+/// `gpucmp-trace` serialises to chrome-trace JSON.
+// Launch is by far the most common variant in real sessions; boxing its
+// counters would put an allocation on every launch to save bytes on the
+// rare Transfer records.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum SessionEvent {
+    /// A kernel launch (API overhead followed by the kernel itself).
+    Launch {
+        /// Kernel name.
+        kernel: String,
+        /// Virtual time of API submission, ns.
+        start_ns: f64,
+        /// API + hardware launch overhead before the kernel starts, ns.
+        overhead_ns: f64,
+        /// Modelled kernel duration, ns.
+        kernel_ns: f64,
+        /// Grid dimensions in blocks.
+        grid: Dim3,
+        /// Block dimensions in threads.
+        block: Dim3,
+        /// Exact execution counters.
+        stats: ExecStats,
+        /// Modelled timing breakdown.
+        timing: Timing,
+    },
+    /// A PCIe transfer.
+    Transfer {
+        /// Direction.
+        dir: TransferDir,
+        /// Virtual start time, ns.
+        start_ns: f64,
+        /// Duration, ns.
+        dur_ns: f64,
+        /// Bytes moved.
+        bytes: u64,
+    },
+}
+
 /// One device context: memory, loaded kernels, and the virtual clock.
 #[derive(Debug)]
 pub struct Session {
@@ -76,6 +129,7 @@ pub struct Session {
     kernel_ns_total: f64,
     exec: ExecOptions,
     profile_total: ExecProfile,
+    trace: Option<Vec<SessionEvent>>,
 }
 
 impl Session {
@@ -91,6 +145,31 @@ impl Session {
             kernel_ns_total: 0.0,
             exec: ExecOptions::default(),
             profile_total: ExecProfile::default(),
+            trace: None,
+        }
+    }
+
+    /// Turn session tracing on or off. While on, every launch and PCIe
+    /// transfer is recorded as a [`SessionEvent`] for chrome-trace export.
+    /// Turning tracing off discards any recorded events.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Whether session tracing is currently on.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Events recorded so far (empty unless tracing is on).
+    pub fn trace_events(&self) -> &[SessionEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Record an event if tracing is on.
+    pub(crate) fn record(&mut self, e: SessionEvent) {
+        if let Some(t) = &mut self.trace {
+            t.push(e);
         }
     }
 
@@ -197,7 +276,15 @@ pub trait Gpu {
     fn h2d(&mut self, ptr: DevPtr, data: &[u8]) -> Result<(), RtError> {
         let s = self.session_mut();
         s.gmem.copy_in(ptr, data)?;
-        s.advance_ns(MEMCPY_LATENCY_NS + data.len() as f64 / PCIE_GBS);
+        let dur = MEMCPY_LATENCY_NS + data.len() as f64 / PCIE_GBS;
+        let start = s.now_ns();
+        s.record(SessionEvent::Transfer {
+            dir: TransferDir::H2D,
+            start_ns: start,
+            dur_ns: dur,
+            bytes: data.len() as u64,
+        });
+        s.advance_ns(dur);
         Ok(())
     }
 
@@ -205,7 +292,15 @@ pub trait Gpu {
     fn d2h(&mut self, ptr: DevPtr, data: &mut [u8]) -> Result<(), RtError> {
         let s = self.session_mut();
         s.gmem.copy_out(ptr, data)?;
-        s.advance_ns(MEMCPY_LATENCY_NS + data.len() as f64 / PCIE_GBS);
+        let dur = MEMCPY_LATENCY_NS + data.len() as f64 / PCIE_GBS;
+        let start = s.now_ns();
+        s.record(SessionEvent::Transfer {
+            dir: TransferDir::D2H,
+            start_ns: start,
+            dur_ns: dur,
+            bytes: data.len() as u64,
+        });
+        s.advance_ns(dur);
         Ok(())
     }
 
@@ -218,6 +313,16 @@ pub trait Gpu {
     /// reports stay bit-identical for every setting.
     fn set_exec_options(&mut self, opts: ExecOptions) {
         self.session_mut().set_exec_options(opts);
+    }
+
+    /// Turn session tracing on or off (see [`Session::set_tracing`]).
+    fn set_tracing(&mut self, on: bool) {
+        self.session_mut().set_tracing(on);
+    }
+
+    /// Events recorded since tracing was turned on.
+    fn trace_events(&self) -> &[SessionEvent] {
+        self.session().trace_events()
     }
 
     /// Deprecated alias for [`GpuExt::h2d_t`].
@@ -298,6 +403,20 @@ pub trait Gpu {
         s.launches += 1;
         s.kernel_ns_total += report.timing.total_ns;
         s.profile_total.accumulate(&report.profile);
+        if s.tracing() {
+            let name = s.kernels[h.0].name.clone();
+            let start = s.now_ns();
+            s.record(SessionEvent::Launch {
+                kernel: name,
+                start_ns: start,
+                overhead_ns: overhead,
+                kernel_ns: report.timing.total_ns,
+                grid: cfg.grid,
+                block: cfg.block,
+                stats: report.stats.clone(),
+                timing: report.timing,
+            });
+        }
         s.advance_ns(overhead + report.timing.total_ns);
         Ok(LaunchOutcome {
             report,

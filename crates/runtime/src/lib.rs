@@ -32,7 +32,8 @@ pub use buffer::{Buffer, DeviceScalar};
 pub use cuda::{Cuda, CUDA_SUBMIT_NS};
 pub use error::{ClStatus, RtError};
 pub use gpu::{
-    Gpu, GpuExt, KernelHandle, LaunchOutcome, LoadedKernel, Session, MEMCPY_LATENCY_NS, PCIE_GBS,
+    Gpu, GpuExt, KernelHandle, LaunchOutcome, LoadedKernel, Session, SessionEvent, TransferDir,
+    MEMCPY_LATENCY_NS, PCIE_GBS,
 };
 pub use opencl::{OpenCl, OPENCL_SUBMIT_NS, SPE_USABLE_LOCAL_STORE};
 

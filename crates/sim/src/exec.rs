@@ -877,8 +877,10 @@ impl<'a> BlockExec<'a> {
                 },
                 None => {
                     // No texture cache on this device: straight to DRAM.
+                    // Per-line fetches are their own coalesced floor.
                     self.stats.tex_misses += 1;
                     self.stats.gmem_transactions += 1;
+                    self.stats.gmem_ideal_transactions += 1;
                     dram_traffic(self.device, &mut self.stats, l * line, line, false);
                 }
             }
@@ -910,6 +912,9 @@ impl<'a> BlockExec<'a> {
         self.stats.atomics += self.lane_addr.len() as u64;
         if space == Space::Global {
             self.stats.gmem_transactions += self.lane_addr.len() as u64;
+            // Atomics serialise by definition; their per-lane transactions
+            // are their own floor, so they don't skew coalescing metrics.
+            self.stats.gmem_ideal_transactions += self.lane_addr.len() as u64;
             for i in 0..self.lane_addr.len() {
                 let (_, a) = self.lane_addr[i];
                 dram_traffic(self.device, &mut self.stats, a, size as u64, false);
@@ -968,6 +973,11 @@ impl<'a> BlockExec<'a> {
                     }
                     segs.sort_unstable();
                     segs.dedup();
+                    // Fully-coalesced floor: the same lanes touching
+                    // contiguous addresses would have needed this many
+                    // segments. The gap to `segs.len()` is serialisation.
+                    self.stats.gmem_ideal_transactions +=
+                        ((end - i) as u64 * size as u64).div_ceil(seg).max(1);
                     for &s in segs.iter() {
                         self.stats.gmem_transactions += 1;
                         self.global_transaction(s * seg, seg, is_store);
@@ -985,6 +995,7 @@ impl<'a> BlockExec<'a> {
                 let mut i = 0;
                 while i < self.lane_addr.len() {
                     let end = (i + group).min(self.lane_addr.len());
+                    self.stats.shared_accesses += 1;
                     let mut degree = 1u64;
                     if banks > 1 {
                         // words per bank
@@ -1033,6 +1044,9 @@ impl<'a> BlockExec<'a> {
                 let base = (1u64 << 40)
                     + self.cur_block * block_span.next_multiple_of(seg)
                     + slot * self.block.count().max(1);
+                // Lane-interleaved local slots are contiguous by
+                // construction: the burst is its own coalesced floor.
+                self.stats.gmem_ideal_transactions += txns;
                 for t in 0..txns {
                     self.stats.gmem_transactions += 1;
                     self.global_transaction(base + t * seg, seg, is_store);
@@ -1047,6 +1061,7 @@ impl<'a> BlockExec<'a> {
                 let line = self.constc.as_ref().map(|cc| cc.line_bytes()).unwrap_or(64);
                 let mut lines: Vec<u64> = addrs.iter().map(|a| a / line).collect();
                 lines.dedup();
+                self.stats.const_line_accesses += lines.len() as u64;
                 for l in lines {
                     match &mut self.constc {
                         Some(cc) => {

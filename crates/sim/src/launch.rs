@@ -224,6 +224,28 @@ impl LaunchReport {
     pub fn kernel_ns(&self) -> f64 {
         self.timing.total_ns
     }
+
+    /// Flatten this launch's exact counters *and* modelled timing into one
+    /// [`crate::stats::CounterSet`] — the per-launch profile the runtime
+    /// attaches to every `Gpu::launch` and the trace exporter serialises.
+    pub fn counters(&self, device: &DeviceSpec) -> crate::stats::CounterSet {
+        let mut c = self.stats.counter_set(device.warp_width);
+        c.push("kernel_ns", self.timing.total_ns);
+        c.push("compute_ns", self.timing.compute_ns);
+        c.push("memory_ns", self.timing.memory_ns);
+        c.push("latency_ns", self.timing.latency_ns);
+        c.push("achieved_occupancy", self.timing.occupancy);
+        c.push("blocks_per_cu", self.timing.blocks_per_cu as f64);
+        for (name, share) in self.timing.stall_shares() {
+            // e.g. stall_compute_share / stall_memory_share / stall_latency_share
+            match name {
+                "compute" => c.push("stall_compute_share", share),
+                "memory" => c.push("stall_memory_share", share),
+                _ => c.push("stall_latency_share", share),
+            }
+        }
+        c
+    }
 }
 
 /// Execute a kernel launch on `device`, mutating `gmem`, and return the

@@ -47,5 +47,5 @@ pub use launch::{
     launch, launch_with, Dim3, LaunchConfig, LaunchConfigBuilder, LaunchReport, TexBinding,
 };
 pub use mem::{DevPtr, GlobalMemory, WriteOverlay};
-pub use stats::ExecStats;
+pub use stats::{CounterSet, ExecStats};
 pub use timing::kernel_time_ns;

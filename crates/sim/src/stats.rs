@@ -31,6 +31,11 @@ pub struct ExecStats {
     pub dram_write_bytes: u64,
     /// Global-memory transactions issued by warps (before cache filtering).
     pub gmem_transactions: u64,
+    /// Minimum transactions the same accesses would have cost had every
+    /// coalesce group been perfectly contiguous — the fully-coalesced
+    /// floor. `gmem_transactions - gmem_ideal_transactions` is the
+    /// serialisation overhead the paper attributes PR deviations to.
+    pub gmem_ideal_transactions: u64,
     /// Global-memory access instructions (warp-level).
     pub gmem_instructions: u64,
     /// L1 hits / misses (Fermi-style global cache).
@@ -50,10 +55,14 @@ pub struct ExecStats {
     /// Constant cache serialisation events (distinct addresses within one
     /// warp constant load beyond the first).
     pub const_serializations: u64,
+    /// Constant cache line lookups (after the warp-broadcast dedup).
+    pub const_line_accesses: u64,
     /// Constant cache misses (line fills from DRAM).
     pub const_misses: u64,
     /// Shared-memory access cycles including bank-conflict serialisation.
     pub shared_cycles: u64,
+    /// Shared-memory warp access groups (bank-conflict denominators).
+    pub shared_accesses: u64,
     /// Shared-memory accesses that conflicted (extra cycles beyond 1).
     pub shared_conflict_cycles: u64,
     /// Block-wide barriers executed (per warp arrival).
@@ -83,6 +92,7 @@ impl ExecStats {
         self.dram_read_bytes += other.dram_read_bytes;
         self.dram_write_bytes += other.dram_write_bytes;
         self.gmem_transactions += other.gmem_transactions;
+        self.gmem_ideal_transactions += other.gmem_ideal_transactions;
         self.gmem_instructions += other.gmem_instructions;
         self.l1_hits += other.l1_hits;
         self.l1_misses += other.l1_misses;
@@ -92,8 +102,10 @@ impl ExecStats {
         self.tex_hits += other.tex_hits;
         self.tex_misses += other.tex_misses;
         self.const_serializations += other.const_serializations;
+        self.const_line_accesses += other.const_line_accesses;
         self.const_misses += other.const_misses;
         self.shared_cycles += other.shared_cycles;
+        self.shared_accesses += other.shared_accesses;
         self.shared_conflict_cycles += other.shared_conflict_cycles;
         self.barriers += other.barriers;
         self.divergent_branches += other.divergent_branches;
@@ -119,6 +131,147 @@ impl ExecStats {
             return 0.0;
         }
         self.lane_instructions as f64 / (self.warp_instructions as f64 * warp_width as f64)
+    }
+
+    /// L1 hit rate in `[0, 1]`; zero when the L1 saw no traffic.
+    pub fn l1_hit_rate(&self) -> f64 {
+        ratio(self.l1_hits, self.l1_hits + self.l1_misses)
+    }
+
+    /// L2 hit rate in `[0, 1]`.
+    pub fn l2_hit_rate(&self) -> f64 {
+        ratio(self.l2_hits, self.l2_hits + self.l2_misses)
+    }
+
+    /// Texture cache hit rate in `[0, 1]`.
+    pub fn tex_hit_rate(&self) -> f64 {
+        ratio(self.tex_hits, self.tex_hits + self.tex_misses)
+    }
+
+    /// Constant cache hit rate in `[0, 1]` (line lookups that did not
+    /// fill from DRAM). 1.0 for broadcast reads of a resident line.
+    pub fn const_hit_rate(&self) -> f64 {
+        ratio(
+            self.const_line_accesses.saturating_sub(self.const_misses),
+            self.const_line_accesses,
+        )
+    }
+
+    /// Coalescing efficiency in `(0, 1]`: the fully-coalesced transaction
+    /// floor over the transactions actually issued. 1.0 means every warp
+    /// access was perfectly contiguous; small values mean serialisation.
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.gmem_transactions == 0 {
+            return 1.0;
+        }
+        self.gmem_ideal_transactions as f64 / self.gmem_transactions as f64
+    }
+
+    /// Fraction of shared-memory access cycles lost to bank-conflict
+    /// serialisation.
+    pub fn bank_conflict_share(&self) -> f64 {
+        ratio(self.shared_conflict_cycles, self.shared_cycles)
+    }
+
+    /// Flatten every raw counter plus the derived rates into an ordered
+    /// [`CounterSet`] — the machine-readable form consumed by the trace
+    /// exporter, the bench report, and the CI gate.
+    pub fn counter_set(&self, warp_width: u32) -> CounterSet {
+        let mut c = CounterSet::new();
+        c.push("blocks", self.blocks as f64);
+        c.push("threads", self.threads as f64);
+        c.push("warp_instructions", self.warp_instructions as f64);
+        c.push("lane_instructions", self.lane_instructions as f64);
+        c.push("issue_cycles", self.issue_millicycles as f64 / 1000.0);
+        c.push("flops", self.flops as f64);
+        c.push("dram_read_bytes", self.dram_read_bytes as f64);
+        c.push("dram_write_bytes", self.dram_write_bytes as f64);
+        c.push("gmem_instructions", self.gmem_instructions as f64);
+        c.push("gmem_transactions", self.gmem_transactions as f64);
+        c.push(
+            "gmem_ideal_transactions",
+            self.gmem_ideal_transactions as f64,
+        );
+        c.push("l1_hits", self.l1_hits as f64);
+        c.push("l1_misses", self.l1_misses as f64);
+        c.push("l2_hits", self.l2_hits as f64);
+        c.push("l2_misses", self.l2_misses as f64);
+        c.push("l2_touched_bytes", self.l2_touched_bytes as f64);
+        c.push("tex_hits", self.tex_hits as f64);
+        c.push("tex_misses", self.tex_misses as f64);
+        c.push("const_line_accesses", self.const_line_accesses as f64);
+        c.push("const_misses", self.const_misses as f64);
+        c.push("const_serializations", self.const_serializations as f64);
+        c.push("shared_accesses", self.shared_accesses as f64);
+        c.push("shared_cycles", self.shared_cycles as f64);
+        c.push("shared_conflict_cycles", self.shared_conflict_cycles as f64);
+        c.push("barriers", self.barriers as f64);
+        c.push("divergent_branches", self.divergent_branches as f64);
+        c.push("atomics", self.atomics as f64);
+        c.push("max_partition_bytes", self.max_partition_bytes() as f64);
+        // Derived rates (the paper's attribution vocabulary).
+        c.push("simd_efficiency", self.simd_efficiency(warp_width));
+        c.push("coalescing_efficiency", self.coalescing_efficiency());
+        c.push("l1_hit_rate", self.l1_hit_rate());
+        c.push("l2_hit_rate", self.l2_hit_rate());
+        c.push("tex_hit_rate", self.tex_hit_rate());
+        c.push("const_hit_rate", self.const_hit_rate());
+        c.push("bank_conflict_share", self.bank_conflict_share());
+        c
+    }
+}
+
+#[inline]
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// A flat, ordered `name -> value` counter map — the machine-readable
+/// currency of the observability layer. Names are stable identifiers
+/// (they appear in `BENCH_*.json` and chrome traces, and the CI gate
+/// keys on them), so treat renames as breaking.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CounterSet {
+    entries: Vec<(String, f64)>,
+}
+
+impl CounterSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+
+    /// Append a counter (last write wins on lookup collisions).
+    pub fn push(&mut self, name: impl Into<String>, value: f64) {
+        self.entries.push((name.into(), value));
+    }
+
+    /// Look a counter up by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Iterate `(name, value)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no counters have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 

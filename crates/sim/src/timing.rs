@@ -50,6 +50,37 @@ pub struct Timing {
     pub limiter: &'static str,
 }
 
+impl Timing {
+    /// Which roofline term dominated the launch: `"compute"`, `"memory"`
+    /// or `"latency"`. Ties resolve in that order (compute first), so the
+    /// answer is deterministic.
+    pub fn dominant(&self) -> &'static str {
+        let terms = self.stall_shares();
+        let mut best = terms[0];
+        for t in &terms[1..] {
+            if t.1 > best.1 {
+                best = *t;
+            }
+        }
+        best.0
+    }
+
+    /// Warp-issue stall breakdown: each roofline term's share of the term
+    /// sum, in `[0, 1]`. The shares describe *where cycles would go* if
+    /// nothing overlapped; the dominant entry is the launch's bottleneck.
+    pub fn stall_shares(&self) -> [(&'static str, f64); 3] {
+        let sum = self.compute_ns + self.memory_ns + self.latency_ns;
+        if sum <= 0.0 {
+            return [("compute", 0.0), ("memory", 0.0), ("latency", 0.0)];
+        }
+        [
+            ("compute", self.compute_ns / sum),
+            ("memory", self.memory_ns / sum),
+            ("latency", self.latency_ns / sum),
+        ]
+    }
+}
+
 /// Compute the virtual duration of a launch.
 ///
 /// `threads_per_block` and `blocks` describe the launch shape;

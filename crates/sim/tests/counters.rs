@@ -1,0 +1,205 @@
+//! Counter-correctness tests on hand-computable kernels: each test
+//! derives the expected transaction/conflict/hit counts from the device
+//! parameters and asserts the profiler reports exactly those numbers.
+
+use gpucmp_compiler::{compile, global_id_x, ld_global, Api, DslKernel, Expr, Unroll};
+use gpucmp_ptx::Ty;
+use gpucmp_sim::{launch, DeviceSpec, ExecStats, GlobalMemory, LaunchConfig};
+
+/// Compile and launch `def` with an f32 input and output buffer.
+fn run(
+    def: &gpucmp_compiler::KernelDef,
+    device: &DeviceSpec,
+    grid: u32,
+    block: u32,
+    in_f32: usize,
+    out_f32: usize,
+) -> ExecStats {
+    let compiled = compile(def, Api::Cuda, device.max_regs_per_thread).unwrap();
+    let resolved = compiled.exec.resolve().unwrap();
+    let mut const_bank = def.const_data.clone();
+    const_bank.resize(const_bank.len().next_multiple_of(16), 0);
+    let mut gmem = GlobalMemory::new(1 << 24);
+    let d_in = gmem.alloc((in_f32.max(1) * 4) as u64).unwrap();
+    let d_out = gmem.alloc((out_f32.max(1) * 4) as u64).unwrap();
+    let input: Vec<f32> = (0..in_f32).map(|i| i as f32).collect();
+    gmem.write_f32_slice(d_in, &input).unwrap();
+    let cfg = LaunchConfig::new(grid, block).arg_ptr(d_in).arg_ptr(d_out);
+    let report = launch(device, &resolved, &mut gmem, &const_bank, &cfg).unwrap();
+    report.stats
+}
+
+/// `out[gid] = in[gid]`, the fully coalesced copy.
+fn copy_kernel() -> gpucmp_compiler::KernelDef {
+    let mut k = DslKernel::new("copy");
+    let inp = k.param_ptr("in");
+    let out = k.param_ptr("out");
+    let gid = k.let_(Ty::S32, global_id_x());
+    let v = k.let_(Ty::F32, ld_global(inp, gid, Ty::F32));
+    k.st_global(out, gid, Ty::F32, v);
+    k.finish()
+}
+
+#[test]
+fn coalesced_copy_is_one_transaction_per_group() {
+    let n = 1024u32;
+    // On both devices a full coalesce group covers exactly one segment
+    // (GTX480: 32 lanes x 4 B = 128 B; GTX280: 16 x 4 = 64 B), so the
+    // copy needs one transaction per group per access — the floor.
+    for device in [DeviceSpec::gtx280(), DeviceSpec::gtx480()] {
+        let stats = run(
+            &copy_kernel(),
+            &device,
+            n / 128,
+            128,
+            n as usize,
+            n as usize,
+        );
+        let expected = 2 * (n as u64 * 4) / device.segment_bytes as u64; // load + store
+        assert_eq!(
+            stats.gmem_transactions, expected,
+            "{}: copy transactions",
+            device.name
+        );
+        assert_eq!(
+            stats.gmem_ideal_transactions, expected,
+            "{}: copy floor",
+            device.name
+        );
+        assert_eq!(
+            stats.coalescing_efficiency(),
+            1.0,
+            "{}: a unit-stride copy is perfectly coalesced",
+            device.name
+        );
+    }
+}
+
+#[test]
+fn stride_32_read_serialises_into_one_transaction_per_lane() {
+    // `out[gid] = in[gid * 32]`: consecutive lanes are 128 B apart, so on
+    // the GTX480 every lane of a warp lands in its own 128 B segment.
+    let mut k = DslKernel::new("strided");
+    let inp = k.param_ptr("in");
+    let out = k.param_ptr("out");
+    let gid = k.let_(Ty::S32, global_id_x());
+    let idx = k.let_(Ty::S32, Expr::from(gid) * 32i32);
+    let v = k.let_(Ty::F32, ld_global(inp, idx, Ty::F32));
+    k.st_global(out, gid, Ty::F32, v);
+    let def = k.finish();
+
+    let device = DeviceSpec::gtx480();
+    let n = 1024u32;
+    let warps = (n / device.warp_width) as u64; // 32
+    let stats = run(&def, &device, n / 128, 128, n as usize * 32, n as usize);
+    // Loads: 32 segments per warp; stores: 1 per warp.
+    assert_eq!(stats.gmem_transactions, warps * 32 + warps);
+    // Floor: 1 segment per warp for each access.
+    assert_eq!(stats.gmem_ideal_transactions, warps + warps);
+    let eff = stats.coalescing_efficiency();
+    assert!(
+        (eff - 2.0 / 33.0).abs() < 1e-12,
+        "strided efficiency {eff} != 2/33"
+    );
+}
+
+#[test]
+fn stride_32_shared_access_is_a_full_bank_conflict() {
+    // One warp; lane `tid` stores to and reloads shared word `tid * 32`.
+    // All 32 words map to bank 0 on the GTX480 (32 banks), so each access
+    // serialises 32-way: 32 cycles, 31 of them conflict.
+    let mut k = DslKernel::new("bankconflict");
+    let _inp = k.param_ptr("in");
+    let out = k.param_ptr("out");
+    let arr = k.shared_array(Ty::F32, 32 * 32);
+    let gid = k.let_(Ty::S32, global_id_x());
+    let idx = k.let_(Ty::S32, Expr::from(gid) * 32i32);
+    k.st_shared(arr, idx, Expr::from(gid).cast(Ty::F32));
+    k.barrier();
+    let v = k.let_(Ty::F32, arr.ld(idx));
+    k.st_global(out, gid, Ty::F32, v);
+    let def = k.finish();
+
+    let device = DeviceSpec::gtx480();
+    assert_eq!((device.shared_banks, device.coalesce_group), (32, 32));
+    let stats = run(&def, &device, 1, 32, 1, 32);
+    assert_eq!(stats.shared_accesses, 2, "one store + one load group");
+    assert_eq!(stats.shared_cycles, 2 * 32, "32-way serialisation each");
+    assert_eq!(stats.shared_conflict_cycles, 2 * 31);
+    assert_eq!(stats.bank_conflict_share(), 62.0 / 64.0);
+
+    // GT200 banks per half-warp: same pattern degrades 16-way, twice per
+    // 32-lane warp (the half-warp groups).
+    let device = DeviceSpec::gtx280();
+    assert_eq!((device.shared_banks, device.coalesce_group), (16, 16));
+    let stats = run(&def, &device, 1, 32, 1, 32);
+    assert_eq!(stats.shared_accesses, 4, "two half-warp groups per access");
+    assert_eq!(stats.shared_cycles, 4 * 16);
+    assert_eq!(stats.shared_conflict_cycles, 4 * 15);
+}
+
+#[test]
+fn unit_stride_shared_access_is_conflict_free() {
+    let mut k = DslKernel::new("nobankconflict");
+    let _inp = k.param_ptr("in");
+    let out = k.param_ptr("out");
+    let arr = k.shared_array(Ty::F32, 32);
+    let gid = k.let_(Ty::S32, global_id_x());
+    k.st_shared(arr, gid, Expr::from(gid).cast(Ty::F32));
+    k.barrier();
+    let v = k.let_(Ty::F32, arr.ld(gid));
+    k.st_global(out, gid, Ty::F32, v);
+    let def = k.finish();
+
+    let stats = run(&def, &DeviceSpec::gtx480(), 1, 32, 1, 32);
+    assert_eq!(stats.shared_accesses, 2);
+    assert_eq!(stats.shared_cycles, 2, "one cycle per conflict-free access");
+    assert_eq!(stats.shared_conflict_cycles, 0);
+    assert_eq!(stats.bank_conflict_share(), 0.0);
+}
+
+#[test]
+fn const_broadcast_reads_hit_after_the_cold_fill() {
+    // All lanes read the same constant element 64 times: one compulsory
+    // line fill, everything else hits, and a broadcast never serialises.
+    let reps = 64i32;
+    let mut k = DslKernel::new("constbcast");
+    let _inp = k.param_ptr("in");
+    let out = k.param_ptr("out");
+    let carr = k.const_array_f32(&[1.5f32; 16]); // 64 B = one cache line
+    let gid = k.let_(Ty::S32, global_id_x());
+    let acc = k.var(Ty::F32);
+    k.assign(acc, 0.0f32);
+    k.for_(0i32, reps, 1, Unroll::None, |k, r| {
+        // `r & 15` stays inside the one line and is warp-uniform.
+        let idx = k.let_(Ty::S32, r & 15i32);
+        let v = k.let_(Ty::F32, carr.ld(idx));
+        k.assign(acc, Expr::from(acc) + v);
+    });
+    k.st_global(out, gid, Ty::F32, acc);
+    let def = k.finish();
+
+    let device = DeviceSpec::gtx480();
+    let block = 64u32; // two warps sharing one block's constant cache
+    let stats = run(&def, &device, 1, block, 1, block as usize);
+    let warps = (block / device.warp_width) as u64;
+    assert_eq!(stats.const_line_accesses, warps * reps as u64);
+    assert_eq!(stats.const_misses, 1, "exactly the compulsory fill");
+    assert_eq!(stats.const_serializations, 0, "broadcasts never serialise");
+    let rate = stats.const_hit_rate();
+    assert!(rate > 0.99, "broadcast hit rate {rate} (expected ~100%)");
+
+    // Contrast: lane-dependent indices serialise (16 distinct addresses
+    // per warp -> 15 extra cycles per access) even though they still hit.
+    let mut k = DslKernel::new("constscatter");
+    let _inp = k.param_ptr("in");
+    let out = k.param_ptr("out");
+    let carr = k.const_array_f32(&[2.5f32; 16]);
+    let gid = k.let_(Ty::S32, global_id_x());
+    let idx = k.let_(Ty::S32, Expr::from(gid) & 15i32);
+    let v = k.let_(Ty::F32, carr.ld(idx));
+    k.st_global(out, gid, Ty::F32, v);
+    let def = k.finish();
+    let stats = run(&def, &device, 1, 32, 1, 32);
+    assert_eq!(stats.const_serializations, 15);
+}

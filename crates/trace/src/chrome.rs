@@ -1,0 +1,191 @@
+//! Chrome-trace (Trace Event Format) export of a traced session.
+//!
+//! The produced JSON loads directly in `ui.perfetto.dev` or
+//! `chrome://tracing`:
+//!
+//! - one *process* per session, named after the simulated device;
+//! - one *thread track per compute unit* (`CU 0` … `CU n-1`): a kernel
+//!   launch paints an `X` (complete) slice on every CU the grid occupied,
+//!   in the round-robin block distribution the timing model assumes;
+//! - a `PCIe` track with one slice per host↔device transfer;
+//! - an `API` track with the submit-overhead slice of every launch (the
+//!   paper's Section IV-B-4 launch-time difference, visible as the gap
+//!   between submission and kernel start);
+//! - counter (`C`) tracks sampled at every kernel boundary: DRAM
+//!   bandwidth, L1/L2 hit rates, and achieved occupancy.
+//!
+//! Timestamps are the session's virtual nanoseconds divided by 1000
+//! (the format counts microseconds); fractional values are allowed by
+//! the format and preserved by Perfetto.
+
+use crate::json::Json;
+use gpucmp_runtime::{SessionEvent, TransferDir};
+use gpucmp_sim::DeviceSpec;
+
+/// Process id used for the single simulated device.
+const PID: i64 = 1;
+/// Thread-id base for CU tracks (tid = CU_TID0 + cu index).
+const CU_TID0: i64 = 10;
+/// Thread id of the PCIe transfer track.
+const PCIE_TID: i64 = 2;
+/// Thread id of the API/launch-overhead track.
+const API_TID: i64 = 3;
+
+fn ev_meta(name: &str, tid: i64, value: &str) -> Json {
+    Json::obj([
+        ("name", name.into()),
+        ("ph", "M".into()),
+        ("pid", Json::Int(PID)),
+        ("tid", Json::Int(tid)),
+        ("args", Json::obj([("name", value.into())])),
+    ])
+}
+
+fn ev_slice(name: &str, tid: i64, ts_ns: f64, dur_ns: f64, args: Json) -> Json {
+    Json::obj([
+        ("name", name.into()),
+        ("cat", "gpucmp".into()),
+        ("ph", "X".into()),
+        ("ts", Json::Num(ts_ns / 1000.0)),
+        ("dur", Json::Num((dur_ns / 1000.0).max(0.001))),
+        ("pid", Json::Int(PID)),
+        ("tid", Json::Int(tid)),
+        ("args", args),
+    ])
+}
+
+fn ev_counter(name: &str, ts_ns: f64, series: &str, value: f64) -> Json {
+    Json::obj([
+        ("name", name.into()),
+        ("ph", "C".into()),
+        ("ts", Json::Num(ts_ns / 1000.0)),
+        ("pid", Json::Int(PID)),
+        (
+            "args",
+            Json::Obj(vec![(series.to_string(), Json::Num(value))]),
+        ),
+    ])
+}
+
+/// Serialise a traced session to a chrome-trace JSON document.
+///
+/// `events` is [`gpucmp_runtime::Session::trace_events`]; `device` names
+/// the process and bounds the per-CU tracks.
+pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
+    let mut out: Vec<Json> = Vec::new();
+    out.push(ev_meta("process_name", 0, device.name));
+    out.push(ev_meta("thread_name", PCIE_TID, "PCIe"));
+    out.push(ev_meta("thread_name", API_TID, "API"));
+    // Name only the CU tracks the trace actually uses.
+    let max_cu = events
+        .iter()
+        .filter_map(|e| match e {
+            SessionEvent::Launch { grid, .. } => {
+                Some((grid.count().min(device.compute_units as u64)).max(1) as u32)
+            }
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    for cu in 0..max_cu {
+        out.push(ev_meta(
+            "thread_name",
+            CU_TID0 + cu as i64,
+            &format!("CU {cu}"),
+        ));
+    }
+
+    for e in events {
+        match e {
+            SessionEvent::Transfer {
+                dir,
+                start_ns,
+                dur_ns,
+                bytes,
+            } => {
+                let name = match dir {
+                    TransferDir::H2D => "memcpy H2D",
+                    TransferDir::D2H => "memcpy D2H",
+                };
+                let gbs = *bytes as f64 / dur_ns.max(1.0);
+                out.push(ev_slice(
+                    name,
+                    PCIE_TID,
+                    *start_ns,
+                    *dur_ns,
+                    Json::obj([("bytes", (*bytes).into()), ("GB/s", Json::Num(gbs))]),
+                ));
+            }
+            SessionEvent::Launch {
+                kernel,
+                start_ns,
+                overhead_ns,
+                kernel_ns,
+                grid,
+                block,
+                stats,
+                timing,
+            } => {
+                out.push(ev_slice(
+                    &format!("launch {kernel}"),
+                    API_TID,
+                    *start_ns,
+                    *overhead_ns,
+                    Json::obj([("overhead_ns", Json::Num(*overhead_ns))]),
+                ));
+                let kstart = start_ns + overhead_ns;
+                // Blocks spread round-robin over the CUs; every occupied CU
+                // is busy for the whole modelled kernel duration.
+                let cus = (grid.count().min(device.compute_units as u64)).max(1) as u32;
+                let args = Json::obj([
+                    (
+                        "grid",
+                        Json::Str(format!("{}x{}x{}", grid.x, grid.y, grid.z)),
+                    ),
+                    (
+                        "block",
+                        Json::Str(format!("{}x{}x{}", block.x, block.y, block.z)),
+                    ),
+                    ("blocks", grid.count().into()),
+                    ("dominant", timing.dominant().into()),
+                    ("occupancy", Json::Num(timing.occupancy)),
+                    ("dram_bytes", stats.dram_bytes().into()),
+                    ("l2_hit_rate", Json::Num(stats.l2_hit_rate())),
+                ]);
+                for cu in 0..cus {
+                    out.push(ev_slice(
+                        kernel,
+                        CU_TID0 + cu as i64,
+                        kstart,
+                        *kernel_ns,
+                        args.clone(),
+                    ));
+                }
+                // Counter tracks: step to the launch's level at kernel
+                // start, back to zero at kernel end.
+                let gbs = stats.dram_bytes() as f64 / kernel_ns.max(1.0);
+                for (track, series, v) in [
+                    ("DRAM bandwidth", "GB/s", gbs),
+                    ("L1 hit rate", "rate", stats.l1_hit_rate()),
+                    ("L2 hit rate", "rate", stats.l2_hit_rate()),
+                    ("Occupancy", "warp slots", timing.occupancy),
+                ] {
+                    out.push(ev_counter(track, kstart, series, v));
+                    out.push(ev_counter(track, kstart + kernel_ns, series, 0.0));
+                }
+            }
+        }
+    }
+
+    Json::obj([
+        ("displayTimeUnit", "ns".into()),
+        (
+            "otherData",
+            Json::obj([
+                ("device", device.name.into()),
+                ("producer", "gpucmp-trace".into()),
+            ]),
+        ),
+        ("traceEvents", Json::Arr(out)),
+    ])
+}

@@ -1,0 +1,131 @@
+//! End-to-end validation of the chrome-trace export: trace a real
+//! benchmark session, serialise it, and parse the text back — the
+//! round-trip is the machine check that the emitted file is valid JSON
+//! with the Trace Event Format structure Perfetto expects.
+
+use gpucmp_benchmarks::common::{Benchmark, Scale};
+use gpucmp_benchmarks::sobel::Sobel;
+use gpucmp_runtime::{Cuda, Gpu, SessionEvent};
+use gpucmp_sim::DeviceSpec;
+use gpucmp_trace::{chrome_trace, parse, Json};
+
+fn traced_session() -> (DeviceSpec, Vec<SessionEvent>) {
+    let device = DeviceSpec::gtx480();
+    let mut gpu = Cuda::new(device.clone()).expect("NVIDIA device");
+    gpu.set_tracing(true);
+    Sobel::new(Scale::Quick).run(&mut gpu).expect("Sobel run");
+    (device, gpu.trace_events().to_vec())
+}
+
+#[test]
+fn chrome_trace_round_trips_through_text() {
+    let (device, events) = traced_session();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Launch { .. })),
+        "traced session must contain launches"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Transfer { .. })),
+        "traced session must contain transfers"
+    );
+
+    let doc = chrome_trace(&device, &events);
+    let text = doc.to_text();
+    let parsed = parse(&text).expect("emitted trace must be valid JSON");
+
+    // Top-level Trace Event Format structure.
+    assert_eq!(
+        parsed.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ns")
+    );
+    assert_eq!(
+        parsed
+            .get("otherData")
+            .and_then(|o| o.get("device"))
+            .and_then(Json::as_str),
+        Some("GTX480")
+    );
+    let tev = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!tev.is_empty());
+
+    // Every event has the mandatory fields; phased events have timestamps.
+    let mut phases = std::collections::BTreeSet::new();
+    for e in tev {
+        let ph = e.get("ph").and_then(Json::as_str).expect("event ph");
+        phases.insert(ph.to_string());
+        assert!(e.get("name").and_then(Json::as_str).is_some());
+        assert!(e.get("pid").and_then(Json::as_i64).is_some());
+        match ph {
+            "X" => {
+                let ts = e.get("ts").and_then(Json::as_f64).expect("slice ts");
+                let dur = e.get("dur").and_then(Json::as_f64).expect("slice dur");
+                assert!(ts >= 0.0 && dur > 0.0, "ts={ts} dur={dur}");
+            }
+            "C" => {
+                assert!(e.get("ts").and_then(Json::as_f64).is_some());
+                assert!(matches!(e.get("args"), Some(Json::Obj(_))));
+            }
+            "M" => {
+                assert!(matches!(e.get("args"), Some(Json::Obj(_))));
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(
+        phases.contains("M") && phases.contains("X") && phases.contains("C"),
+        "trace must contain metadata, slices and counters, got {phases:?}"
+    );
+
+    // The kernel slices land on named CU tracks within the device.
+    let cu_tracks = tev
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("M")
+                && e.get("name").and_then(Json::as_str) == Some("thread_name")
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.starts_with("CU "))
+        })
+        .count();
+    assert!(cu_tracks > 0 && cu_tracks <= device.compute_units as usize);
+
+    // Slices within one track never overlap (the timeline is physical).
+    let mut by_tid: std::collections::BTreeMap<i64, Vec<(f64, f64)>> = Default::default();
+    for e in tev {
+        if e.get("ph").and_then(Json::as_str) == Some("X") {
+            let tid = e.get("tid").and_then(Json::as_i64).unwrap();
+            let ts = e.get("ts").and_then(Json::as_f64).unwrap();
+            let dur = e.get("dur").and_then(Json::as_f64).unwrap();
+            by_tid.entry(tid).or_default().push((ts, ts + dur));
+        }
+    }
+    for (tid, mut spans) in by_tid {
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in spans.windows(2) {
+            assert!(
+                w[1].0 >= w[0].1 - 1e-9,
+                "overlapping slices on tid {tid}: {w:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn untraced_sessions_record_nothing() {
+    let device = DeviceSpec::gtx480();
+    let mut gpu = Cuda::new(device.clone()).expect("NVIDIA device");
+    Sobel::new(Scale::Quick).run(&mut gpu).expect("Sobel run");
+    assert!(gpu.trace_events().is_empty(), "tracing is strictly opt-in");
+    // An event-less trace is still a valid document.
+    let doc = chrome_trace(&device, gpu.trace_events());
+    let parsed = parse(&doc.to_text()).unwrap();
+    assert!(parsed.get("traceEvents").and_then(Json::as_arr).is_some());
+}

@@ -4,10 +4,68 @@
 //! cargo run --release --example reproduce_paper            # everything
 //! cargo run --release --example reproduce_paper fig3 fig8  # a subset
 //! cargo run --release --example reproduce_paper --quick    # small inputs
+//! cargo run --release --example reproduce_paper bench      # report only
 //! ```
+//!
+//! The `bench` section (part of the default set) additionally writes two
+//! machine-readable artifacts to the working directory:
+//!
+//! - `BENCH_<timestamp>.json` — one row per (benchmark, device, API) with
+//!   the full hardware-counter set, plus per-pair PRs with dominant-counter
+//!   attribution. `cargo run -p gpucmp-bench --bin gate <file>` checks its
+//!   paper-shape invariants in CI.
+//! - `TRACE_<timestamp>.json` — a chrome-trace of a profiled Sobel session
+//!   on the GTX480; open it in <https://ui.perfetto.dev>.
 
-use gpucmp::core::experiments as exp;
-use gpucmp_benchmarks::Scale;
+use gpucmp::core::{bench_report, experiments as exp};
+use gpucmp_benchmarks::{Benchmark, Scale};
+use gpucmp_runtime::{Cuda, Gpu};
+use gpucmp_sim::DeviceSpec;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Run the profiled campaign and write the two JSON artifacts.
+fn emit_bench_artifacts(scale: Scale) {
+    let stamp = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    let report = bench_report::bench_report(scale);
+    let bench_path = format!("BENCH_{stamp}.json");
+    std::fs::write(&bench_path, report.to_text()).expect("write bench report");
+    let verified = report.runs.iter().filter(|r| r.verified).count();
+    println!(
+        "Bench report: {} runs ({} verified), {} PR pairs -> {}",
+        report.runs.len(),
+        verified,
+        report.prs.len(),
+        bench_path
+    );
+    println!("{:<8} {:<8} {:>7}  dominant counter", "App", "Device", "PR");
+    for p in &report.prs {
+        println!(
+            "{:<8} {:<8} {:>7.3}  {}",
+            p.bench, p.device, p.pr, p.dominant_counter
+        );
+    }
+
+    // A profiled Sobel session on the GTX480 as a Perfetto-openable trace.
+    let device = DeviceSpec::gtx480();
+    let mut gpu = Cuda::new(device.clone()).expect("NVIDIA device");
+    gpu.set_exec_options(exp::exec_options_from_env());
+    gpu.set_tracing(true);
+    gpucmp_benchmarks::sobel::Sobel::new(scale)
+        .run(&mut gpu)
+        .expect("Sobel trace run");
+    let trace = gpucmp_trace::chrome_trace(&device, gpu.trace_events());
+    let trace_path = format!("TRACE_{stamp}.json");
+    std::fs::write(&trace_path, trace.to_text()).expect("write chrome trace");
+    println!(
+        "\nChrome trace of Sobel on GTX480 ({} events) -> {}  (open in ui.perfetto.dev)",
+        gpu.trace_events().len(),
+        trace_path
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,5 +112,8 @@ fn main() {
     }
     if run("launch") {
         println!("{}\n", exp::launch_latency());
+    }
+    if run("bench") {
+        emit_bench_artifacts(scale);
     }
 }

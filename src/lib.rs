@@ -17,4 +17,5 @@ pub use gpucmp_core as core;
 pub use gpucmp_ptx as ptx;
 pub use gpucmp_runtime as runtime;
 pub use gpucmp_sim as sim;
+pub use gpucmp_trace as trace;
 pub use gpucmp_tuner as tuner;

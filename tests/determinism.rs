@@ -138,4 +138,44 @@ fn launch_report_and_memory_identical_at_sim_level() {
     assert_eq!(serial.timing, par.timing);
     assert_eq!(mem_serial, mem_par);
     assert!(par.profile.blocks_simulated > 0);
+
+    // The flattened LaunchReport counter set — what BENCH reports and
+    // chrome traces serialise — must also be bit-identical, entry by
+    // entry (f64 bit patterns, not approximate equality).
+    let cs = serial.counters(&device);
+    let cp = par.counters(&device);
+    assert_eq!(cs.len(), cp.len());
+    for ((name_s, v_s), (name_p, v_p)) in cs.iter().zip(cp.iter()) {
+        assert_eq!(name_s, name_p);
+        assert_eq!(
+            v_s.to_bits(),
+            v_p.to_bits(),
+            "counter '{name_s}' diverged: {v_s} vs {v_p}"
+        );
+    }
+}
+
+#[test]
+fn profiled_counters_identical_across_thread_counts() {
+    // Whole-benchmark profiling through the runtime: the merged counter
+    // set Sobel reports (global + shared + constant traffic) is the same
+    // object the bench report serialises, so it must be bit-identical at
+    // GPUCMP_SIM_THREADS=1 vs 8.
+    use gpucmp::benchmarks::sobel::Sobel;
+    let device = DeviceSpec::gtx280(); // const-cache path + half-warp coalescing
+    let bench = Sobel::new(Scale::Quick);
+    let serial = run_cuda_with(&bench, device.clone(), 1);
+    let par = run_cuda_with(&bench, device.clone(), 8);
+    let cs = serial.stats.counter_set(device.warp_width);
+    let cp = par.stats.counter_set(device.warp_width);
+    assert!(cs.len() > 20, "expected a populated counter set");
+    assert_eq!(cs.len(), cp.len());
+    for ((name_s, v_s), (name_p, v_p)) in cs.iter().zip(cp.iter()) {
+        assert_eq!(name_s, name_p);
+        assert_eq!(
+            v_s.to_bits(),
+            v_p.to_bits(),
+            "counter '{name_s}' diverged: {v_s} vs {v_p}"
+        );
+    }
 }
