@@ -5,16 +5,73 @@
 //! per-run hardware-counter sets, then derives the per-(benchmark,
 //! device) PRs with a machine-attributed *dominant counter* (the
 //! profiling analogue of the paper's Section IV prose explanations).
+//!
+//! The campaign degrades gracefully: every (benchmark, device, API)
+//! triple runs in isolation (a panic or a device fault in one cannot take
+//! down the rest), with a bounded retry, and a run that still fails is
+//! recorded in the report as `fault-skipped` with the fault text instead
+//! of silently disappearing. Under a seeded [`FaultPlan`] campaign
+//! (`CampaignOptions::fault_seed`) roughly a third of the triples are
+//! deliberately broken on their first attempt and recover on retry — or
+//! don't, and land in the report as skips the CI gate can tell apart from
+//! regressions.
 
-use crate::experiments::{run_cuda, run_opencl};
+use crate::experiments::{run_cuda_with, run_opencl_with};
 use crate::pr::Pr;
-use gpucmp_benchmarks::Scale;
+use gpucmp_benchmarks::{Scale, Verify};
+use gpucmp_runtime::FaultPlan;
 use gpucmp_sim::DeviceSpec;
-use gpucmp_trace::{dominant_counter, BenchReport, BenchRun, PrEntry};
+use gpucmp_trace::{dominant_counter, BenchReport, BenchRun, PrEntry, RUN_FAULT_SKIPPED, RUN_OK};
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Device names the campaign covers (the paper's CUDA-capable pair).
 pub const CAMPAIGN_DEVICES: [&str; 2] = ["GTX280", "GTX480"];
+
+/// How the campaign runs: problem scale, optional seeded fault
+/// injection, and the per-triple retry budget.
+#[derive(Clone, Debug)]
+pub struct CampaignOptions {
+    /// Problem-size scale for every benchmark.
+    pub scale: Scale,
+    /// Seed for deterministic fault injection. `None` disables
+    /// injection; `Some(seed)` gives each (benchmark, device, API)
+    /// triple the plan [`FaultPlan::for_case`] derives for it.
+    pub fault_seed: Option<u64>,
+    /// Attempts per triple before it is recorded as fault-skipped
+    /// (clamped to at least 1).
+    pub max_attempts: u32,
+}
+
+impl CampaignOptions {
+    /// Fault-free campaign at `scale` with one retry.
+    pub fn new(scale: Scale) -> Self {
+        CampaignOptions {
+            scale,
+            fault_seed: None,
+            max_attempts: 2,
+        }
+    }
+
+    /// Like [`CampaignOptions::new`], but reads `GPUCMP_FAULT_SEED`
+    /// (enable a seeded fault-injection campaign) and
+    /// `GPUCMP_FAULT_ATTEMPTS` (override the retry budget; `1` makes
+    /// every injected fault unrecoverable, exercising the partial-report
+    /// path end to end) from the environment.
+    pub fn from_env(scale: Scale) -> Self {
+        let parse = |var: &str| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+        };
+        let mut opts = CampaignOptions::new(scale);
+        opts.fault_seed = parse("GPUCMP_FAULT_SEED");
+        if let Some(n) = parse("GPUCMP_FAULT_ATTEMPTS") {
+            opts.max_attempts = n.clamp(1, 16) as u32;
+        }
+        opts
+    }
+}
 
 fn all_benchmarks(scale: Scale) -> Vec<Box<dyn gpucmp_benchmarks::Benchmark>> {
     let mut v = gpucmp_benchmarks::real_world(scale);
@@ -22,11 +79,101 @@ fn all_benchmarks(scale: Scale) -> Vec<Box<dyn gpucmp_benchmarks::Benchmark>> {
     v
 }
 
-/// Run the whole campaign at `scale`. Parallelised over (benchmark,
-/// device, API) triples; every number is deterministic for any host
-/// thread count.
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// One isolated, retried run of a (benchmark, device, API) triple.
+///
+/// A panic, a runtime error, or a failed output verification all count
+/// as a failed attempt; after `max_attempts` the triple is reported as
+/// [`RUN_FAULT_SKIPPED`] with the last failure's text and zeroed
+/// metrics, never aborting the campaign.
+fn run_one(opts: &CampaignOptions, i: usize, dev_name: &str, api: &str) -> BenchRun {
+    let bench_name = all_benchmarks(opts.scale)[i].name().to_string();
+    let case = format!("{bench_name}/{dev_name}/{api}");
+    let attempts_cap = opts.max_attempts.max(1);
+    let mut last_fault = String::new();
+    for attempt in 0..attempts_cap {
+        let plan = opts
+            .fault_seed
+            .map(|seed| FaultPlan::for_case(seed, &case, attempt));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let bench = &all_benchmarks(opts.scale)[i];
+            let device = DeviceSpec::by_name(dev_name).unwrap();
+            if api == "CUDA" {
+                run_cuda_with(bench.as_ref(), &device, plan.clone())
+            } else {
+                run_opencl_with(bench.as_ref(), &device, plan.clone())
+            }
+        }));
+        match result {
+            Ok(Ok(out)) if out.verify.is_pass() => {
+                let device = DeviceSpec::by_name(dev_name).unwrap();
+                let counters = out.stats.counter_set(device.warp_width);
+                let sim_cycles = counters.get("issue_cycles").unwrap_or(0.0);
+                return BenchRun {
+                    bench: bench_name,
+                    device: dev_name.to_string(),
+                    api: api.to_string(),
+                    value: out.value,
+                    unit: out.metric.unit().to_string(),
+                    verified: true,
+                    wall_ns: out.wall_ns,
+                    kernel_ns: out.kernel_ns,
+                    launches: out.launches,
+                    sim_cycles,
+                    counters,
+                    status: RUN_OK.to_string(),
+                    fault: None,
+                    attempts: attempt + 1,
+                };
+            }
+            Ok(Ok(out)) => {
+                last_fault = match &out.verify {
+                    Verify::Fail(msg) => format!("output verification failed: {msg}"),
+                    Verify::Pass => unreachable!(),
+                };
+            }
+            Ok(Err(e)) => last_fault = e.to_string(),
+            Err(p) => last_fault = panic_text(p),
+        }
+    }
+    BenchRun {
+        bench: bench_name,
+        device: dev_name.to_string(),
+        api: api.to_string(),
+        value: 0.0,
+        unit: String::new(),
+        verified: false,
+        wall_ns: 0.0,
+        kernel_ns: 0.0,
+        launches: 0,
+        sim_cycles: 0.0,
+        counters: Default::default(),
+        status: RUN_FAULT_SKIPPED.to_string(),
+        fault: Some(last_fault),
+        attempts: attempts_cap,
+    }
+}
+
+/// Run the whole campaign at `scale` with no fault injection.
 pub fn bench_report(scale: Scale) -> BenchReport {
-    let n = all_benchmarks(scale).len();
+    bench_report_with(&CampaignOptions::new(scale))
+}
+
+/// Run the whole campaign under `opts`. Parallelised over (benchmark,
+/// device, API) triples; every number — including which triples are
+/// fault-skipped under a seeded plan — is deterministic for any host
+/// thread count.
+pub fn bench_report_with(opts: &CampaignOptions) -> BenchReport {
+    let n = all_benchmarks(opts.scale).len();
     let triples: Vec<(usize, &'static str, &'static str)> = (0..n)
         .flat_map(|i| {
             CAMPAIGN_DEVICES
@@ -36,34 +183,7 @@ pub fn bench_report(scale: Scale) -> BenchReport {
         .collect();
     let mut runs: Vec<(usize, BenchRun)> = triples
         .par_iter()
-        .map(|&(i, dev_name, api)| {
-            let bench = &all_benchmarks(scale)[i];
-            let device = DeviceSpec::by_name(dev_name).unwrap();
-            let out = if api == "CUDA" {
-                run_cuda(bench.as_ref(), &device)
-            } else {
-                run_opencl(bench.as_ref(), &device)
-            }
-            .expect("campaign benchmarks must run on NVIDIA devices");
-            let counters = out.stats.counter_set(device.warp_width);
-            let sim_cycles = counters.get("issue_cycles").unwrap_or(0.0);
-            (
-                i,
-                BenchRun {
-                    bench: bench.name().to_string(),
-                    device: dev_name.to_string(),
-                    api: api.to_string(),
-                    value: out.value,
-                    unit: out.metric.unit().to_string(),
-                    verified: out.verify.is_pass(),
-                    wall_ns: out.wall_ns,
-                    kernel_ns: out.kernel_ns,
-                    launches: out.launches,
-                    sim_cycles,
-                    counters,
-                },
-            )
-        })
+        .map(|&(i, dev_name, api)| (i, run_one(opts, i, dev_name, api)))
         .collect();
     // deterministic order: benchmark registry order, device, then API
     runs.sort_by(|a, b| (a.0, &a.1.device, &a.1.api).cmp(&(b.0, &b.1.device, &b.1.api)));
@@ -84,7 +204,10 @@ pub fn bench_report(scale: Scale) -> BenchReport {
             let find = |api: &str| {
                 runs.iter()
                     .find(|r| &r.bench == bench && r.device == dev && r.api == api)
+                    .filter(|r| r.is_ok())
             };
+            // A PR needs both sides; a fault-skipped run leaves a hole
+            // the gate recognises through the runs table.
             let (Some(c), Some(o)) = (find("CUDA"), find("OpenCL")) else {
                 continue;
             };
@@ -120,10 +243,11 @@ pub fn bench_report(scale: Scale) -> BenchReport {
     }
 
     BenchReport {
-        scale: match scale {
+        scale: match opts.scale {
             Scale::Quick => "quick".to_string(),
             Scale::Paper => "paper".to_string(),
         },
+        fault_seed: opts.fault_seed,
         runs,
         prs,
     }
@@ -146,6 +270,8 @@ mod tests {
             report.runs.iter().all(|r| r.verified),
             "all NVIDIA runs verify"
         );
+        assert!(!report.is_partial());
+        assert!(report.runs.iter().all(|r| r.attempts == 1));
         // every run carries a populated counter set
         assert!(report
             .runs
@@ -169,5 +295,82 @@ mod tests {
         let parsed = BenchReport::from_text(&report.to_text()).unwrap();
         assert_eq!(parsed.runs.len(), report.runs.len());
         assert_eq!(parsed.scale, "quick");
+        assert_eq!(parsed.fault_seed, None);
+    }
+
+    #[test]
+    fn injected_faults_recover_on_retry_and_the_report_stays_complete() {
+        let opts = CampaignOptions {
+            fault_seed: Some(42),
+            ..CampaignOptions::new(Scale::Quick)
+        };
+        let report = bench_report_with(&opts);
+        assert_eq!(report.runs.len(), 64, "every triple is reported");
+        assert_eq!(report.fault_seed, Some(42));
+        // With attempt-0 injection and a clean retry, every injected
+        // triple recovers: the report is complete, but the retries show.
+        let retried = report.runs.iter().filter(|r| r.attempts > 1).count();
+        assert!(
+            retried > 5,
+            "a seeded campaign injects into a sizeable minority, got {retried}"
+        );
+        assert!(report.runs.iter().all(|r| r.is_ok()), "retries recover all");
+        assert_eq!(report.prs.len(), 32);
+        // Determinism: the same seed retries exactly the same triples.
+        let again = bench_report_with(&opts);
+        for (a, b) in report.runs.iter().zip(&again.runs) {
+            assert_eq!(a.attempts, b.attempts, "{}/{}/{}", a.bench, a.device, a.api);
+            assert_eq!(a.value, b.value);
+        }
+    }
+
+    #[test]
+    fn unrecoverable_faults_degrade_to_partial_reports_not_aborts() {
+        // One attempt only: injected triples cannot recover, so the
+        // campaign must degrade to a partial report instead of dying.
+        let opts = CampaignOptions {
+            fault_seed: Some(42),
+            max_attempts: 1,
+            ..CampaignOptions::new(Scale::Quick)
+        };
+        let report = bench_report_with(&opts);
+        assert_eq!(report.runs.len(), 64, "skips are recorded, not dropped");
+        assert!(report.is_partial());
+        let skipped: Vec<_> = report.runs.iter().filter(|r| !r.is_ok()).collect();
+        assert!(
+            skipped.len() > 5 && skipped.len() < 40,
+            "about a third skip, got {}",
+            skipped.len()
+        );
+        for r in &skipped {
+            assert_eq!(r.status, RUN_FAULT_SKIPPED);
+            assert!(
+                r.fault.as_deref().is_some_and(|f| !f.is_empty()),
+                "{}",
+                r.bench
+            );
+            assert!(!r.verified);
+        }
+        // PRs exist exactly for pairs whose both runs are ok.
+        let ok_pairs = report
+            .prs
+            .iter()
+            .filter(|p| {
+                ["CUDA", "OpenCL"].iter().all(|api| {
+                    report
+                        .run(&p.bench, &p.device, api)
+                        .is_some_and(|r| r.is_ok())
+                })
+            })
+            .count();
+        assert_eq!(ok_pairs, report.prs.len());
+        assert!(report.prs.len() < 32);
+        // The partial report round-trips.
+        let parsed = BenchReport::from_text(&report.to_text()).unwrap();
+        assert!(parsed.is_partial());
+        assert_eq!(
+            parsed.runs.iter().filter(|r| !r.is_ok()).count(),
+            skipped.len()
+        );
     }
 }

@@ -8,7 +8,7 @@ use gpucmp_benchmarks::{devicemem::DeviceMemory, maxflops::MaxFlops, mxm::MxM};
 use gpucmp_benchmarks::{fdtd::Fdtd, fft::Fft, md::Md, sobel::Sobel, spmv::Spmv};
 use gpucmp_compiler::Api;
 use gpucmp_ptx::InstStats;
-use gpucmp_runtime::{ClStatus, Cuda, Gpu, GpuExt, OpenCl, RtError};
+use gpucmp_runtime::{ClStatus, Cuda, FaultPlan, Gpu, GpuExt, OpenCl, RtError};
 use gpucmp_sim::{DeviceSpec, ExecOptions};
 use rayon::prelude::*;
 use std::fmt;
@@ -32,8 +32,19 @@ pub fn run_cuda(
     bench: &dyn Benchmark,
     device: &DeviceSpec,
 ) -> Result<gpucmp_benchmarks::RunOutput, RtError> {
+    run_cuda_with(bench, device, None)
+}
+
+/// [`run_cuda`] with a fault-injection plan attached to the session
+/// before the benchmark starts.
+pub fn run_cuda_with(
+    bench: &dyn Benchmark,
+    device: &DeviceSpec,
+    plan: Option<FaultPlan>,
+) -> Result<gpucmp_benchmarks::RunOutput, RtError> {
     let mut gpu = Cuda::new(device.clone())?;
     gpu.set_exec_options(exec_options_from_env());
+    gpu.set_fault_plan(plan);
     bench.run(&mut gpu)
 }
 
@@ -42,8 +53,19 @@ pub fn run_opencl(
     bench: &dyn Benchmark,
     device: &DeviceSpec,
 ) -> Result<gpucmp_benchmarks::RunOutput, RtError> {
+    run_opencl_with(bench, device, None)
+}
+
+/// [`run_opencl`] with a fault-injection plan attached to the session
+/// before the benchmark starts.
+pub fn run_opencl_with(
+    bench: &dyn Benchmark,
+    device: &DeviceSpec,
+    plan: Option<FaultPlan>,
+) -> Result<gpucmp_benchmarks::RunOutput, RtError> {
     let mut gpu = OpenCl::create_any(device.clone());
     gpu.set_exec_options(exec_options_from_env());
+    gpu.set_fault_plan(plan);
     bench.run(&mut gpu)
 }
 

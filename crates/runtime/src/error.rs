@@ -1,7 +1,8 @@
 //! Runtime error types, including the OpenCL status codes the paper's
-//! portability study runs into (`CL_OUT_OF_RESOURCES` on the Cell/BE).
+//! portability study runs into (`CL_OUT_OF_RESOURCES` on the Cell/BE) and
+//! the CUDA-style sticky device faults added by the robustness layer.
 
-use gpucmp_sim::SimError;
+use gpucmp_sim::{DeviceFault, SimError};
 use std::fmt;
 
 /// OpenCL-style status codes (subset used by the benchmarks).
@@ -47,7 +48,47 @@ impl fmt::Display for ClStatus {
 /// A host-API error.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RtError {
-    /// The simulated device faulted.
+    /// The simulated device faulted during a kernel. Carries the kernel
+    /// name and the full simulator diagnostics (fault kind + PC + thread
+    /// coordinates). CUDA semantics: this error is *sticky* — the context
+    /// rejects further work until [`crate::Session::reset`].
+    DeviceFault {
+        /// Name of the faulting kernel (empty if unknown).
+        kernel: String,
+        /// The simulator's diagnostics.
+        fault: DeviceFault,
+    },
+    /// The context was poisoned by an earlier device fault; every call
+    /// fails with this until the session is reset.
+    ContextLost {
+        /// Display of the original fault that poisoned the context.
+        origin: String,
+    },
+    /// Device memory allocation failed.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available in the arena.
+        available: u64,
+    },
+    /// A host↔device transfer was sized against the wrong allocation.
+    TransferSize {
+        /// Which operation (`"h2d"`, `"d2h"`, `"h2d_buf"`, ...).
+        op: &'static str,
+        /// Bytes the caller asked to move.
+        requested: u64,
+        /// Bytes actually available in the target allocation.
+        available: u64,
+    },
+    /// A deliberately injected failure from an active
+    /// [`crate::inject::FaultPlan`] (fault-injection campaigns only).
+    Injected {
+        /// Which operation was failed (`"malloc"`, `"h2d"`, `"launch"`).
+        op: &'static str,
+        /// Zero-based index of the failed call within its operation class.
+        nth: u64,
+    },
+    /// Another simulator error (launch-setup validation and the like).
     Sim(SimError),
     /// Kernel compilation failed.
     Compile(String),
@@ -59,10 +100,59 @@ pub enum RtError {
     BadHandle,
 }
 
+impl RtError {
+    /// The device-fault diagnostics, if this error carries any.
+    pub fn device_fault(&self) -> Option<&DeviceFault> {
+        match self {
+            RtError::DeviceFault { fault, .. } => Some(fault),
+            RtError::Sim(e) => e.fault(),
+            _ => None,
+        }
+    }
+
+    /// Whether this error poisons the context (CUDA sticky semantics):
+    /// device faults do, API-level validation errors do not.
+    pub fn is_sticky(&self) -> bool {
+        matches!(self, RtError::DeviceFault { .. })
+    }
+}
+
 impl fmt::Display for RtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RtError::Sim(e) => write!(f, "device fault: {e}"),
+            RtError::DeviceFault { kernel, fault } => {
+                if kernel.is_empty() {
+                    write!(f, "{fault}")
+                } else {
+                    write!(f, "kernel `{kernel}`: {fault}")
+                }
+            }
+            RtError::ContextLost { origin } => write!(
+                f,
+                "context lost to an earlier device fault ({origin}); \
+                 call Session::reset() before launching again"
+            ),
+            RtError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} bytes, \
+                 {available} available"
+            ),
+            RtError::TransferSize {
+                op,
+                requested,
+                available,
+            } => write!(
+                f,
+                "{op}: transfer of {requested} bytes exceeds the \
+                 {available} bytes of the target allocation"
+            ),
+            RtError::Injected { op, nth } => {
+                write!(f, "injected fault: {op} call #{nth} failed by plan")
+            }
+            RtError::Sim(e) => write!(f, "device error: {e}"),
             RtError::Compile(m) => write!(f, "build failed: {m}"),
             RtError::Cl(s) => write!(f, "{s}"),
             RtError::WrongVendor(d) => {
@@ -77,13 +167,27 @@ impl std::error::Error for RtError {}
 
 impl From<SimError> for RtError {
     fn from(e: SimError) -> Self {
-        RtError::Sim(e)
+        match e {
+            SimError::OutOfMemory {
+                requested,
+                available,
+            } => RtError::OutOfMemory {
+                requested,
+                available,
+            },
+            SimError::Fault(fault) => RtError::DeviceFault {
+                kernel: String::new(),
+                fault,
+            },
+            other => RtError::Sim(other),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpucmp_sim::FaultKind;
 
     #[test]
     fn status_names() {
@@ -92,9 +196,37 @@ mod tests {
     }
 
     #[test]
-    fn sim_error_wraps() {
-        let e: RtError = SimError::DivByZero.into();
-        assert!(matches!(e, RtError::Sim(_)));
+    fn sim_fault_becomes_sticky_device_fault() {
+        let e: RtError = SimError::from(FaultKind::DivByZero).into();
+        assert!(matches!(e, RtError::DeviceFault { .. }));
+        assert!(e.is_sticky());
         assert!(e.to_string().contains("division"));
+    }
+
+    #[test]
+    fn sim_oom_maps_to_rt_oom() {
+        let e: RtError = SimError::OutOfMemory {
+            requested: 100,
+            available: 10,
+        }
+        .into();
+        assert_eq!(
+            e,
+            RtError::OutOfMemory {
+                requested: 100,
+                available: 10
+            }
+        );
+        assert!(!e.is_sticky());
+    }
+
+    #[test]
+    fn context_lost_names_the_origin_and_the_cure() {
+        let e = RtError::ContextLost {
+            origin: "device fault: watchdog".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("watchdog"));
+        assert!(msg.contains("reset"));
     }
 }

@@ -11,13 +11,14 @@
 
 use crate::buffer::{Buffer, DeviceScalar};
 use crate::error::RtError;
+use crate::inject::{FaultPlan, LaunchAction, TransferAction};
 use gpucmp_compiler::{compile_with_style, Api, KernelDef};
 use gpucmp_ptx::ResolvedKernel;
 use gpucmp_sim::launch::Dim3;
 use gpucmp_sim::timing::Timing;
 use gpucmp_sim::{
-    launch_with as sim_launch_with, DevPtr, DeviceSpec, ExecOptions, ExecProfile, ExecStats,
-    GlobalMemory, LaunchConfig, LaunchReport,
+    launch_with as sim_launch_with, DevPtr, DeviceFault, DeviceSpec, ExecOptions, ExecProfile,
+    ExecStats, GlobalMemory, LaunchConfig, LaunchReport,
 };
 use std::sync::Arc;
 
@@ -114,6 +115,50 @@ pub enum SessionEvent {
         /// Bytes moved.
         bytes: u64,
     },
+    /// A device fault pinned to the virtual timeline: either a memcheck
+    /// record from a completed launch or the fault that aborted one.
+    Fault {
+        /// Name of the faulting kernel.
+        kernel: String,
+        /// Virtual time the fault is pinned to, ns.
+        t_ns: f64,
+        /// Human-readable diagnostics (fault kind + site).
+        desc: String,
+        /// Offending instruction index, when attributable.
+        pc: Option<u32>,
+        /// Faulting block coordinates, when attributable.
+        block: Option<[u32; 3]>,
+        /// Faulting thread coordinates, when attributable.
+        thread: Option<[u32; 3]>,
+        /// Compute unit the faulting block was scheduled on (round-robin
+        /// distribution), `0` for unsited faults.
+        cu: u32,
+    },
+}
+
+/// Build the trace event for one device fault.
+fn fault_event(kernel: &str, t_ns: f64, fault: &DeviceFault, grid: Dim3, cus: u32) -> SessionEvent {
+    SessionEvent::Fault {
+        kernel: kernel.to_string(),
+        t_ns,
+        desc: fault.to_string(),
+        pc: fault.site.map(|s| s.pc),
+        block: fault.site.map(|s| s.block),
+        thread: fault.site.map(|s| s.thread),
+        cu: fault
+            .linear_block(grid.x, grid.y)
+            .map_or(0, |b| (b % cus.max(1) as u64) as u32),
+    }
+}
+
+/// Whether `GPUCMP_MEMCHECK` asks for the memcheck sanitizer.
+fn memcheck_env() -> bool {
+    std::env::var("GPUCMP_MEMCHECK")
+        .map(|v| {
+            let v = v.trim();
+            !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
+        })
+        .unwrap_or(false)
 }
 
 /// One device context: memory, loaded kernels, and the virtual clock.
@@ -130,10 +175,17 @@ pub struct Session {
     exec: ExecOptions,
     profile_total: ExecProfile,
     trace: Option<Vec<SessionEvent>>,
+    /// Display of the device fault that poisoned the context, if any.
+    fault: Option<String>,
+    memcheck: bool,
+    inject: Option<FaultPlan>,
 }
 
 impl Session {
     /// Create a session on `device` with the default memory arena.
+    ///
+    /// The memcheck sanitizer starts on if the `GPUCMP_MEMCHECK`
+    /// environment variable is set to anything but `0`/`false`.
     pub fn new(device: DeviceSpec) -> Self {
         let cap = (device.mem_capacity_mib as u64 * 1024 * 1024).min(DEFAULT_ARENA_BYTES);
         Session {
@@ -146,7 +198,75 @@ impl Session {
             exec: ExecOptions::default(),
             profile_total: ExecProfile::default(),
             trace: None,
+            fault: None,
+            memcheck: memcheck_env(),
+            inject: None,
         }
+    }
+
+    /// The fault that poisoned this context, if any (CUDA-style sticky
+    /// error semantics: once a kernel faults, every subsequent launch,
+    /// transfer, or allocation fails with [`RtError::ContextLost`] until
+    /// [`Session::reset`]).
+    pub fn fault(&self) -> Option<&str> {
+        self.fault.as_deref()
+    }
+
+    /// Error out if the context is poisoned.
+    fn check_live(&self) -> Result<(), RtError> {
+        match &self.fault {
+            Some(origin) => Err(RtError::ContextLost {
+                origin: origin.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Mark the context as lost to `origin` (a device-fault description).
+    pub(crate) fn poison(&mut self, origin: String) {
+        // first fault wins, like the CUDA sticky error
+        self.fault.get_or_insert(origin);
+    }
+
+    /// Reset the context, as `cudaDeviceReset` would: the sticky fault is
+    /// cleared, device memory is wiped, loaded kernels and the virtual
+    /// clock are discarded. Existing [`KernelHandle`]s and [`DevPtr`]s
+    /// are invalidated. Host-side knobs (exec options, memcheck, tracing,
+    /// fault plan) survive; the trace buffer restarts empty.
+    pub fn reset(&mut self) {
+        let cap = self.gmem.capacity();
+        self.gmem = GlobalMemory::new(cap);
+        self.kernels.clear();
+        self.now_ns = 0.0;
+        self.launches = 0;
+        self.kernel_ns_total = 0.0;
+        self.profile_total = ExecProfile::default();
+        if let Some(t) = &mut self.trace {
+            t.clear();
+        }
+        self.fault = None;
+    }
+
+    /// Whether the memcheck sanitizer is on for subsequent launches.
+    pub fn memcheck(&self) -> bool {
+        self.memcheck
+    }
+
+    /// Turn the memcheck sanitizer on or off. While on, memory-access
+    /// faults are recorded per launch ([`gpucmp_sim::LaunchReport::faults`],
+    /// plus [`SessionEvent::Fault`] when tracing) instead of aborting.
+    pub fn set_memcheck(&mut self, on: bool) {
+        self.memcheck = on;
+    }
+
+    /// Attach (or clear) a deterministic fault-injection plan.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.inject = plan;
+    }
+
+    /// The attached fault-injection plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.inject.as_ref()
     }
 
     /// Turn session tracing on or off. While on, every launch and PCIe
@@ -267,15 +387,47 @@ pub trait Gpu {
         self.session().now_ns()
     }
 
-    /// Allocate device memory.
+    /// Allocate device memory. Fails with [`RtError::OutOfMemory`] when
+    /// the arena is exhausted and [`RtError::ContextLost`] on a poisoned
+    /// context.
     fn malloc(&mut self, bytes: u64) -> Result<DevPtr, RtError> {
-        Ok(self.session_mut().gmem.alloc(bytes)?)
+        self.session().check_live()?;
+        let s = self.session_mut();
+        if let Some(nth) = s.inject.as_mut().and_then(|p| p.on_malloc()) {
+            return Err(RtError::Injected { op: "malloc", nth });
+        }
+        Ok(s.gmem.alloc(bytes)?)
     }
 
-    /// Host-to-device transfer of raw bytes.
+    /// Host-to-device transfer of raw bytes. The transfer must fit the
+    /// destination allocation: writing past its end is
+    /// [`RtError::TransferSize`], not silent corruption of a neighbour.
     fn h2d(&mut self, ptr: DevPtr, data: &[u8]) -> Result<(), RtError> {
+        self.session().check_live()?;
         let s = self.session_mut();
-        s.gmem.copy_in(ptr, data)?;
+        if let Some((start, bytes)) = s.gmem.alloc_containing(ptr.0) {
+            let available = start + bytes - ptr.0;
+            if data.len() as u64 > available {
+                return Err(RtError::TransferSize {
+                    op: "h2d",
+                    requested: data.len() as u64,
+                    available,
+                });
+            }
+        }
+        let action = s
+            .inject
+            .as_mut()
+            .map_or(TransferAction::Pass, |p| p.on_h2d());
+        match action {
+            TransferAction::Fail(nth) => return Err(RtError::Injected { op: "h2d", nth }),
+            TransferAction::Corrupt if !data.is_empty() => {
+                let mut corrupted = data.to_vec();
+                corrupted[data.len() / 2] ^= 0x01;
+                s.gmem.copy_in(ptr, &corrupted)?;
+            }
+            _ => s.gmem.copy_in(ptr, data)?,
+        }
         let dur = MEMCPY_LATENCY_NS + data.len() as f64 / PCIE_GBS;
         let start = s.now_ns();
         s.record(SessionEvent::Transfer {
@@ -288,9 +440,21 @@ pub trait Gpu {
         Ok(())
     }
 
-    /// Device-to-host transfer of raw bytes.
+    /// Device-to-host transfer of raw bytes. The requested length must
+    /// fit the source allocation (see [`Gpu::h2d`]).
     fn d2h(&mut self, ptr: DevPtr, data: &mut [u8]) -> Result<(), RtError> {
+        self.session().check_live()?;
         let s = self.session_mut();
+        if let Some((start, bytes)) = s.gmem.alloc_containing(ptr.0) {
+            let available = start + bytes - ptr.0;
+            if data.len() as u64 > available {
+                return Err(RtError::TransferSize {
+                    op: "d2h",
+                    requested: data.len() as u64,
+                    available,
+                });
+            }
+        }
         s.gmem.copy_out(ptr, data)?;
         let dur = MEMCPY_LATENCY_NS + data.len() as f64 / PCIE_GBS;
         let start = s.now_ns();
@@ -302,6 +466,28 @@ pub trait Gpu {
         });
         s.advance_ns(dur);
         Ok(())
+    }
+
+    /// The sticky device fault poisoning this context, if any.
+    fn fault(&self) -> Option<&str> {
+        self.session().fault()
+    }
+
+    /// Reset the context after a device fault (see [`Session::reset`]).
+    fn reset(&mut self) {
+        self.session_mut().reset();
+    }
+
+    /// Turn the memcheck sanitizer on or off for subsequent launches
+    /// (see [`Session::set_memcheck`]).
+    fn set_memcheck(&mut self, on: bool) {
+        self.session_mut().set_memcheck(on);
+    }
+
+    /// Attach (or clear) a deterministic fault-injection plan
+    /// (see [`crate::inject::FaultPlan`]).
+    fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.session_mut().set_fault_plan(plan);
     }
 
     /// How launches on this runtime are simulated (host thread count).
@@ -389,17 +575,65 @@ pub trait Gpu {
         h: KernelHandle,
         cfg: &LaunchConfig,
     ) -> Result<LaunchOutcome, RtError> {
+        self.session().check_live()?;
         let overhead = self.submit_overhead_ns() + self.device().hw_launch_ns;
         {
             let kernel = self.session().kernel(h)?;
             self.validate_launch(kernel, cfg)?;
         }
         let s = self.session_mut();
+        let action = s
+            .inject
+            .as_mut()
+            .map_or(LaunchAction::Pass, |p| p.on_launch());
+        if let LaunchAction::Fail(nth) = action {
+            return Err(RtError::Injected { op: "launch", nth });
+        }
+        let starved;
+        let cfg = if let LaunchAction::Starve(budget) = action {
+            let mut c = cfg.clone();
+            c.inst_budget = budget;
+            starved = c;
+            &starved
+        } else {
+            cfg
+        };
         // cheap Arc clones decouple the kernel from the session borrow
         let kernel = Arc::clone(&s.kernels[h.0].resolved);
         let const_bank = Arc::clone(&s.kernels[h.0].const_bank);
-        let opts = s.exec;
-        let report = sim_launch_with(&s.device, &kernel, &mut s.gmem, &const_bank, cfg, &opts)?;
+        let name = s.kernels[h.0].name.clone();
+        let opts = s.exec.memcheck(s.memcheck);
+        let report = match sim_launch_with(&s.device, &kernel, &mut s.gmem, &const_bank, cfg, &opts)
+        {
+            Ok(r) => r,
+            Err(e) => {
+                let mut err = RtError::from(e);
+                if let RtError::DeviceFault { kernel: k, fault } = &mut err {
+                    k.clone_from(&name);
+                    let ev =
+                        fault_event(&name, s.now_ns(), fault, cfg.grid, s.device.compute_units);
+                    s.record(ev);
+                }
+                if err.is_sticky() {
+                    // CUDA sticky semantics: the context is lost until reset
+                    s.poison(err.to_string());
+                }
+                return Err(err);
+            }
+        };
+        // Memcheck records: suppressed access faults, pinned to kernel start.
+        if !report.faults.is_empty() && s.tracing() {
+            let t = s.now_ns() + overhead;
+            let cus = s.device.compute_units;
+            let evs: Vec<SessionEvent> = report
+                .faults
+                .iter()
+                .map(|f| fault_event(&name, t, f, cfg.grid, cus))
+                .collect();
+            for ev in evs {
+                s.record(ev);
+            }
+        }
         s.launches += 1;
         s.kernel_ns_total += report.timing.total_ns;
         s.profile_total.accumulate(&report.profile);
@@ -463,14 +697,16 @@ pub trait GpuExt: Gpu {
         Ok(Buffer::from_raw(ptr, len))
     }
 
-    /// Upload into a typed buffer (panics if `data` outgrows the buffer).
+    /// Upload into a typed buffer. `data` outgrowing the buffer is
+    /// [`RtError::TransferSize`], not a panic.
     fn h2d_buf<T: DeviceScalar>(&mut self, buf: &Buffer<T>, data: &[T]) -> Result<(), RtError> {
-        assert!(
-            data.len() <= buf.len(),
-            "upload of {} elements into Buffer of {}",
-            data.len(),
-            buf.len()
-        );
+        if data.len() > buf.len() {
+            return Err(RtError::TransferSize {
+                op: "h2d_buf",
+                requested: (data.len() * T::BYTES) as u64,
+                available: buf.bytes(),
+            });
+        }
         self.h2d_t(buf.ptr(), data)
     }
 

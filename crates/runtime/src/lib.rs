@@ -26,6 +26,7 @@ pub mod buffer;
 pub mod cuda;
 pub mod error;
 pub mod gpu;
+pub mod inject;
 pub mod opencl;
 
 pub use buffer::{Buffer, DeviceScalar};
@@ -35,6 +36,7 @@ pub use gpu::{
     Gpu, GpuExt, KernelHandle, LaunchOutcome, LoadedKernel, Session, SessionEvent, TransferDir,
     MEMCPY_LATENCY_NS, PCIE_GBS,
 };
+pub use inject::FaultPlan;
 pub use opencl::{OpenCl, OPENCL_SUBMIT_NS, SPE_USABLE_LOCAL_STORE};
 
 #[cfg(test)]

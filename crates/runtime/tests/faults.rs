@@ -1,0 +1,253 @@
+//! Runtime-level fault semantics: CUDA-style sticky context errors,
+//! memcheck reporting through `LaunchReport`/`SessionEvent`, deterministic
+//! fault injection, and transfer-length validation.
+
+use gpucmp_compiler::{global_id_x, DslKernel, KernelDef};
+use gpucmp_ptx::Ty;
+use gpucmp_runtime::inject::FaultPlan;
+use gpucmp_runtime::{Cuda, Gpu, GpuExt, RtError, SessionEvent};
+use gpucmp_sim::{DeviceSpec, FaultKind, LaunchConfig};
+
+/// out[gid] = 1.0 with no bounds guard: launched over more threads than
+/// the buffer holds, it walks off the end of the allocation.
+fn unguarded_fill() -> KernelDef {
+    let mut k = DslKernel::new("unguarded_fill");
+    let out = k.param_ptr("out");
+    let gid = k.let_(Ty::S32, global_id_x());
+    k.st_global(out.clone(), gid, Ty::F32, 1.0f32);
+    k.finish()
+}
+
+/// A bounded fill kernel that cannot fault.
+fn guarded_fill() -> KernelDef {
+    let mut k = DslKernel::new("fill");
+    let out = k.param_ptr("out");
+    let n = k.param("n", Ty::S32);
+    let gid = k.let_(Ty::S32, global_id_x());
+    k.if_(gpucmp_compiler::Expr::from(gid).lt(n), |k| {
+        k.st_global(out.clone(), gid, Ty::F32, 2.0f32);
+    });
+    k.finish()
+}
+
+#[test]
+fn oob_launch_faults_with_diagnostics_and_poisons_the_context() {
+    let mut gpu = Cuda::new(DeviceSpec::gtx480()).unwrap();
+    let h = gpu.build(&unguarded_fill()).unwrap();
+    // Point the kernel at the last 4 bytes of the arena: thread 0 writes
+    // in bounds, thread 1 is the first off the end of the device.
+    let cap = gpu.session().gmem.capacity();
+    let bad = gpucmp_sim::DevPtr(cap - 4);
+    let cfg = LaunchConfig::new(1u32, 64u32).arg_ptr(bad);
+    let err = gpu.launch(h, &cfg).unwrap_err();
+    match &err {
+        RtError::DeviceFault { kernel, fault } => {
+            assert_eq!(kernel, "unguarded_fill");
+            assert!(
+                matches!(fault.kind, FaultKind::OutOfBounds { .. }),
+                "{fault}"
+            );
+            let site = fault.site.expect("OOB carries a site");
+            assert_eq!(site.block, [0, 0, 0]);
+            assert_eq!(site.thread, [1, 0, 0]);
+        }
+        e => panic!("expected DeviceFault, got {e}"),
+    }
+
+    // Sticky: every subsequent call fails with ContextLost until reset.
+    assert!(gpu.fault().is_some());
+    for e in [
+        gpu.launch(h, &cfg).unwrap_err(),
+        gpu.malloc(64).unwrap_err(),
+        gpu.h2d_t::<f32>(bad, &[0.0]).unwrap_err(),
+        gpu.d2h_t::<f32>(bad, 1).unwrap_err(),
+    ] {
+        let msg = e.to_string();
+        assert!(matches!(e, RtError::ContextLost { .. }), "{msg}");
+        assert!(msg.contains("out-of-bounds"), "origin survives: {msg}");
+    }
+
+    // Reset restores a working context (and invalidates old handles).
+    gpu.reset();
+    assert!(gpu.fault().is_none());
+    let h = gpu.build(&guarded_fill()).unwrap();
+    let buf = gpu.alloc::<f32>(64).unwrap();
+    let cfg = LaunchConfig::new(1u32, 64u32).arg_ptr(buf).arg_i32(64);
+    gpu.launch(h, &cfg).unwrap();
+    assert_eq!(gpu.d2h_buf(&buf).unwrap(), vec![2.0f32; 64]);
+}
+
+#[test]
+fn memcheck_reports_faults_without_aborting_or_poisoning() {
+    let mut gpu = Cuda::new(DeviceSpec::gtx480()).unwrap();
+    gpu.set_memcheck(true);
+    gpu.set_tracing(true);
+    let h = gpu.build(&unguarded_fill()).unwrap();
+    let buf = gpu.alloc::<f32>(32).unwrap();
+    // 64 threads into a 32-element buffer: the upper half is outside the
+    // allocation — recorded and dropped, not fatal.
+    let cfg = LaunchConfig::new(1u32, 64u32).arg_ptr(buf);
+    let out = gpu.launch(h, &cfg).unwrap();
+    assert_eq!(out.report.faults.len(), 32);
+    let first = &out.report.faults[0];
+    assert!(first.kind.is_access_fault(), "{first}");
+    assert_eq!(first.site.unwrap().thread, [32, 0, 0]);
+
+    // Context stays healthy; in-bounds writes landed.
+    assert!(gpu.fault().is_none());
+    assert_eq!(gpu.d2h_buf(&buf).unwrap(), vec![1.0f32; 32]);
+
+    // The faults reached the trace stream for chrome-trace export.
+    let fault_events = gpu
+        .trace_events()
+        .iter()
+        .filter(|e| matches!(e, SessionEvent::Fault { .. }))
+        .count();
+    assert_eq!(fault_events, 32);
+}
+
+#[test]
+fn transfer_lengths_are_validated_against_the_allocation() {
+    let mut gpu = Cuda::new(DeviceSpec::gtx480()).unwrap();
+    let buf = gpu.alloc::<f32>(16).unwrap();
+
+    let e = gpu.d2h_t::<f32>(buf.ptr(), 32).unwrap_err();
+    assert!(
+        matches!(
+            e,
+            RtError::TransferSize {
+                op: "d2h",
+                requested: 128,
+                available: 64,
+            }
+        ),
+        "{e}"
+    );
+
+    let e = gpu.h2d_t::<f32>(buf.ptr(), &[0.0f32; 17]).unwrap_err();
+    assert!(matches!(e, RtError::TransferSize { op: "h2d", .. }), "{e}");
+
+    let e = gpu.h2d_buf(&buf, &[0.0f32; 17]).unwrap_err();
+    assert!(
+        matches!(e, RtError::TransferSize { op: "h2d_buf", .. }),
+        "{e}"
+    );
+
+    // None of these poison the context; exact-size transfers still work.
+    assert!(gpu.fault().is_none());
+    gpu.h2d_buf(&buf, &[3.0f32; 16]).unwrap();
+    assert_eq!(gpu.d2h_buf(&buf).unwrap(), vec![3.0f32; 16]);
+}
+
+#[test]
+fn injected_malloc_and_h2d_failures_are_precise_and_transient() {
+    let mut gpu = Cuda::new(DeviceSpec::gtx480()).unwrap();
+    gpu.set_fault_plan(Some(FaultPlan::none().with_fail_malloc(1).with_fail_h2d(0)));
+    let a = gpu.alloc::<f32>(8).unwrap(); // malloc #0 passes
+    let e = gpu.alloc::<f32>(8).unwrap_err(); // malloc #1 fails by plan
+    assert_eq!(
+        e,
+        RtError::Injected {
+            op: "malloc",
+            nth: 1
+        }
+    );
+    let _b = gpu.alloc::<f32>(8).unwrap(); // malloc #2 passes again
+
+    let e = gpu.h2d_buf(&a, &[1.0f32; 8]).unwrap_err(); // h2d #0 fails
+    assert_eq!(e, RtError::Injected { op: "h2d", nth: 0 });
+    gpu.h2d_buf(&a, &[1.0f32; 8]).unwrap(); // h2d #1 passes
+
+    // Injected API failures are not sticky.
+    assert!(gpu.fault().is_none());
+}
+
+#[test]
+fn injected_transfer_corruption_flips_exactly_one_byte() {
+    let mut gpu = Cuda::new(DeviceSpec::gtx480()).unwrap();
+    gpu.set_fault_plan(Some(FaultPlan::none().with_corrupt_h2d(0)));
+    let buf = gpu.alloc::<u8>(64).unwrap();
+    let data = vec![0xAAu8; 64];
+    gpu.h2d_buf(&buf, &data).unwrap();
+    let back = gpu.d2h_buf(&buf).unwrap();
+    let diffs: Vec<usize> = (0..64).filter(|&i| back[i] != data[i]).collect();
+    assert_eq!(diffs, vec![32], "one byte, in the middle, flipped");
+    assert_eq!(back[32], 0xAB);
+}
+
+#[test]
+fn starved_launch_budget_raises_a_sticky_watchdog_fault() {
+    let mut gpu = Cuda::new(DeviceSpec::gtx480()).unwrap();
+    gpu.set_fault_plan(Some(FaultPlan::none().with_starve_launch(1, 8)));
+    let h = gpu.build(&guarded_fill()).unwrap();
+    let buf = gpu.alloc::<f32>(256).unwrap();
+    let cfg = LaunchConfig::new(4u32, 64u32).arg_ptr(buf).arg_i32(256);
+    gpu.launch(h, &cfg).unwrap(); // launch #0 runs normally
+    let e = gpu.launch(h, &cfg).unwrap_err(); // launch #1 starved
+    match &e {
+        RtError::DeviceFault { kernel, fault } => {
+            assert_eq!(kernel, "fill");
+            assert!(
+                matches!(fault.kind, FaultKind::Watchdog { budget: 8 }),
+                "{fault}"
+            );
+        }
+        e => panic!("expected watchdog DeviceFault, got {e}"),
+    }
+    // A watchdog via injection is a real device fault: sticky.
+    assert!(matches!(
+        gpu.launch(h, &cfg).unwrap_err(),
+        RtError::ContextLost { .. }
+    ));
+    gpu.reset();
+    assert!(gpu.fault().is_none());
+}
+
+#[test]
+fn injected_launch_rejection_is_not_sticky() {
+    let mut gpu = Cuda::new(DeviceSpec::gtx480()).unwrap();
+    gpu.set_fault_plan(Some(FaultPlan::none().with_fail_launch(0)));
+    let h = gpu.build(&guarded_fill()).unwrap();
+    let buf = gpu.alloc::<f32>(64).unwrap();
+    let cfg = LaunchConfig::new(1u32, 64u32).arg_ptr(buf).arg_i32(64);
+    let e = gpu.launch(h, &cfg).unwrap_err();
+    assert_eq!(
+        e,
+        RtError::Injected {
+            op: "launch",
+            nth: 0
+        }
+    );
+    assert!(gpu.fault().is_none());
+    gpu.launch(h, &cfg).unwrap();
+}
+
+#[test]
+fn aborting_fault_lands_on_the_trace_timeline() {
+    let mut gpu = Cuda::new(DeviceSpec::gtx480()).unwrap();
+    gpu.set_tracing(true);
+    let h = gpu.build(&unguarded_fill()).unwrap();
+    let cap = gpu.session().gmem.capacity();
+    let cfg = LaunchConfig::new(1u32, 64u32).arg_ptr(gpucmp_sim::DevPtr(cap - 4));
+    gpu.launch(h, &cfg).unwrap_err();
+    let faults: Vec<_> = gpu
+        .trace_events()
+        .iter()
+        .filter_map(|e| match e {
+            SessionEvent::Fault {
+                kernel,
+                desc,
+                pc,
+                thread,
+                ..
+            } => Some((kernel.clone(), desc.clone(), *pc, *thread)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(faults.len(), 1);
+    let (kernel, desc, pc, thread) = &faults[0];
+    assert_eq!(kernel, "unguarded_fill");
+    assert!(desc.contains("out-of-bounds"), "{desc}");
+    assert!(pc.is_some());
+    assert_eq!(*thread, Some([1, 0, 0]));
+}

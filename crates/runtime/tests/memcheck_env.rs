@@ -1,0 +1,22 @@
+//! `GPUCMP_MEMCHECK` environment opt-in. Kept in its own integration-test
+//! binary (own process) because it mutates process-global environment.
+
+use gpucmp_runtime::{Cuda, Gpu};
+use gpucmp_sim::DeviceSpec;
+
+#[test]
+fn env_var_enables_memcheck_and_programmatic_override_wins() {
+    std::env::set_var("GPUCMP_MEMCHECK", "1");
+    let mut gpu = Cuda::new(DeviceSpec::gtx480()).unwrap();
+    assert!(gpu.session().memcheck(), "GPUCMP_MEMCHECK=1 turns it on");
+    gpu.set_memcheck(false);
+    assert!(!gpu.session().memcheck(), "programmatic override wins");
+
+    std::env::set_var("GPUCMP_MEMCHECK", "0");
+    let gpu = Cuda::new(DeviceSpec::gtx480()).unwrap();
+    assert!(!gpu.session().memcheck(), "0 means off");
+
+    std::env::remove_var("GPUCMP_MEMCHECK");
+    let gpu = Cuda::new(DeviceSpec::gtx480()).unwrap();
+    assert!(!gpu.session().memcheck(), "unset means off");
+}

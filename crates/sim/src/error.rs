@@ -1,15 +1,30 @@
-//! Simulator errors.
+//! Simulator errors: the device-fault model.
+//!
+//! Real GPUs would produce `unspecified launch failure` or silently corrupt
+//! memory for most of these; the simulator traps them precisely to keep the
+//! benchmark implementations honest. The model splits three ways:
+//!
+//! - [`FaultKind`] — *what* went wrong while a kernel executed (the
+//!   analogue of a hardware exception class: out-of-bounds, misaligned
+//!   access, watchdog timeout, …).
+//! - [`FaultSite`] — *where*: the offending program counter plus the grid
+//!   coordinates of the faulting thread, captured by the interpreter the
+//!   moment the fault is raised. Sites are bit-identical for every host
+//!   thread count simulating the launch.
+//! - [`DeviceFault`] — a kind plus (when one exists) a site; what a launch
+//!   returns and what the runtime layer turns into a sticky context error.
+//!
+//! [`SimError`] is the top-level launch error: either a [`DeviceFault`]
+//! or one of the launch-setup failures (bad configuration, allocation
+//! failure) that never reach the interpreter.
 
 use gpucmp_ptx::Space;
 use std::fmt;
 
-/// A fault raised while executing a kernel.
-///
-/// Real GPUs would produce `unspecified launch failure` or silently corrupt
-/// memory for most of these; the simulator traps them precisely to keep the
-/// benchmark implementations honest.
+/// An execution-time fault class raised by the interpreter or the memory
+/// system while a kernel runs.
 #[derive(Clone, Debug, PartialEq)]
-pub enum SimError {
+pub enum FaultKind {
     /// Out-of-bounds access in some state space.
     OutOfBounds {
         /// State space of the faulting access.
@@ -18,8 +33,18 @@ pub enum SimError {
         addr: u64,
         /// Access size in bytes.
         size: u32,
-        /// Size of the addressed space.
+        /// Size of the addressed space (or allocation, under memcheck).
         limit: u64,
+    },
+    /// Access not aligned to its natural size (real GPUs require natural
+    /// alignment for every 2/4/8-byte access).
+    Misaligned {
+        /// State space of the faulting access.
+        space: Space,
+        /// Faulting byte address.
+        addr: u64,
+        /// Access size in bytes (the required alignment).
+        size: u32,
     },
     /// Integer division or remainder by zero.
     DivByZero,
@@ -37,9 +62,139 @@ pub enum SimError {
     /// Barrier deadlock: some warps exited while others wait at `bar.sync`.
     BarrierDeadlock,
     /// Divergence-stack misuse (e.g. divergent branch without `ssy`).
-    DivergenceError(&'static str),
-    /// The launch exceeded the dynamic instruction budget (runaway loop).
-    InstructionBudgetExceeded(u64),
+    Divergence(&'static str),
+    /// The launch exceeded its dynamic cycle/instruction budget — the
+    /// simulator's watchdog timeout (runaway loop).
+    Watchdog {
+        /// The warp-instruction budget that was exhausted.
+        budget: u64,
+    },
+    /// A store to a read-only state space (const / param).
+    ReadOnly(Space),
+}
+
+impl FaultKind {
+    /// Whether this fault is a memory-access fault the memcheck sanitizer
+    /// records and suppresses (reads return zero, writes are dropped)
+    /// instead of aborting the launch.
+    pub fn is_access_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::OutOfBounds { .. }
+                | FaultKind::Misaligned { .. }
+                | FaultKind::TextureOutOfRange { .. }
+        )
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::OutOfBounds {
+                space,
+                addr,
+                size,
+                limit,
+            } => write!(
+                f,
+                "out-of-bounds {space} access of {size} bytes at {addr:#x} (limit {limit:#x})"
+            ),
+            FaultKind::Misaligned { space, addr, size } => {
+                write!(f, "misaligned {space} access of {size} bytes at {addr:#x}")
+            }
+            FaultKind::DivByZero => write!(f, "integer division by zero"),
+            FaultKind::UnboundTexture(slot) => write!(f, "texture slot {slot} not bound"),
+            FaultKind::TextureOutOfRange { slot, index, len } => {
+                write!(f, "texture {slot} fetch at index {index} of {len} elements")
+            }
+            FaultKind::BarrierDeadlock => write!(f, "barrier deadlock"),
+            FaultKind::Divergence(msg) => write!(f, "divergence error: {msg}"),
+            FaultKind::Watchdog { budget } => {
+                write!(
+                    f,
+                    "watchdog: dynamic instruction budget of {budget} exceeded"
+                )
+            }
+            FaultKind::ReadOnly(space) => write!(f, "store to read-only {space} space"),
+        }
+    }
+}
+
+/// Where a fault happened: the offending instruction plus the faulting
+/// thread's grid coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSite {
+    /// Index of the offending instruction in the resolved kernel body.
+    pub pc: u32,
+    /// Block (CTA) coordinates of the faulting thread.
+    pub block: [u32; 3],
+    /// Thread coordinates within the block.
+    pub thread: [u32; 3],
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pc {} block ({},{},{}) thread ({},{},{})",
+            self.pc,
+            self.block[0],
+            self.block[1],
+            self.block[2],
+            self.thread[0],
+            self.thread[1],
+            self.thread[2]
+        )
+    }
+}
+
+/// A fault raised while executing a kernel, with the diagnostics the
+/// interpreter captured at the faulting instruction.
+///
+/// Block-scoped faults (barrier deadlock, watchdog) carry no single
+/// faulting thread; their `site` is `None` or holds only the block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceFault {
+    /// What went wrong.
+    pub kind: FaultKind,
+    /// Where, when the interpreter could attribute it to one instruction.
+    pub site: Option<FaultSite>,
+}
+
+impl DeviceFault {
+    /// A fault with no attributable site.
+    pub fn unsited(kind: FaultKind) -> Self {
+        DeviceFault { kind, site: None }
+    }
+
+    /// Linear block index of the faulting block given the grid extents,
+    /// used to map the fault onto the CU the block was scheduled on.
+    pub fn linear_block(&self, grid_x: u32, grid_y: u32) -> Option<u64> {
+        self.site.map(|s| {
+            s.block[0] as u64
+                + s.block[1] as u64 * grid_x as u64
+                + s.block[2] as u64 * grid_x as u64 * grid_y as u64
+        })
+    }
+}
+
+impl fmt::Display for DeviceFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.site {
+            Some(site) => write!(f, "device fault: {} at {site}", self.kind),
+            None => write!(f, "device fault: {}", self.kind),
+        }
+    }
+}
+
+impl std::error::Error for DeviceFault {}
+
+/// A launch error: either a device fault with diagnostics, or a setup
+/// failure detected before (or outside) kernel execution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The kernel faulted while executing.
+    Fault(DeviceFault),
     /// Kernel failed label resolution or validation.
     InvalidKernel(String),
     /// Launch configuration invalid for the device (block too large, etc.).
@@ -60,28 +215,20 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// The device fault, when this error is one.
+    pub fn fault(&self) -> Option<&DeviceFault> {
+        match self {
+            SimError::Fault(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::OutOfBounds {
-                space,
-                addr,
-                size,
-                limit,
-            } => write!(
-                f,
-                "out-of-bounds {space} access of {size} bytes at {addr:#x} (limit {limit:#x})"
-            ),
-            SimError::DivByZero => write!(f, "integer division by zero"),
-            SimError::UnboundTexture(slot) => write!(f, "texture slot {slot} not bound"),
-            SimError::TextureOutOfRange { slot, index, len } => {
-                write!(f, "texture {slot} fetch at index {index} of {len} elements")
-            }
-            SimError::BarrierDeadlock => write!(f, "barrier deadlock"),
-            SimError::DivergenceError(msg) => write!(f, "divergence error: {msg}"),
-            SimError::InstructionBudgetExceeded(n) => {
-                write!(f, "dynamic instruction budget of {n} exceeded")
-            }
+            SimError::Fault(fault) => write!(f, "{fault}"),
             SimError::InvalidKernel(msg) => write!(f, "invalid kernel: {msg}"),
             SimError::InvalidLaunch(msg) => write!(f, "invalid launch: {msg}"),
             SimError::OutOfMemory {
@@ -102,21 +249,58 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+impl From<DeviceFault> for SimError {
+    fn from(f: DeviceFault) -> Self {
+        SimError::Fault(f)
+    }
+}
+
+impl From<FaultKind> for SimError {
+    fn from(k: FaultKind) -> Self {
+        SimError::Fault(DeviceFault::unsited(k))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn display_is_informative() {
-        let e = SimError::OutOfBounds {
-            space: Space::Global,
-            addr: 0x100,
-            size: 4,
-            limit: 0x80,
-        };
+        let e = SimError::Fault(DeviceFault {
+            kind: FaultKind::OutOfBounds {
+                space: Space::Global,
+                addr: 0x100,
+                size: 4,
+                limit: 0x80,
+            },
+            site: Some(FaultSite {
+                pc: 12,
+                block: [3, 0, 0],
+                thread: [7, 1, 0],
+            }),
+        });
         let s = e.to_string();
         assert!(s.contains("global"));
         assert!(s.contains("0x100"));
-        assert!(SimError::DivByZero.to_string().contains("division"));
+        assert!(s.contains("pc 12"));
+        assert!(s.contains("block (3,0,0)"));
+        assert!(s.contains("thread (7,1,0)"));
+        assert!(FaultKind::DivByZero.to_string().contains("division"));
+        assert!(FaultKind::Watchdog { budget: 10 }
+            .to_string()
+            .contains("watchdog"));
+    }
+
+    #[test]
+    fn access_fault_classification() {
+        assert!(FaultKind::Misaligned {
+            space: Space::Shared,
+            addr: 2,
+            size: 4
+        }
+        .is_access_fault());
+        assert!(!FaultKind::BarrierDeadlock.is_access_fault());
+        assert!(!FaultKind::Watchdog { budget: 1 }.is_access_fault());
     }
 }

@@ -23,7 +23,7 @@
 
 use crate::cache::{Cache, CacheAccess};
 use crate::device::{Arch, DeviceSpec};
-use crate::error::SimError;
+use crate::error::{DeviceFault, FaultKind, FaultSite, SimError};
 use crate::launch::{Dim3, LaunchConfig, TexBinding};
 use crate::mem::{GlobalMemory, WriteOverlay};
 use crate::stats::ExecStats;
@@ -74,11 +74,21 @@ pub struct ExecOptions {
     /// Number of host threads used to simulate thread blocks. `1` runs
     /// serially on the calling thread; `0` means one per available CPU core.
     pub threads: usize,
+    /// Memcheck sanitizer mode: memory-access faults (out-of-bounds,
+    /// misaligned, texture range) are recorded instead of aborting the
+    /// launch — faulting reads return zero, faulting writes are dropped —
+    /// and global accesses are additionally checked at allocation
+    /// granularity, like `cuda-memcheck`. Control-flow faults (barrier
+    /// deadlock, divergence misuse, watchdog) still abort.
+    pub memcheck: bool,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { threads: 1 }
+        ExecOptions {
+            threads: 1,
+            memcheck: false,
+        }
     }
 }
 
@@ -90,7 +100,16 @@ impl ExecOptions {
 
     /// Execute blocks across `threads` host threads (`0` = auto).
     pub fn with_threads(threads: usize) -> Self {
-        ExecOptions { threads }
+        ExecOptions {
+            threads,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Enable or disable the memcheck sanitizer.
+    pub fn memcheck(mut self, on: bool) -> Self {
+        self.memcheck = on;
+        self
     }
 
     /// Resolve `threads == 0` to the host's available parallelism.
@@ -171,7 +190,16 @@ struct BlockOutcome {
     stats: ExecStats,
     overlay: WriteOverlay,
     events: Vec<L2Event>,
+    faults: Vec<DeviceFault>,
 }
+
+/// Cap on memcheck faults recorded per block (deterministic truncation —
+/// blocks execute their warps round-robin, so the first `N` faults of a
+/// block are the same for every host thread count).
+const MEMCHECK_BLOCK_CAP: usize = 64;
+/// Cap on memcheck faults reported per launch, applied in ascending block
+/// index order at merge time.
+const MEMCHECK_LAUNCH_CAP: usize = 256;
 
 /// Validate a launch configuration against the device and kernel.
 fn validate_launch(
@@ -222,7 +250,8 @@ fn replay_l2(device: &DeviceSpec, l2: &mut Cache, stats: &mut ExecStats, events:
 }
 
 /// Execute every block of a launch, in parallel across `opts.threads` host
-/// threads, and return the merged statistics plus host-side profiling.
+/// threads, and return the merged statistics, host-side profiling, and the
+/// memcheck fault log (empty unless `opts.memcheck` found violations).
 ///
 /// Results are bit-identical for every thread count: blocks run against
 /// private snapshots and merge in ascending block index. Kernels with
@@ -234,7 +263,7 @@ pub fn run_launch(
     cfg: &LaunchConfig,
     const_bank: &[u8],
     opts: &ExecOptions,
-) -> Result<(ExecStats, ExecProfile), SimError> {
+) -> Result<(ExecStats, ExecProfile, Vec<DeviceFault>), SimError> {
     validate_launch(device, kernel, cfg)?;
     let blocks = cfg.grid.count();
     let block_threads = cfg.block.count() as u32;
@@ -271,7 +300,7 @@ pub fn run_launch(
             gmem,
             l2: device.l2.map(Cache::from_geom),
         };
-        let mut exec = BlockExec::new(device, kernel, cfg, const_bank, path);
+        let mut exec = BlockExec::new(device, kernel, cfg, const_bank, opts.memcheck, path);
         let mut result = Ok(());
         for b in 0..blocks {
             result = exec.run_linear_block(b);
@@ -280,9 +309,11 @@ pub fn run_launch(
             }
         }
         stats.merge(&exec.stats);
+        let mut faults = std::mem::take(&mut exec.faults);
+        faults.truncate(MEMCHECK_LAUNCH_CAP);
         profile.host_exec_ns = t_exec.elapsed().as_nanos() as u64;
-        result?;
-        return Ok((stats, profile));
+        result.map_err(SimError::Fault)?;
+        return Ok((stats, profile, faults));
     }
 
     let workers = opts.resolved_threads().clamp(1, blocks as usize);
@@ -291,7 +322,7 @@ pub fn run_launch(
     // Blocks are assigned round-robin (block i -> worker i % workers); each
     // worker reuses one interpreter, resets the per-block instruction
     // budget, and stops its span at the first error.
-    let run_span = |worker: usize| -> Vec<(u64, Result<BlockOutcome, SimError>)> {
+    let run_span = |worker: usize| -> Vec<(u64, Result<BlockOutcome, DeviceFault>)> {
         let mut out = Vec::new();
         let path = GmemPath::Snapshot {
             base,
@@ -299,7 +330,7 @@ pub fn run_launch(
             events: Vec::new(),
             record_l2: device.l2.is_some(),
         };
-        let mut exec = BlockExec::new(device, kernel, cfg, const_bank, path);
+        let mut exec = BlockExec::new(device, kernel, cfg, const_bank, opts.memcheck, path);
         let mut b = worker as u64;
         while b < blocks {
             exec.budget = cfg.inst_budget;
@@ -315,7 +346,7 @@ pub fn run_launch(
         out
     };
 
-    let mut results: Vec<Option<Result<BlockOutcome, SimError>>> = Vec::new();
+    let mut results: Vec<Option<Result<BlockOutcome, DeviceFault>>> = Vec::new();
     results.resize_with(blocks as usize, || None);
     if workers == 1 {
         for (b, r) in run_span(0) {
@@ -344,6 +375,7 @@ pub fn run_launch(
     // the memory state serial execution leaves behind.
     let t_merge = Instant::now();
     let mut l2 = device.l2.map(Cache::from_geom);
+    let mut faults: Vec<DeviceFault> = Vec::new();
     for slot in results {
         let Some(r) = slot else {
             // Only reachable past a worker's error entry, which returns
@@ -357,12 +389,16 @@ pub fn run_launch(
                     replay_l2(device, l2, &mut stats, &outcome.events);
                 }
                 profile.overlay_bytes += outcome.overlay.commit(gmem);
+                if faults.len() < MEMCHECK_LAUNCH_CAP {
+                    let room = MEMCHECK_LAUNCH_CAP - faults.len();
+                    faults.extend(outcome.faults.into_iter().take(room));
+                }
             }
-            Err(e) => return Err(e),
+            Err(e) => return Err(SimError::Fault(e)),
         }
     }
     profile.host_merge_ns = t_merge.elapsed().as_nanos() as u64;
-    Ok((stats, profile))
+    Ok((stats, profile, faults))
 }
 
 /// The interpreter for one thread block at a time.
@@ -399,6 +435,19 @@ struct BlockExec<'a> {
     /// Linear id of the block currently executing (for the local-memory
     /// address model).
     cur_block: u64,
+    /// Launch-configured warp-instruction budget (reported in Watchdog
+    /// faults; `budget` below counts down from it).
+    budget_limit: u64,
+    /// pc of the instruction currently executing (fault attribution).
+    cur_pc: usize,
+    /// Linear tid of the lane currently executing (fault attribution;
+    /// warp-scoped faults attribute to lane 0 of the warp).
+    cur_tid: u32,
+    /// Memcheck sanitizer: record access faults instead of aborting.
+    memcheck: bool,
+    /// Access faults recorded under memcheck (drained per block on the
+    /// snapshot path, accumulated per launch on the coherent path).
+    faults: Vec<DeviceFault>,
 }
 
 impl<'a> BlockExec<'a> {
@@ -408,6 +457,7 @@ impl<'a> BlockExec<'a> {
         kernel: &'a ResolvedKernel,
         cfg: &'a LaunchConfig,
         const_bank: &'a [u8],
+        memcheck: bool,
         path: GmemPath<'a>,
     ) -> Self {
         let mut param_bytes = Vec::with_capacity(cfg.params.len() * 8);
@@ -434,13 +484,49 @@ impl<'a> BlockExec<'a> {
             constc: None,
             lane_addr: Vec::new(),
             cur_block: 0,
+            budget_limit: cfg.inst_budget,
+            cur_pc: 0,
+            cur_tid: 0,
+            memcheck,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Attach the current fault site (pc, block, faulting thread) to a
+    /// fault kind. The site is a pure function of deterministic
+    /// interpreter state, so it is identical for every host thread count.
+    fn site_fault(&self, kind: FaultKind, ctaid: Dim3) -> DeviceFault {
+        let b = self.block;
+        let tid = self.cur_tid;
+        let tz = tid / (b.x * b.y);
+        let rem = tid % (b.x * b.y);
+        DeviceFault {
+            kind,
+            site: Some(FaultSite {
+                pc: self.cur_pc as u32,
+                block: [ctaid.x, ctaid.y, ctaid.z],
+                thread: [rem % b.x, rem / b.x, tz],
+            }),
+        }
+    }
+
+    /// Record an access fault under memcheck (capped: per block on the
+    /// snapshot path, per launch on the coherent path).
+    fn record_fault(&mut self, kind: FaultKind, ctaid: Dim3) {
+        let cap = match self.path {
+            GmemPath::Coherent { .. } => MEMCHECK_LAUNCH_CAP,
+            GmemPath::Snapshot { .. } => MEMCHECK_BLOCK_CAP,
+        };
+        if self.faults.len() < cap {
+            let f = self.site_fault(kind, ctaid);
+            self.faults.push(f);
         }
     }
 
     /// Simulate the block with linear grid index `linear`. Per-block
     /// statistics accumulate in `self.stats`; the launch-level `blocks` /
     /// `threads` totals are set by the driver, not here.
-    fn run_linear_block(&mut self, linear: u64) -> Result<(), SimError> {
+    fn run_linear_block(&mut self, linear: u64) -> Result<(), DeviceFault> {
         self.cur_block = linear;
         let gx = self.grid.x as u64;
         let gy = self.grid.y as u64;
@@ -461,13 +547,14 @@ impl<'a> BlockExec<'a> {
                 stats,
                 overlay: std::mem::take(overlay),
                 events: std::mem::take(events),
+                faults: std::mem::take(&mut self.faults),
             },
             GmemPath::Coherent { .. } => unreachable!("snapshot outcome on coherent path"),
         }
     }
 
     /// Functional global-memory read through the active path.
-    fn gmem_read(&self, addr: u64, size: u32) -> Result<u64, SimError> {
+    fn gmem_read(&self, addr: u64, size: u32) -> Result<u64, FaultKind> {
         match &self.path {
             GmemPath::Coherent { gmem, .. } => gmem.read(addr, size),
             GmemPath::Snapshot { base, overlay, .. } => overlay.read(base, addr, size),
@@ -475,14 +562,22 @@ impl<'a> BlockExec<'a> {
     }
 
     /// Functional global-memory write through the active path.
-    fn gmem_write(&mut self, addr: u64, size: u32, value: u64) -> Result<(), SimError> {
+    fn gmem_write(&mut self, addr: u64, size: u32, value: u64) -> Result<(), FaultKind> {
         match &mut self.path {
             GmemPath::Coherent { gmem, .. } => gmem.write(addr, size, value),
             GmemPath::Snapshot { base, overlay, .. } => overlay.write(base, addr, size, value),
         }
     }
 
-    fn run_block(&mut self, ctaid: Dim3) -> Result<(), SimError> {
+    /// Allocation-granular global check (memcheck only).
+    fn gmem_check_alloc(&self, addr: u64, size: u64) -> Result<(), FaultKind> {
+        match &self.path {
+            GmemPath::Coherent { gmem, .. } => gmem.check_alloc(addr, size),
+            GmemPath::Snapshot { base, .. } => base.check_alloc(addr, size),
+        }
+    }
+
+    fn run_block(&mut self, ctaid: Dim3) -> Result<(), DeviceFault> {
         let k = &self.kernel.kernel;
         let threads = self.block.count() as u32;
         let num_regs = k.regs.len() as u32;
@@ -524,7 +619,8 @@ impl<'a> BlockExec<'a> {
             let mut progressed = false;
             for w in 0..self.warps.len() {
                 if self.warps[w].status == WarpStatus::Running {
-                    self.run_warp(w, ctaid)?;
+                    self.run_warp(w, ctaid)
+                        .map_err(|k| self.site_fault(k, ctaid))?;
                     progressed = true;
                 }
             }
@@ -537,7 +633,7 @@ impl<'a> BlockExec<'a> {
                 // Everyone left is at a barrier; release if no warp already
                 // finished (CUDA requires all threads to reach the barrier).
                 if self.warps.iter().any(|w| w.status == WarpStatus::Done) {
-                    return Err(SimError::BarrierDeadlock);
+                    return Err(DeviceFault::unsited(FaultKind::BarrierDeadlock));
                 }
                 for w in &mut self.warps {
                     w.status = WarpStatus::Running;
@@ -546,14 +642,14 @@ impl<'a> BlockExec<'a> {
                 continue;
             }
             if !progressed {
-                return Err(SimError::BarrierDeadlock);
+                return Err(DeviceFault::unsited(FaultKind::BarrierDeadlock));
             }
         }
         Ok(())
     }
 
     /// Run one warp until it blocks on a barrier or returns.
-    fn run_warp(&mut self, w: usize, ctaid: Dim3) -> Result<(), SimError> {
+    fn run_warp(&mut self, w: usize, ctaid: Dim3) -> Result<(), FaultKind> {
         loop {
             let pc = self.warps[w].pc;
             let inst = self.kernel.kernel.body[pc];
@@ -561,8 +657,12 @@ impl<'a> BlockExec<'a> {
                 self.warps[w].pc += 1;
                 continue;
             }
+            self.cur_pc = pc;
+            self.cur_tid = self.warps[w].base_tid;
             if self.budget == 0 {
-                return Err(SimError::InstructionBudgetExceeded(0));
+                return Err(FaultKind::Watchdog {
+                    budget: self.budget_limit,
+                });
             }
             self.budget -= 1;
             self.stats.warp_instructions += 1;
@@ -584,7 +684,7 @@ impl<'a> BlockExec<'a> {
                     let frame = warp
                         .stack
                         .last_mut()
-                        .ok_or(SimError::DivergenceError("sync without ssy frame"))?;
+                        .ok_or(FaultKind::Divergence("sync without ssy frame"))?;
                     if let Some((ppc, pmask)) = frame.pending.take() {
                         warp.active = pmask;
                         warp.pc = ppc;
@@ -613,9 +713,10 @@ impl<'a> BlockExec<'a> {
                                 warp.pc += 1;
                             } else {
                                 self.stats.divergent_branches += 1;
-                                let frame = warp.stack.last_mut().ok_or(
-                                    SimError::DivergenceError("divergent branch without ssy"),
-                                )?;
+                                let frame = warp
+                                    .stack
+                                    .last_mut()
+                                    .ok_or(FaultKind::Divergence("divergent branch without ssy"))?;
                                 self.stats.issue_millicycles += refill;
                                 match &mut frame.pending {
                                     None => frame.pending = Some((t, taken)),
@@ -623,7 +724,7 @@ impl<'a> BlockExec<'a> {
                                         *pmask |= taken;
                                     }
                                     Some(_) => {
-                                        return Err(SimError::DivergenceError(
+                                        return Err(FaultKind::Divergence(
                                             "conflicting divergence targets in one region",
                                         ))
                                     }
@@ -637,9 +738,7 @@ impl<'a> BlockExec<'a> {
                 Inst::Bar => {
                     let warp = &mut self.warps[w];
                     if warp.active != warp.full {
-                        return Err(SimError::DivergenceError(
-                            "barrier reached by divergent warp",
-                        ));
+                        return Err(FaultKind::Divergence("barrier reached by divergent warp"));
                     }
                     self.stats.barriers += 1;
                     self.stats.issue_millicycles +=
@@ -650,7 +749,7 @@ impl<'a> BlockExec<'a> {
                 Inst::Ret => {
                     let warp = &mut self.warps[w];
                     if !warp.stack.is_empty() {
-                        return Err(SimError::DivergenceError("ret inside ssy region"));
+                        return Err(FaultKind::Divergence("ret inside ssy region"));
                     }
                     warp.status = WarpStatus::Done;
                     return Ok(());
@@ -668,7 +767,7 @@ impl<'a> BlockExec<'a> {
     // ------------------------------------------------------------------
 
     /// Execute a data instruction for every active lane of warp `w`.
-    fn exec_lanes(&mut self, w: usize, ctaid: Dim3, inst: &Inst) -> Result<(), SimError> {
+    fn exec_lanes(&mut self, w: usize, ctaid: Dim3, inst: &Inst) -> Result<(), FaultKind> {
         // Memory instructions need transaction modelling over the whole
         // warp; everything else is a pure per-lane register update.
         match inst {
@@ -693,6 +792,7 @@ impl<'a> BlockExec<'a> {
                         continue;
                     }
                     let tid = base + lane;
+                    self.cur_tid = tid;
                     self.exec_scalar(tid, ctaid, inst)?;
                 }
                 Ok(())
@@ -701,7 +801,7 @@ impl<'a> BlockExec<'a> {
     }
 
     /// Pure register-to-register execution for one thread.
-    fn exec_scalar(&mut self, tid: u32, ctaid: Dim3, inst: &Inst) -> Result<(), SimError> {
+    fn exec_scalar(&mut self, tid: u32, ctaid: Dim3, inst: &Inst) -> Result<(), FaultKind> {
         match *inst {
             Inst::Mov { ty, d, a } => {
                 let v = load_extend(self.eval(tid, ctaid, a, ty), ty);
@@ -785,7 +885,7 @@ impl<'a> BlockExec<'a> {
         ty: Ty,
         d: Reg,
         addr: Address,
-    ) -> Result<(), SimError> {
+    ) -> Result<(), FaultKind> {
         self.gather_addresses(w, ctaid, addr);
         let size = ty.size_bytes();
         // Cost model first (needs the address vector), then functional reads.
@@ -793,7 +893,16 @@ impl<'a> BlockExec<'a> {
         let threads = self.block.count() as u32;
         for i in 0..self.lane_addr.len() {
             let (tid, a) = self.lane_addr[i];
-            let v = self.space_read(space, tid, threads, a, size)?;
+            self.cur_tid = tid;
+            let v = match self.space_read_checked(space, tid, threads, a, size) {
+                Ok(v) => v,
+                Err(k) if self.memcheck && k.is_access_fault() => {
+                    // Sanitizer semantics: report, read zero, keep going.
+                    self.record_fault(k, ctaid);
+                    0
+                }
+                Err(k) => return Err(k),
+            };
             let v = load_extend(v, ty);
             self.set_reg(tid, d, v);
         }
@@ -808,15 +917,23 @@ impl<'a> BlockExec<'a> {
         ty: Ty,
         addr: Address,
         a: Operand,
-    ) -> Result<(), SimError> {
+    ) -> Result<(), FaultKind> {
         self.gather_addresses(w, ctaid, addr);
         let size = ty.size_bytes();
         self.account_memory(space, size, true);
         let threads = self.block.count() as u32;
         for i in 0..self.lane_addr.len() {
             let (tid, ad) = self.lane_addr[i];
+            self.cur_tid = tid;
             let v = self.eval(tid, ctaid, a, ty);
-            self.space_write(space, tid, threads, ad, size, v)?;
+            match self.space_write_checked(space, tid, threads, ad, size, v) {
+                Ok(()) => {}
+                Err(k) if self.memcheck && k.is_access_fault() => {
+                    // Sanitizer semantics: report and drop the store.
+                    self.record_fault(k, ctaid);
+                }
+                Err(k) => return Err(k),
+            }
         }
         Ok(())
     }
@@ -829,12 +946,12 @@ impl<'a> BlockExec<'a> {
         d: Reg,
         tex: gpucmp_ptx::TexRef,
         idx: Operand,
-    ) -> Result<(), SimError> {
+    ) -> Result<(), FaultKind> {
         let binding = self
             .textures
             .get(tex.0 as usize)
             .copied()
-            .ok_or(SimError::UnboundTexture(tex.0))?;
+            .ok_or(FaultKind::UnboundTexture(tex.0))?;
         let size = ty.size_bytes();
         let active = self.warps[w].active;
         let base = self.warps[w].base_tid;
@@ -845,13 +962,22 @@ impl<'a> BlockExec<'a> {
                 continue;
             }
             let tid = base + lane;
+            self.cur_tid = tid;
             let i = self.eval(tid, ctaid, idx, Ty::S32) as u32 as i64;
             if i < 0 || i as u64 >= binding.elems {
-                return Err(SimError::TextureOutOfRange {
+                let k = FaultKind::TextureOutOfRange {
                     slot: tex.0,
                     index: i,
                     len: binding.elems,
-                });
+                };
+                if self.memcheck {
+                    // Report and give the lane a zero fetch (register is
+                    // zeroed below by skipping its address).
+                    self.record_fault(k, ctaid);
+                    self.set_reg(tid, d, 0);
+                    continue;
+                }
+                return Err(k);
             }
             self.lane_addr
                 .push((tid, binding.ptr.0 + i as u64 * size as u64));
@@ -887,7 +1013,15 @@ impl<'a> BlockExec<'a> {
         }
         for i in 0..self.lane_addr.len() {
             let (tid, a) = self.lane_addr[i];
-            let v = self.gmem_read(a, size)?;
+            self.cur_tid = tid;
+            let v = match self.gmem_read(a, size) {
+                Ok(v) => v,
+                Err(k) if self.memcheck && k.is_access_fault() => {
+                    self.record_fault(k, ctaid);
+                    0
+                }
+                Err(k) => return Err(k),
+            };
             self.set_reg(tid, d, load_extend(v, ty));
         }
         Ok(())
@@ -905,7 +1039,7 @@ impl<'a> BlockExec<'a> {
         addr: Address,
         b: Operand,
         c: Operand,
-    ) -> Result<(), SimError> {
+    ) -> Result<(), FaultKind> {
         self.gather_addresses(w, ctaid, addr);
         let size = ty.size_bytes();
         // Atomics serialise per lane: cost one transaction per lane.
@@ -926,7 +1060,17 @@ impl<'a> BlockExec<'a> {
         let threads = self.block.count() as u32;
         for i in 0..self.lane_addr.len() {
             let (tid, a) = self.lane_addr[i];
-            let old = self.space_read(space, tid, threads, a, size)?;
+            self.cur_tid = tid;
+            let old = match self.space_read_checked(space, tid, threads, a, size) {
+                Ok(v) => v,
+                Err(k) if self.memcheck && k.is_access_fault() => {
+                    // Report and skip the whole read-modify-write.
+                    self.record_fault(k, ctaid);
+                    self.set_reg(tid, d, 0);
+                    continue;
+                }
+                Err(k) => return Err(k),
+            };
             let old = load_extend(old, ty);
             let vb = self.eval(tid, ctaid, b, ty);
             let vc = self.eval(tid, ctaid, c, ty);
@@ -943,7 +1087,7 @@ impl<'a> BlockExec<'a> {
                     }
                 }
             };
-            self.space_write(space, tid, threads, a, size, new)?;
+            self.space_write_checked(space, tid, threads, a, size, new)?;
             self.set_reg(tid, d, old);
         }
         Ok(())
@@ -1144,6 +1288,39 @@ impl<'a> BlockExec<'a> {
     // State-space functional access
     // ------------------------------------------------------------------
 
+    /// [`space_read`] plus the allocation-granular global check that
+    /// memcheck adds on top of the physical bounds check.
+    ///
+    /// [`space_read`]: BlockExec::space_read
+    fn space_read_checked(
+        &self,
+        space: Space,
+        tid: u32,
+        threads: u32,
+        addr: u64,
+        size: u32,
+    ) -> Result<u64, FaultKind> {
+        if self.memcheck && space == Space::Global {
+            self.gmem_check_alloc(addr, size as u64)?;
+        }
+        self.space_read(space, tid, threads, addr, size)
+    }
+
+    fn space_write_checked(
+        &mut self,
+        space: Space,
+        tid: u32,
+        threads: u32,
+        addr: u64,
+        size: u32,
+        value: u64,
+    ) -> Result<(), FaultKind> {
+        if self.memcheck && space == Space::Global {
+            self.gmem_check_alloc(addr, size as u64)?;
+        }
+        self.space_write(space, tid, threads, addr, size, value)
+    }
+
     fn space_read(
         &self,
         space: Space,
@@ -1151,7 +1328,7 @@ impl<'a> BlockExec<'a> {
         _threads: u32,
         addr: u64,
         size: u32,
-    ) -> Result<u64, SimError> {
+    ) -> Result<u64, FaultKind> {
         match space {
             Space::Global => self.gmem_read(addr, size),
             Space::Shared => read_bytes(&self.shared, addr, size, Space::Shared),
@@ -1159,7 +1336,7 @@ impl<'a> BlockExec<'a> {
                 let lb = self.kernel.kernel.local_bytes as u64;
                 let base = tid as u64 * lb;
                 if addr + size as u64 > lb {
-                    return Err(SimError::OutOfBounds {
+                    return Err(FaultKind::OutOfBounds {
                         space: Space::Local,
                         addr,
                         size,
@@ -1181,7 +1358,7 @@ impl<'a> BlockExec<'a> {
         addr: u64,
         size: u32,
         value: u64,
-    ) -> Result<(), SimError> {
+    ) -> Result<(), FaultKind> {
         match space {
             Space::Global => self.gmem_write(addr, size, value),
             Space::Shared => write_bytes(&mut self.shared, addr, size, value, Space::Shared),
@@ -1189,7 +1366,7 @@ impl<'a> BlockExec<'a> {
                 let lb = self.kernel.kernel.local_bytes as u64;
                 let base = tid as u64 * lb;
                 if addr + size as u64 > lb {
-                    return Err(SimError::OutOfBounds {
+                    return Err(FaultKind::OutOfBounds {
                         space: Space::Local,
                         addr,
                         size,
@@ -1198,8 +1375,8 @@ impl<'a> BlockExec<'a> {
                 }
                 write_bytes(&mut self.local, base + addr, size, value, Space::Local)
             }
-            Space::Const => Err(SimError::InvalidKernel("store to const space".into())),
-            Space::Param => Err(SimError::InvalidKernel("store to param space".into())),
+            Space::Const => Err(FaultKind::ReadOnly(Space::Const)),
+            Space::Param => Err(FaultKind::ReadOnly(Space::Param)),
         }
     }
 
@@ -1465,7 +1642,7 @@ fn alu1(op: Op1, ty: Ty, v: u64) -> u64 {
     }
 }
 
-fn alu2(op: Op2, ty: Ty, a: u64, b: u64) -> Result<u64, SimError> {
+fn alu2(op: Op2, ty: Ty, a: u64, b: u64) -> Result<u64, FaultKind> {
     Ok(match ty {
         Ty::F32 => {
             let (x, y) = (f32b(a), f32b(b));
@@ -1501,13 +1678,13 @@ fn alu2(op: Op2, ty: Ty, a: u64, b: u64) -> Result<u64, SimError> {
                 Op2::Mul => x.wrapping_mul(y),
                 Op2::Div => {
                     if y == 0 {
-                        return Err(SimError::DivByZero);
+                        return Err(FaultKind::DivByZero);
                     }
                     x.wrapping_div(y)
                 }
                 Op2::Rem => {
                     if y == 0 {
-                        return Err(SimError::DivByZero);
+                        return Err(FaultKind::DivByZero);
                     }
                     x.wrapping_rem(y)
                 }
@@ -1532,13 +1709,13 @@ fn alu2(op: Op2, ty: Ty, a: u64, b: u64) -> Result<u64, SimError> {
                 Op2::Mul => x.wrapping_mul(y),
                 Op2::Div => {
                     if y == 0 {
-                        return Err(SimError::DivByZero);
+                        return Err(FaultKind::DivByZero);
                     }
                     x / y
                 }
                 Op2::Rem => {
                     if y == 0 {
-                        return Err(SimError::DivByZero);
+                        return Err(FaultKind::DivByZero);
                     }
                     x % y
                 }
@@ -1555,13 +1732,13 @@ fn alu2(op: Op2, ty: Ty, a: u64, b: u64) -> Result<u64, SimError> {
                 Op2::Mul => x.wrapping_mul(y),
                 Op2::Div => {
                     if y == 0 {
-                        return Err(SimError::DivByZero);
+                        return Err(FaultKind::DivByZero);
                     }
                     x.wrapping_div(y)
                 }
                 Op2::Rem => {
                     if y == 0 {
-                        return Err(SimError::DivByZero);
+                        return Err(FaultKind::DivByZero);
                     }
                     x.wrapping_rem(y)
                 }
@@ -1586,13 +1763,13 @@ fn alu2(op: Op2, ty: Ty, a: u64, b: u64) -> Result<u64, SimError> {
                 Op2::Mul => x.wrapping_mul(y),
                 Op2::Div => {
                     if y == 0 {
-                        return Err(SimError::DivByZero);
+                        return Err(FaultKind::DivByZero);
                     }
                     x / y
                 }
                 Op2::Rem => {
                     if y == 0 {
-                        return Err(SimError::DivByZero);
+                        return Err(FaultKind::DivByZero);
                     }
                     x % y
                 }
@@ -1608,7 +1785,7 @@ fn alu2(op: Op2, ty: Ty, a: u64, b: u64) -> Result<u64, SimError> {
 }
 
 /// and/or/xor/shl/shr on raw bits of the given width.
-fn int_logic(op: Op2, a: u64, b: u64, width: u32) -> Result<u64, SimError> {
+fn int_logic(op: Op2, a: u64, b: u64, width: u32) -> Result<u64, FaultKind> {
     let mask = if width == 64 {
         u64::MAX
     } else {
@@ -1790,13 +1967,14 @@ fn convert(v: u64, sty: Ty, dty: Ty) -> u64 {
     }
 }
 
-fn read_bytes(buf: &[u8], addr: u64, size: u32, space: Space) -> Result<u64, SimError> {
+fn read_bytes(buf: &[u8], addr: u64, size: u32, space: Space) -> Result<u64, FaultKind> {
+    crate::mem::check_aligned(space, addr, size)?;
     let a = addr as usize;
     if addr
         .checked_add(size as u64)
         .is_none_or(|e| e > buf.len() as u64)
     {
-        return Err(SimError::OutOfBounds {
+        return Err(FaultKind::OutOfBounds {
             space,
             addr,
             size,
@@ -1818,13 +1996,14 @@ fn write_bytes(
     size: u32,
     value: u64,
     space: Space,
-) -> Result<(), SimError> {
+) -> Result<(), FaultKind> {
+    crate::mem::check_aligned(space, addr, size)?;
     let a = addr as usize;
     if addr
         .checked_add(size as u64)
         .is_none_or(|e| e > buf.len() as u64)
     {
-        return Err(SimError::OutOfBounds {
+        return Err(FaultKind::OutOfBounds {
             space,
             addr,
             size,
@@ -1868,7 +2047,7 @@ mod alu_tests {
         );
         assert!(matches!(
             alu2(Op2::Div, Ty::S32, 1, 0),
-            Err(SimError::DivByZero)
+            Err(FaultKind::DivByZero)
         ));
     }
 

@@ -1,7 +1,7 @@
 //! Kernel launch: configuration, execution and the launch report.
 
 use crate::device::DeviceSpec;
-use crate::error::SimError;
+use crate::error::{DeviceFault, SimError};
 use crate::exec::{run_launch, ExecOptions, ExecProfile, DEFAULT_INST_BUDGET};
 use crate::mem::{DevPtr, GlobalMemory};
 use crate::stats::ExecStats;
@@ -217,6 +217,11 @@ pub struct LaunchReport {
     /// Host-side (wall-clock) profiling of the simulator itself. Not part
     /// of the deterministic result — compare `stats`/`timing` instead.
     pub profile: ExecProfile,
+    /// Memcheck sanitizer findings: access faults recorded (and
+    /// suppressed) during the launch. Always empty unless the launch ran
+    /// with [`ExecOptions::memcheck`] enabled; capped and deterministic
+    /// for every host thread count.
+    pub faults: Vec<DeviceFault>,
 }
 
 impl LaunchReport {
@@ -279,7 +284,7 @@ pub fn launch_with(
     cfg: &LaunchConfig,
     opts: &ExecOptions,
 ) -> Result<LaunchReport, SimError> {
-    let (stats, profile) = run_launch(device, kernel, gmem, cfg, const_bank, opts)?;
+    let (stats, profile, faults) = run_launch(device, kernel, gmem, cfg, const_bank, opts)?;
     let k = &kernel.kernel;
     // Pre-ptxas kernels (phys_regs == 0) get a rough estimate so occupancy
     // remains meaningful in unit tests.
@@ -300,6 +305,7 @@ pub fn launch_with(
         stats,
         timing,
         profile,
+        faults,
     })
 }
 
@@ -452,7 +458,17 @@ mod tests {
             .arg_f32(1.0)
             .arg_i32(10_000);
         let e = launch(&device, &kernel, &mut gmem, &[], &cfg).unwrap_err();
-        assert!(matches!(e, SimError::OutOfBounds { .. }));
+        let fault = e.fault().expect("OOB must surface as a device fault");
+        assert!(matches!(
+            fault.kind,
+            crate::error::FaultKind::OutOfBounds { .. }
+        ));
+        let site = fault.site.expect("access faults carry a site");
+        // The lowest faulting access: the y buffer (higher base address)
+        // runs out at element 896 = block 3, thread 128 — warps execute
+        // round-robin, so warp 4's lane-0 load faults first.
+        assert_eq!(site.block, [3, 0, 0]);
+        assert_eq!(site.thread, [128, 0, 0]);
     }
 
     #[test]

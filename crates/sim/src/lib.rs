@@ -41,7 +41,7 @@ pub mod timing;
 
 pub use cache::Cache;
 pub use device::{Arch, DeviceKind, DeviceSpec};
-pub use error::SimError;
+pub use error::{DeviceFault, FaultKind, FaultSite, SimError};
 pub use exec::{ExecOptions, ExecProfile};
 pub use launch::{
     launch, launch_with, Dim3, LaunchConfig, LaunchConfigBuilder, LaunchReport, TexBinding,

@@ -2,10 +2,21 @@
 //! copy-on-write page overlay that gives each thread block a private view
 //! of global memory during parallel block execution.
 
-use crate::error::SimError;
+use crate::error::{FaultKind, SimError};
 use gpucmp_ptx::Space;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Natural-alignment check for a device access: every 2/4/8-byte access
+/// must be aligned to its own size, as on real GPU hardware.
+#[inline]
+pub(crate) fn check_aligned(space: Space, addr: u64, size: u32) -> Result<(), FaultKind> {
+    if size > 1 && addr % size as u64 != 0 {
+        Err(FaultKind::Misaligned { space, addr, size })
+    } else {
+        Ok(())
+    }
+}
 
 /// A device pointer: a byte offset into the device's global memory.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -33,6 +44,11 @@ pub struct GlobalMemory {
     data: Vec<u8>,
     bump: u64,
     live_bytes: u64,
+    /// Every allocation ever made, as `(start, bytes)` in ascending start
+    /// order (the bump allocator never reuses addresses). Backs the
+    /// allocation-granular checks of the memcheck sanitizer and host
+    /// transfer-length validation.
+    allocs: Vec<(u64, u64)>,
 }
 
 impl GlobalMemory {
@@ -45,6 +61,7 @@ impl GlobalMemory {
             data: vec![0u8; capacity as usize],
             bump: Self::ALIGN, // reserve page 0 for NULL
             live_bytes: 0,
+            allocs: Vec::new(),
         }
     }
 
@@ -74,7 +91,46 @@ impl GlobalMemory {
         self.data[start as usize..end as usize].fill(0);
         self.bump = end.next_multiple_of(Self::ALIGN);
         self.live_bytes += bytes;
+        self.allocs.push((start, bytes));
         Ok(DevPtr(start))
+    }
+
+    /// The allocation containing `addr`, as `(start, bytes)`.
+    pub fn alloc_containing(&self, addr: u64) -> Option<(u64, u64)> {
+        let i = self.allocs.partition_point(|&(start, _)| start <= addr);
+        let (start, bytes) = *self.allocs.get(i.checked_sub(1)?)?;
+        (addr < start + bytes).then_some((start, bytes))
+    }
+
+    /// Allocation-granular check: the whole `size`-byte access at `addr`
+    /// must lie inside a single allocation. This is the memcheck analogue
+    /// of cuda-memcheck's precise OOB detection — stricter than [`check`],
+    /// which only guards the device's physical capacity.
+    ///
+    /// [`check`]: GlobalMemory::check
+    pub fn check_alloc(&self, addr: u64, size: u64) -> Result<(), FaultKind> {
+        if let Some((start, bytes)) = self.alloc_containing(addr) {
+            if addr
+                .checked_add(size)
+                .is_some_and(|end| end <= start + bytes)
+            {
+                return Ok(());
+            }
+        }
+        // The limit reported is the end of the nearest allocation at or
+        // below `addr` (the "N bytes past the end of allocation X"
+        // diagnostic), or 0 when the address precedes every allocation.
+        let i = self.allocs.partition_point(|&(start, _)| start <= addr);
+        let limit = i
+            .checked_sub(1)
+            .and_then(|i| self.allocs.get(i))
+            .map_or(0, |&(start, bytes)| start + bytes);
+        Err(FaultKind::OutOfBounds {
+            space: Space::Global,
+            addr,
+            size: size.min(u32::MAX as u64) as u32,
+            limit,
+        })
     }
 
     /// Release an allocation (accounting only; the bump pointer does not
@@ -85,12 +141,12 @@ impl GlobalMemory {
 
     /// Bounds-check an access of `size` bytes at `addr`.
     #[inline]
-    pub fn check(&self, addr: u64, size: u32) -> Result<(), SimError> {
+    pub fn check(&self, addr: u64, size: u32) -> Result<(), FaultKind> {
         if addr
             .checked_add(size as u64)
             .is_none_or(|end| end > self.capacity())
         {
-            Err(SimError::OutOfBounds {
+            Err(FaultKind::OutOfBounds {
                 space: Space::Global,
                 addr,
                 size,
@@ -103,7 +159,8 @@ impl GlobalMemory {
 
     /// Read `size` (1/2/4/8) bytes little-endian into a u64.
     #[inline]
-    pub fn read(&self, addr: u64, size: u32) -> Result<u64, SimError> {
+    pub fn read(&self, addr: u64, size: u32) -> Result<u64, FaultKind> {
+        check_aligned(Space::Global, addr, size)?;
         self.check(addr, size)?;
         let a = addr as usize;
         Ok(match size {
@@ -117,7 +174,8 @@ impl GlobalMemory {
 
     /// Write the low `size` (1/2/4/8) bytes of `value` little-endian.
     #[inline]
-    pub fn write(&mut self, addr: u64, size: u32, value: u64) -> Result<(), SimError> {
+    pub fn write(&mut self, addr: u64, size: u32, value: u64) -> Result<(), FaultKind> {
+        check_aligned(Space::Global, addr, size)?;
         self.check(addr, size)?;
         let a = addr as usize;
         match size {
@@ -132,7 +190,8 @@ impl GlobalMemory {
 
     /// Host-to-device copy (`cudaMemcpy` / `clEnqueueWriteBuffer` backing).
     pub fn copy_in(&mut self, ptr: DevPtr, bytes: &[u8]) -> Result<(), SimError> {
-        self.check(ptr.0, bytes.len() as u32)?;
+        self.check(ptr.0, bytes.len() as u32)
+            .map_err(SimError::from)?;
         let a = ptr.0 as usize;
         self.data[a..a + bytes.len()].copy_from_slice(bytes);
         Ok(())
@@ -140,7 +199,8 @@ impl GlobalMemory {
 
     /// Device-to-host copy.
     pub fn copy_out(&self, ptr: DevPtr, bytes: &mut [u8]) -> Result<(), SimError> {
-        self.check(ptr.0, bytes.len() as u32)?;
+        self.check(ptr.0, bytes.len() as u32)
+            .map_err(SimError::from)?;
         let a = ptr.0 as usize;
         bytes.copy_from_slice(&self.data[a..a + bytes.len()]);
         Ok(())
@@ -253,10 +313,11 @@ impl WriteOverlay {
 
     /// Read `size` (1/2/4/8) bytes little-endian through the overlay.
     #[inline]
-    pub fn read(&self, base: &GlobalMemory, addr: u64, size: u32) -> Result<u64, SimError> {
+    pub fn read(&self, base: &GlobalMemory, addr: u64, size: u32) -> Result<u64, FaultKind> {
         if self.pages.is_empty() {
             return base.read(addr, size);
         }
+        check_aligned(Space::Global, addr, size)?;
         base.check(addr, size)?;
         let first = addr >> PAGE_SHIFT;
         let last = (addr + size as u64 - 1) >> PAGE_SHIFT;
@@ -307,7 +368,8 @@ impl WriteOverlay {
         addr: u64,
         size: u32,
         value: u64,
-    ) -> Result<(), SimError> {
+    ) -> Result<(), FaultKind> {
+        check_aligned(Space::Global, addr, size)?;
         base.check(addr, size)?;
         let bytes = value.to_le_bytes();
         let first = addr >> PAGE_SHIFT;
@@ -423,6 +485,37 @@ mod tests {
         assert!(m.read(64, 1).is_err());
         assert!(m.read(u64::MAX, 8).is_err());
         assert!(m.read(56, 8).is_ok());
+    }
+
+    #[test]
+    fn misaligned_access_trapped() {
+        let mut m = GlobalMemory::new(4096);
+        let p = m.alloc(64).unwrap();
+        let e = m.read(p.0 + 2, 4).unwrap_err();
+        assert!(matches!(e, FaultKind::Misaligned { size: 4, .. }));
+        let e = m.write(p.0 + 1, 2, 7).unwrap_err();
+        assert!(matches!(e, FaultKind::Misaligned { size: 2, .. }));
+        // byte accesses are always aligned
+        assert!(m.read(p.0 + 3, 1).is_ok());
+    }
+
+    #[test]
+    fn alloc_granular_checks() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let a = m.alloc(100).unwrap();
+        let b = m.alloc(100).unwrap();
+        assert_eq!(m.alloc_containing(a.0 + 50), Some((a.0, 100)));
+        assert_eq!(m.alloc_containing(b.0), Some((b.0, 100)));
+        // padding between allocations belongs to no allocation
+        assert_eq!(m.alloc_containing(a.0 + 100), None);
+        assert_eq!(m.alloc_containing(0), None);
+        assert!(m.check_alloc(a.0, 100).is_ok());
+        assert!(m.check_alloc(a.0 + 96, 4).is_ok());
+        // crossing the end of the allocation is OOB even though the device
+        // capacity check would pass
+        let e = m.check_alloc(a.0 + 96, 8).unwrap_err();
+        assert!(matches!(e, FaultKind::OutOfBounds { .. }));
+        assert!(m.check_alloc(a.0 + 100, 1).is_err());
     }
 
     #[test]

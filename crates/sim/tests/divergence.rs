@@ -3,7 +3,7 @@
 
 use gpucmp_compiler::{compile, global_id_x, Api, DslKernel, Expr, KernelDef, Unroll};
 use gpucmp_ptx::{KernelBuilder, Op2, Ty};
-use gpucmp_sim::{launch, DeviceSpec, GlobalMemory, LaunchConfig, SimError};
+use gpucmp_sim::{launch, DeviceSpec, GlobalMemory, LaunchConfig};
 
 fn run_i32(def: &KernelDef, n: usize, input: &[i32]) -> (Vec<i32>, gpucmp_sim::ExecStats) {
     let compiled = compile(def, Api::Cuda, 124).unwrap();
@@ -139,7 +139,13 @@ fn barrier_inside_divergent_branch_is_trapped() {
     let mut gmem = GlobalMemory::new(1 << 12);
     let cfg = LaunchConfig::new(1u32, 32u32);
     let err = launch(&device, &kernel, &mut gmem, &[], &cfg).unwrap_err();
-    assert!(matches!(err, SimError::DivergenceError(_)), "{err}");
+    assert!(
+        matches!(
+            err.fault().map(|f| &f.kind),
+            Some(gpucmp_sim::FaultKind::Divergence(_))
+        ),
+        "{err}"
+    );
 }
 
 /// A kernel where one warp skips the barrier entirely deadlocks and is
@@ -159,7 +165,13 @@ fn asymmetric_barrier_arrival_is_a_deadlock() {
     let mut gmem = GlobalMemory::new(1 << 12);
     let cfg = LaunchConfig::new(1u32, 64u32);
     let err = launch(&device, &kernel, &mut gmem, &[], &cfg).unwrap_err();
-    assert!(matches!(err, SimError::BarrierDeadlock), "{err}");
+    assert!(
+        matches!(
+            err.fault().map(|f| &f.kind),
+            Some(gpucmp_sim::FaultKind::BarrierDeadlock)
+        ),
+        "{err}"
+    );
 }
 
 /// The instruction budget stops runaway loops.
@@ -178,7 +190,10 @@ fn infinite_loop_hits_the_instruction_budget() {
     cfg.inst_budget = 10_000;
     let err = launch(&device, &kernel, &mut gmem, &[], &cfg).unwrap_err();
     assert!(
-        matches!(err, SimError::InstructionBudgetExceeded(_)),
+        matches!(
+            err.fault().map(|f| &f.kind),
+            Some(gpucmp_sim::FaultKind::Watchdog { budget: 10_000 })
+        ),
         "{err}"
     );
 }
@@ -226,7 +241,13 @@ fn ret_inside_divergence_region_is_an_error() {
     let mut gmem = GlobalMemory::new(1 << 12);
     let cfg = LaunchConfig::new(1u32, 32u32);
     let err = launch(&device, &kernel, &mut gmem, &[], &cfg).unwrap_err();
-    assert!(matches!(err, SimError::DivergenceError(_)), "{err}");
+    assert!(
+        matches!(
+            err.fault().map(|f| &f.kind),
+            Some(gpucmp_sim::FaultKind::Divergence(_))
+        ),
+        "{err}"
+    );
 }
 
 /// Partial final warps (block size not a multiple of the warp width) are

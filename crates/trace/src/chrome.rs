@@ -83,6 +83,7 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
             SessionEvent::Launch { grid, .. } => {
                 Some((grid.count().min(device.compute_units as u64)).max(1) as u32)
             }
+            SessionEvent::Fault { cu, .. } => Some(cu + 1),
             _ => None,
         })
         .max()
@@ -173,6 +174,45 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
                     out.push(ev_counter(track, kstart, series, v));
                     out.push(ev_counter(track, kstart + kernel_ns, series, 0.0));
                 }
+            }
+            SessionEvent::Fault {
+                kernel,
+                t_ns,
+                desc,
+                pc,
+                block,
+                thread,
+                cu,
+            } => {
+                // Instant event on the CU track that ran the faulting
+                // block, so the fault lands on the offending lane of the
+                // timeline.
+                let mut args = vec![("fault".to_string(), Json::Str(desc.clone()))];
+                if let Some(pc) = pc {
+                    args.push(("pc".to_string(), (*pc as u64).into()));
+                }
+                if let Some(b) = block {
+                    args.push((
+                        "block".to_string(),
+                        Json::Str(format!("{},{},{}", b[0], b[1], b[2])),
+                    ));
+                }
+                if let Some(t) = thread {
+                    args.push((
+                        "thread".to_string(),
+                        Json::Str(format!("{},{},{}", t[0], t[1], t[2])),
+                    ));
+                }
+                out.push(Json::obj([
+                    ("name", Json::Str(format!("FAULT {kernel}"))),
+                    ("cat", "gpucmp".into()),
+                    ("ph", "i".into()),
+                    ("s", "t".into()),
+                    ("ts", Json::Num(t_ns / 1000.0)),
+                    ("pid", Json::Int(PID)),
+                    ("tid", Json::Int(CU_TID0 + *cu as i64)),
+                    ("args", Json::Obj(args)),
+                ]));
             }
         }
     }

@@ -11,8 +11,19 @@
 use crate::json::{parse, Json, JsonError};
 use gpucmp_sim::CounterSet;
 
-/// Report schema version; bump on breaking layout changes.
-pub const SCHEMA_VERSION: i64 = 1;
+/// Report schema version; bump on breaking layout changes. Version 2
+/// added per-run fault status (`status`/`fault`/`attempts`) for graceful
+/// campaign degradation; version-1 documents still parse (status defaults
+/// to `"ok"`).
+pub const SCHEMA_VERSION: i64 = 2;
+/// Oldest schema version [`BenchReport::from_text`] still accepts.
+pub const MIN_SCHEMA_VERSION: i64 = 1;
+
+/// [`BenchRun::status`] of a run that completed and verified.
+pub const RUN_OK: &str = "ok";
+/// [`BenchRun::status`] of a run skipped after exhausting its fault
+/// retries (the fault text is in [`BenchRun::fault`]).
+pub const RUN_FAULT_SKIPPED: &str = "fault-skipped";
 
 /// One benchmark execution on one device through one API.
 #[derive(Clone, Debug)]
@@ -39,6 +50,20 @@ pub struct BenchRun {
     pub sim_cycles: f64,
     /// Full flat counter set of the merged run.
     pub counters: CounterSet,
+    /// Run outcome: [`RUN_OK`] or [`RUN_FAULT_SKIPPED`].
+    pub status: String,
+    /// Description of the final fault, for skipped runs.
+    pub fault: Option<String>,
+    /// Attempts consumed (1 = first try succeeded; >1 = bounded retry
+    /// recovered or, for skipped runs, every retry failed).
+    pub attempts: u32,
+}
+
+impl BenchRun {
+    /// Whether this run completed (vs. being fault-skipped).
+    pub fn is_ok(&self) -> bool {
+        self.status == RUN_OK
+    }
 }
 
 /// The PR of one benchmark on one device, with attribution.
@@ -60,6 +85,10 @@ pub struct PrEntry {
 pub struct BenchReport {
     /// Problem-size scale the campaign ran at (`"quick"` / `"paper"`).
     pub scale: String,
+    /// Seed of the fault-injection plan the campaign ran under, if any.
+    /// The gate only *accepts* fault-skipped runs when this is set: a
+    /// skip without a declared injection campaign is a regression.
+    pub fault_seed: Option<u64>,
     /// Per-run rows.
     pub runs: Vec<BenchRun>,
     /// Per-(bench, device) PR rows.
@@ -67,6 +96,13 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
+    /// Whether any run was fault-skipped: the report is *partial but
+    /// valid* — the gate downgrades missing data caused by faults to a
+    /// warning instead of a regression.
+    pub fn is_partial(&self) -> bool {
+        self.runs.iter().any(|r| !r.is_ok())
+    }
+
     /// Find a run.
     pub fn run(&self, bench: &str, device: &str, api: &str) -> Option<&BenchRun> {
         self.runs
@@ -98,6 +134,15 @@ impl BenchReport {
                     ("kernel_ns", Json::Num(r.kernel_ns)),
                     ("launches", r.launches.into()),
                     ("sim_cycles", Json::Num(r.sim_cycles)),
+                    ("status", r.status.as_str().into()),
+                    (
+                        "fault",
+                        match &r.fault {
+                            Some(fx) => fx.as_str().into(),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("attempts", (r.attempts as u64).into()),
                     (
                         "counters",
                         Json::Obj(
@@ -125,6 +170,13 @@ impl BenchReport {
         Json::obj([
             ("schema", Json::Int(SCHEMA_VERSION)),
             ("scale", self.scale.as_str().into()),
+            (
+                "fault_seed",
+                match self.fault_seed {
+                    Some(seed) => seed.into(),
+                    None => Json::Null,
+                },
+            ),
             ("runs", Json::Arr(runs)),
             ("prs", Json::Arr(prs)),
         ])
@@ -146,7 +198,7 @@ impl BenchReport {
             .get("schema")
             .and_then(Json::as_i64)
             .ok_or_else(|| bad("missing schema"))?;
-        if schema != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
             return Err(bad(&format!("unsupported schema version {schema}")));
         }
         let scale = doc
@@ -154,6 +206,10 @@ impl BenchReport {
             .and_then(Json::as_str)
             .unwrap_or("")
             .to_string();
+        let fault_seed = doc
+            .get("fault_seed")
+            .and_then(Json::as_f64)
+            .map(|v| v as u64);
         let mut runs = Vec::new();
         for r in doc
             .get("runs")
@@ -189,6 +245,14 @@ impl BenchReport {
                 launches: field_num("launches")? as u64,
                 sim_cycles: field_num("sim_cycles")?,
                 counters,
+                // schema-1 reports predate fault status: every row is ok
+                status: r
+                    .get("status")
+                    .and_then(Json::as_str)
+                    .unwrap_or(RUN_OK)
+                    .to_string(),
+                fault: r.get("fault").and_then(Json::as_str).map(str::to_string),
+                attempts: r.get("attempts").and_then(Json::as_f64).unwrap_or(1.0) as u32,
             });
         }
         let mut prs = Vec::new();
@@ -219,7 +283,12 @@ impl BenchReport {
                     .to_string(),
             });
         }
-        Ok(BenchReport { scale, runs, prs })
+        Ok(BenchReport {
+            scale,
+            fault_seed,
+            runs,
+            prs,
+        })
     }
 }
 
@@ -307,6 +376,7 @@ mod tests {
     fn report_round_trips() {
         let report = BenchReport {
             scale: "quick".into(),
+            fault_seed: Some(7),
             runs: vec![BenchRun {
                 bench: "BFS".into(),
                 device: "GTX280".into(),
@@ -319,6 +389,9 @@ mod tests {
                 launches: 120,
                 sim_cycles: 3.5e8,
                 counters: set(&[("gmem_transactions", 1024.0), ("l1_hit_rate", 0.75)]),
+                status: RUN_OK.to_string(),
+                fault: None,
+                attempts: 1,
             }],
             prs: vec![PrEntry {
                 bench: "BFS".into(),
@@ -329,7 +402,11 @@ mod tests {
         };
         let parsed = BenchReport::from_text(&report.to_text()).unwrap();
         assert_eq!(parsed.scale, "quick");
+        assert_eq!(parsed.fault_seed, Some(7));
+        assert!(!parsed.is_partial());
         let run = parsed.run("BFS", "GTX280", "OpenCL").unwrap();
+        assert!(run.is_ok());
+        assert_eq!(run.attempts, 1);
         assert_eq!(run.launches, 120);
         assert_eq!(run.counters.get("gmem_transactions"), Some(1024.0));
         assert_eq!(run.counters.get("l1_hit_rate"), Some(0.75));

@@ -5,7 +5,7 @@
 
 use gpucmp_benchmarks::common::{Benchmark, Scale};
 use gpucmp_benchmarks::sobel::Sobel;
-use gpucmp_runtime::{Cuda, Gpu, SessionEvent};
+use gpucmp_runtime::{Cuda, Gpu, GpuExt, SessionEvent};
 use gpucmp_sim::DeviceSpec;
 use gpucmp_trace::{chrome_trace, parse, Json};
 
@@ -116,6 +116,62 @@ fn chrome_trace_round_trips_through_text() {
             );
         }
     }
+}
+
+#[test]
+fn memcheck_faults_export_as_instant_events_on_cu_tracks() {
+    use gpucmp_compiler::{global_id_x, DslKernel};
+    use gpucmp_ptx::Ty;
+    use gpucmp_sim::LaunchConfig;
+
+    // An unguarded store driven past its allocation under memcheck: the
+    // launch completes, the faults land in the trace stream.
+    let device = DeviceSpec::gtx480();
+    let mut gpu = Cuda::new(device.clone()).expect("NVIDIA device");
+    gpu.set_tracing(true);
+    gpu.set_memcheck(true);
+    let mut k = DslKernel::new("unguarded_fill");
+    let out = k.param_ptr("out");
+    let gid = k.let_(Ty::S32, global_id_x());
+    k.st_global(out.clone(), gid, Ty::F32, 1.0f32);
+    let h = gpu.build(&k.finish()).unwrap();
+    let buf = gpu.malloc(32 * 4).unwrap();
+    gpu.launch(h, LaunchConfig::new(1u32, 64u32).arg_ptr(buf))
+        .unwrap();
+
+    let doc = chrome_trace(&device, gpu.trace_events());
+    let parsed = parse(&doc.to_text()).expect("valid JSON");
+    let tev = parsed.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let faults: Vec<_> = tev
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+        .collect();
+    assert_eq!(faults.len(), 32, "one instant per recorded fault");
+    for f in &faults {
+        assert_eq!(
+            f.get("name").and_then(Json::as_str),
+            Some("FAULT unguarded_fill")
+        );
+        assert_eq!(f.get("s").and_then(Json::as_str), Some("t"));
+        let tid = f.get("tid").and_then(Json::as_i64).unwrap();
+        assert!(tid >= 10, "fault lands on a CU track, got tid {tid}");
+        let args = f.get("args").expect("fault args");
+        assert!(args
+            .get("fault")
+            .and_then(Json::as_str)
+            .is_some_and(|d| d.contains("out-of-bounds")));
+        assert!(args.get("pc").and_then(Json::as_f64).is_some());
+        assert!(args
+            .get("thread")
+            .and_then(Json::as_str)
+            .is_some_and(|t| t.contains(',')));
+    }
+    // The faulting CU's track is named even though only one block ran.
+    let first_tid = faults[0].get("tid").and_then(Json::as_i64).unwrap();
+    assert!(tev.iter().any(|e| {
+        e.get("name").and_then(Json::as_str) == Some("thread_name")
+            && e.get("tid").and_then(Json::as_i64) == Some(first_tid)
+    }));
 }
 
 #[test]

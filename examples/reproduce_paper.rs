@@ -30,7 +30,12 @@ fn emit_bench_artifacts(scale: Scale) {
         .map(|d| d.as_secs())
         .unwrap_or(0);
 
-    let report = bench_report::bench_report(scale);
+    // `GPUCMP_FAULT_SEED=<n>` turns this into a seeded fault-injection
+    // campaign (with `GPUCMP_FAULT_ATTEMPTS=1` the injected faults are
+    // unrecoverable and the report comes out partial); unset, it is the
+    // ordinary fault-free campaign.
+    let opts = bench_report::CampaignOptions::from_env(scale);
+    let report = bench_report::bench_report_with(&opts);
     let bench_path = format!("BENCH_{stamp}.json");
     std::fs::write(&bench_path, report.to_text()).expect("write bench report");
     let verified = report.runs.iter().filter(|r| r.verified).count();
@@ -41,6 +46,23 @@ fn emit_bench_artifacts(scale: Scale) {
         report.prs.len(),
         bench_path
     );
+    if let Some(seed) = opts.fault_seed {
+        let skipped: Vec<_> = report.runs.iter().filter(|r| !r.is_ok()).collect();
+        println!(
+            "Fault injection: seed {seed}, {} attempt(s)/run, {} run(s) fault-skipped",
+            opts.max_attempts,
+            skipped.len()
+        );
+        for r in &skipped {
+            println!(
+                "  skipped {}/{}/{}: {}",
+                r.bench,
+                r.device,
+                r.api,
+                r.fault.as_deref().unwrap_or("<unrecorded>")
+            );
+        }
+    }
     println!("{:<8} {:<8} {:>7}  dominant counter", "App", "Device", "PR");
     for p in &report.prs {
         println!(
