@@ -89,7 +89,24 @@ fn pair_has_skip(report: &BenchReport, bench: &str, device: &str) -> bool {
 /// Check every paper-shape invariant of `report`, splitting failures
 /// into regressions and acceptable fault-skips.
 pub fn check(report: &BenchReport) -> GateResult {
+    check_with_cache_floor(report, None)
+}
+
+/// Like [`check`], but additionally require at least `min` cache hits
+/// when `min_cache_hits` is set — the incremental-campaign CI job's
+/// assertion that a warm rerun actually reused its previous report.
+pub fn check_with_cache_floor(report: &BenchReport, min_cache_hits: Option<usize>) -> GateResult {
     let mut res = GateResult::default();
+
+    if let Some(min) = min_cache_hits {
+        let hits = report.cache_hits();
+        if hits < min {
+            res.errors.push(format!(
+                "expected at least {min} cached runs, found {hits} — \
+                 the incremental campaign re-executed unchanged cells"
+            ));
+        }
+    }
 
     let want_runs = BENCHES * DEVICES.len() * APIS.len();
     if report.runs.len() != want_runs {
@@ -132,6 +149,13 @@ pub fn check(report: &BenchReport) -> GateResult {
         if r.launches == 0 {
             res.errors
                 .push(format!("{id}: no kernel launches recorded"));
+        }
+        // Schema-v3 consistency: a cached row is a verbatim reuse of a
+        // healthy fingerprinted row — a cached skip or a cached row
+        // without its fingerprint is a campaign bug.
+        if r.cached && r.input_hash.is_empty() {
+            res.errors
+                .push(format!("{id}: cached run without an input_hash"));
         }
     }
 
@@ -215,8 +239,23 @@ pub fn check(report: &BenchReport) -> GateResult {
 }
 
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: gate <BENCH_*.json>");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut min_cache_hits = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--expect-cache-hits" {
+            min_cache_hits = it.next().and_then(|v| v.parse::<usize>().ok());
+            if min_cache_hits.is_none() {
+                eprintln!("gate: --expect-cache-hits needs a number");
+                return ExitCode::FAILURE;
+            }
+        } else {
+            path = Some(a.clone());
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: gate <BENCH_*.json> [--expect-cache-hits <n>]");
         return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(&path) {
@@ -233,16 +272,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let res = check(&report);
+    let res = check_with_cache_floor(&report, min_cache_hits);
     for s in &res.skips {
         eprintln!("gate: SKIP — {s}");
     }
     match res.exit_code() {
         0 => {
             println!(
-                "gate: PASS — {} runs at scale '{}', all paper-shape invariants hold",
+                "gate: PASS — {} runs at scale '{}' ({} cached), all paper-shape invariants hold",
                 report.runs.len(),
-                report.scale
+                report.scale,
+                report.cache_hits()
             );
             ExitCode::SUCCESS
         }
@@ -317,6 +357,8 @@ mod tests {
                         status: RUN_OK.into(),
                         fault: None,
                         attempts: 1,
+                        input_hash: "0123456789abcdef".into(),
+                        cached: false,
                     });
                 }
                 let pr = match bench {
@@ -401,6 +443,30 @@ mod tests {
             .errors
             .iter()
             .any(|e| e.contains("expected 64 runs")));
+    }
+
+    #[test]
+    fn cache_floor_is_enforced_when_requested() {
+        let mut r = passing_report();
+        // No floor: a cache-less report is fine.
+        assert_eq!(check_with_cache_floor(&r, None).exit_code(), 0);
+        // A floor over an uncached report regresses.
+        let res = check_with_cache_floor(&r, Some(58));
+        assert_eq!(res.exit_code(), 1);
+        assert!(res.errors.iter().any(|e| e.contains("cached runs")));
+        // Mark enough rows cached and the same floor passes.
+        for run in r.runs.iter_mut().take(60) {
+            run.cached = true;
+        }
+        assert_eq!(check_with_cache_floor(&r, Some(58)).exit_code(), 0);
+        // A cached row that lost its fingerprint is a campaign bug.
+        r.runs[0].input_hash.clear();
+        let res = check_with_cache_floor(&r, Some(58));
+        assert_eq!(res.exit_code(), 1);
+        assert!(res
+            .errors
+            .iter()
+            .any(|e| e.contains("without an input_hash")));
     }
 
     #[test]

@@ -106,7 +106,7 @@ proptest! {
 
     #[test]
     fn bfs_device_matches_cpu_at_random_shapes(nodes_k in 1usize..5, degree in 1usize..5) {
-        let b = gpucmp_benchmarks::bfs::Bfs { nodes: nodes_k * 512, degree };
+        let b = gpucmp_benchmarks::bfs::Bfs { nodes: nodes_k * 512, degree, streams: false };
         let mut gpu = Cuda::new(DeviceSpec::gtx480()).unwrap();
         let r = b.run(&mut gpu).unwrap();
         prop_assert!(r.verify.is_pass(), "{:?}", r.verify);

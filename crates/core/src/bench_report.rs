@@ -28,8 +28,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 /// Device names the campaign covers (the paper's CUDA-capable pair).
 pub const CAMPAIGN_DEVICES: [&str; 2] = ["GTX280", "GTX480"];
 
+/// Revision of everything upstream of a campaign cell's numbers — the
+/// timing model, the benchmark sources, the compiler. Bump whenever a
+/// change can move any cell's output so stale rows stop cache-matching.
+pub const CAMPAIGN_MODEL_REV: u32 = 1;
+
 /// How the campaign runs: problem scale, optional seeded fault
-/// injection, and the per-triple retry budget.
+/// injection, the per-triple retry budget, an optional result cache, and
+/// an optional shard of the run matrix.
 #[derive(Clone, Debug)]
 pub struct CampaignOptions {
     /// Problem-size scale for every benchmark.
@@ -41,6 +47,15 @@ pub struct CampaignOptions {
     /// Attempts per triple before it is recorded as fault-skipped
     /// (clamped to at least 1).
     pub max_attempts: u32,
+    /// A previous campaign's report: any cell whose
+    /// [`input_fingerprint`] matches a healthy row in it is reused
+    /// (marked `cached`) instead of re-executed. Ignored under fault
+    /// injection — an injection campaign must actually inject.
+    pub cache_from: Option<BenchReport>,
+    /// Run only the triples with `index % shards == shard` (as
+    /// `(shard, shards)`); merge the partial reports with
+    /// [`merge_reports`]. `None` runs everything.
+    pub shard: Option<(u32, u32)>,
 }
 
 impl CampaignOptions {
@@ -50,14 +65,21 @@ impl CampaignOptions {
             scale,
             fault_seed: None,
             max_attempts: 2,
+            cache_from: None,
+            shard: None,
         }
     }
 
-    /// Like [`CampaignOptions::new`], but reads `GPUCMP_FAULT_SEED`
-    /// (enable a seeded fault-injection campaign) and
-    /// `GPUCMP_FAULT_ATTEMPTS` (override the retry budget; `1` makes
-    /// every injected fault unrecoverable, exercising the partial-report
-    /// path end to end) from the environment.
+    /// Like [`CampaignOptions::new`], but reads the environment:
+    ///
+    /// - `GPUCMP_FAULT_SEED` — enable a seeded fault-injection campaign;
+    /// - `GPUCMP_FAULT_ATTEMPTS` — override the retry budget (`1` makes
+    ///   every injected fault unrecoverable, exercising the
+    ///   partial-report path end to end);
+    /// - `GPUCMP_CACHE_FROM` — path of a previous `BENCH_*.json` to reuse
+    ///   unchanged cells from (unreadable/invalid files just disable the
+    ///   cache);
+    /// - `GPUCMP_SHARD` — `"i/n"` runs shard `i` of `n` (0-based).
     pub fn from_env(scale: Scale) -> Self {
         let parse = |var: &str| {
             std::env::var(var)
@@ -69,8 +91,53 @@ impl CampaignOptions {
         if let Some(n) = parse("GPUCMP_FAULT_ATTEMPTS") {
             opts.max_attempts = n.clamp(1, 16) as u32;
         }
+        opts.cache_from = std::env::var("GPUCMP_CACHE_FROM")
+            .ok()
+            .and_then(|path| std::fs::read_to_string(path).ok())
+            .and_then(|text| BenchReport::from_text(&text).ok());
+        opts.shard = std::env::var("GPUCMP_SHARD").ok().and_then(|s| {
+            let (i, n) = s.trim().split_once('/')?;
+            let (i, n) = (i.parse::<u32>().ok()?, n.parse::<u32>().ok()?);
+            (n > 0 && i < n).then_some((i, n))
+        });
         opts
     }
+}
+
+/// Fingerprint of everything that determines one campaign cell's
+/// numbers: the cell coordinates, the problem scale, the fault-injection
+/// settings, and [`CAMPAIGN_MODEL_REV`]. FNV-1a 64, rendered as 16 hex
+/// digits. Two campaigns produce the same fingerprint for a cell exactly
+/// when re-running it would reproduce the same row.
+pub fn input_fingerprint(opts: &CampaignOptions, bench: &str, device: &str, api: &str) -> String {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    eat(&CAMPAIGN_MODEL_REV.to_le_bytes());
+    for part in [
+        match opts.scale {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        },
+        bench,
+        device,
+        api,
+    ] {
+        eat(part.as_bytes());
+        eat(b"|");
+    }
+    match opts.fault_seed {
+        Some(seed) => {
+            eat(&seed.to_le_bytes());
+            eat(&opts.max_attempts.max(1).to_le_bytes());
+        }
+        None => eat(b"no-faults"),
+    }
+    format!("{h:016x}")
 }
 
 fn all_benchmarks(scale: Scale) -> Vec<Box<dyn gpucmp_benchmarks::Benchmark>> {
@@ -133,6 +200,8 @@ fn run_one(opts: &CampaignOptions, i: usize, dev_name: &str, api: &str) -> Bench
                     status: RUN_OK.to_string(),
                     fault: None,
                     attempts: attempt + 1,
+                    input_hash: String::new(), // stamped by bench_report_with
+                    cached: false,
                 };
             }
             Ok(Ok(out)) => {
@@ -160,6 +229,8 @@ fn run_one(opts: &CampaignOptions, i: usize, dev_name: &str, api: &str) -> Bench
         status: RUN_FAULT_SKIPPED.to_string(),
         fault: Some(last_fault),
         attempts: attempts_cap,
+        input_hash: String::new(), // stamped by bench_report_with
+        cached: false,
     }
 }
 
@@ -171,7 +242,9 @@ pub fn bench_report(scale: Scale) -> BenchReport {
 /// Run the whole campaign under `opts`. Parallelised over (benchmark,
 /// device, API) triples; every number — including which triples are
 /// fault-skipped under a seeded plan — is deterministic for any host
-/// thread count.
+/// thread count. With `opts.cache_from`, any triple whose fingerprint
+/// matches a healthy cached row is reused instead of re-executed; with
+/// `opts.shard`, only that slice of the matrix runs.
 pub fn bench_report_with(opts: &CampaignOptions) -> BenchReport {
     let n = all_benchmarks(opts.scale).len();
     let triples: Vec<(usize, &'static str, &'static str)> = (0..n)
@@ -180,18 +253,63 @@ pub fn bench_report_with(opts: &CampaignOptions) -> BenchReport {
                 .into_iter()
                 .flat_map(move |d| [(i, d, "CUDA"), (i, d, "OpenCL")])
         })
+        .enumerate()
+        .filter(|&(idx, _)| match opts.shard {
+            Some((shard, shards)) => idx as u32 % shards == shard,
+            None => true,
+        })
+        .map(|(_, t)| t)
         .collect();
+    let bench_names_once: Vec<String> = {
+        let all = all_benchmarks(opts.scale);
+        all.iter().map(|b| b.name().to_string()).collect()
+    };
+    // An injection campaign must actually inject: never serve it from
+    // cache, even though the fingerprint would distinguish the seeds.
+    let cache = opts
+        .cache_from
+        .as_ref()
+        .filter(|_| opts.fault_seed.is_none());
     let mut runs: Vec<(usize, BenchRun)> = triples
         .par_iter()
-        .map(|&(i, dev_name, api)| (i, run_one(opts, i, dev_name, api)))
+        .map(|&(i, dev_name, api)| {
+            let hash = input_fingerprint(opts, &bench_names_once[i], dev_name, api);
+            if let Some(hit) = cache.and_then(|c| {
+                c.run(&bench_names_once[i], dev_name, api)
+                    .filter(|r| r.is_ok() && r.input_hash == hash)
+            }) {
+                let mut reused = hit.clone();
+                reused.cached = true;
+                return (i, reused);
+            }
+            let mut run = run_one(opts, i, dev_name, api);
+            run.input_hash = hash;
+            run.cached = false;
+            (i, run)
+        })
         .collect();
     // deterministic order: benchmark registry order, device, then API
     runs.sort_by(|a, b| (a.0, &a.1.device, &a.1.api).cmp(&(b.0, &b.1.device, &b.1.api)));
     let runs: Vec<BenchRun> = runs.into_iter().map(|(_, r)| r).collect();
+    let prs = derive_prs(&runs);
 
+    BenchReport {
+        scale: match opts.scale {
+            Scale::Quick => "quick".to_string(),
+            Scale::Paper => "paper".to_string(),
+        },
+        fault_seed: opts.fault_seed,
+        runs,
+        prs,
+    }
+}
+
+/// Derive the per-(benchmark, device) PR table from a run list — the
+/// shared tail of a full campaign and of [`merge_reports`].
+pub fn derive_prs(runs: &[BenchRun]) -> Vec<PrEntry> {
     let bench_names: Vec<String> = {
         let mut seen = Vec::new();
-        for r in &runs {
+        for r in runs {
             if !seen.contains(&r.bench) {
                 seen.push(r.bench.clone());
             }
@@ -241,13 +359,60 @@ pub fn bench_report_with(opts: &CampaignOptions) -> BenchReport {
             });
         }
     }
+    prs
+}
 
+/// Merge sharded partial reports into one full campaign report: union
+/// the run rows (first occurrence of a (bench, device, API) triple
+/// wins), restore the registry run order, and re-derive the PR table
+/// over the combined runs. The parts must share a scale and fault seed.
+pub fn merge_reports(parts: &[BenchReport]) -> BenchReport {
+    let Some(first) = parts.first() else {
+        return BenchReport::default();
+    };
+    let scale = first.scale.clone();
+    let fault_seed = first.fault_seed;
+    assert!(
+        parts
+            .iter()
+            .all(|p| p.scale == scale && p.fault_seed == fault_seed),
+        "merge_reports: shards disagree on scale or fault seed"
+    );
+    let registry: Vec<String> = {
+        let s = if scale == "paper" {
+            Scale::Paper
+        } else {
+            Scale::Quick
+        };
+        all_benchmarks(s)
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect()
+    };
+    let mut runs: Vec<BenchRun> = Vec::new();
+    for p in parts {
+        for r in &p.runs {
+            if !runs
+                .iter()
+                .any(|q| q.bench == r.bench && q.device == r.device && q.api == r.api)
+            {
+                runs.push(r.clone());
+            }
+        }
+    }
+    let pos = |name: &str| {
+        registry
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or(usize::MAX)
+    };
+    runs.sort_by(|a, b| {
+        (pos(&a.bench), &a.device, &a.api).cmp(&(pos(&b.bench), &b.device, &b.api))
+    });
+    let prs = derive_prs(&runs);
     BenchReport {
-        scale: match opts.scale {
-            Scale::Quick => "quick".to_string(),
-            Scale::Paper => "paper".to_string(),
-        },
-        fault_seed: opts.fault_seed,
+        scale,
+        fault_seed,
         runs,
         prs,
     }
@@ -296,6 +461,90 @@ mod tests {
         assert_eq!(parsed.runs.len(), report.runs.len());
         assert_eq!(parsed.scale, "quick");
         assert_eq!(parsed.fault_seed, None);
+    }
+
+    #[test]
+    fn unchanged_cells_are_reused_from_cache() {
+        let first = bench_report(Scale::Quick);
+        assert_eq!(first.cache_hits(), 0, "a cold campaign executes everything");
+        assert!(first
+            .runs
+            .iter()
+            .all(|r| r.input_hash.len() == 16 && !r.cached));
+
+        // Second campaign over the same inputs: every cell is a hit.
+        let opts = CampaignOptions {
+            cache_from: Some(first.clone()),
+            ..CampaignOptions::new(Scale::Quick)
+        };
+        let second = bench_report_with(&opts);
+        assert_eq!(second.cache_hits(), second.runs.len());
+        for (a, b) in first.runs.iter().zip(&second.runs) {
+            assert_eq!(a.input_hash, b.input_hash);
+            assert_eq!(a.value, b.value);
+            assert!(b.cached);
+        }
+        // The PR table is re-derived and identical.
+        for (a, b) in first.prs.iter().zip(&second.prs) {
+            assert_eq!(a.pr, b.pr);
+            assert_eq!(a.dominant_counter, b.dominant_counter);
+        }
+
+        // A stale fingerprint forces exactly that cell to re-execute.
+        let mut stale = first.clone();
+        let key = (
+            stale.runs[0].bench.clone(),
+            stale.runs[0].device.clone(),
+            stale.runs[0].api.clone(),
+        );
+        stale.runs[0].input_hash = "stale".into();
+        let opts = CampaignOptions {
+            cache_from: Some(stale),
+            ..CampaignOptions::new(Scale::Quick)
+        };
+        let third = bench_report_with(&opts);
+        assert_eq!(third.cache_hits(), third.runs.len() - 1);
+        let rerun = third.run(&key.0, &key.1, &key.2).unwrap();
+        assert!(!rerun.cached);
+        assert_eq!(rerun.input_hash, first.runs[0].input_hash);
+    }
+
+    #[test]
+    fn sharded_campaign_merges_to_the_full_matrix() {
+        let full = bench_report(Scale::Quick);
+        let parts: Vec<BenchReport> = (0..2)
+            .map(|i| {
+                let opts = CampaignOptions {
+                    shard: Some((i, 2)),
+                    ..CampaignOptions::new(Scale::Quick)
+                };
+                bench_report_with(&opts)
+            })
+            .collect();
+        assert!(parts.iter().all(|p| p.runs.len() == 32), "half each");
+        let merged = merge_reports(&parts);
+        assert_eq!(merged.runs.len(), full.runs.len());
+        assert_eq!(merged.prs.len(), full.prs.len());
+        for (a, b) in full.runs.iter().zip(&merged.runs) {
+            assert_eq!((&a.bench, &a.device, &a.api), (&b.bench, &b.device, &b.api));
+            assert_eq!(a.value, b.value);
+        }
+        for (a, b) in full.prs.iter().zip(&merged.prs) {
+            assert_eq!(a.pr, b.pr);
+        }
+    }
+
+    #[test]
+    fn fault_campaigns_never_serve_from_cache() {
+        let clean = bench_report(Scale::Quick);
+        let opts = CampaignOptions {
+            fault_seed: Some(42),
+            cache_from: Some(clean),
+            ..CampaignOptions::new(Scale::Quick)
+        };
+        let report = bench_report_with(&opts);
+        assert_eq!(report.cache_hits(), 0, "injection campaigns must inject");
+        assert!(report.runs.iter().filter(|r| r.attempts > 1).count() > 5);
     }
 
     #[test]

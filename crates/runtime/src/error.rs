@@ -98,6 +98,12 @@ pub enum RtError {
     WrongVendor(&'static str),
     /// Invalid kernel handle.
     BadHandle,
+    /// Invalid stream handle (from another session, or invalidated by
+    /// [`crate::Session::reset`]).
+    BadStream,
+    /// Invalid event handle, or an event used where its op type does not
+    /// apply (e.g. taking the readback of a non-d2h event).
+    BadEvent(&'static str),
 }
 
 impl RtError {
@@ -159,6 +165,8 @@ impl fmt::Display for RtError {
                 write!(f, "CUDA is only available on NVIDIA devices, not {d}")
             }
             RtError::BadHandle => write!(f, "invalid kernel handle"),
+            RtError::BadStream => write!(f, "invalid stream handle"),
+            RtError::BadEvent(what) => write!(f, "invalid event: {what}"),
         }
     }
 }

@@ -12,14 +12,16 @@
 use crate::buffer::{Buffer, DeviceScalar};
 use crate::error::RtError;
 use crate::inject::{FaultPlan, LaunchAction, TransferAction};
+use crate::stream::{Event, PendingOp, PendingPayload, ResetReport, Stream, StreamState};
 use gpucmp_compiler::{compile_with_style, Api, KernelDef};
 use gpucmp_ptx::ResolvedKernel;
 use gpucmp_sim::launch::Dim3;
-use gpucmp_sim::timing::Timing;
+use gpucmp_sim::timing::{TimelineOp, TimelineResource, TimelineState, Timing};
 use gpucmp_sim::{
     launch_with as sim_launch_with, DevPtr, DeviceFault, DeviceSpec, ExecOptions, ExecProfile,
     ExecStats, GlobalMemory, LaunchConfig, LaunchReport,
 };
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// PCIe effective host↔device bandwidth in GB/s (PCIe 2.0 x16 era).
@@ -103,6 +105,8 @@ pub enum SessionEvent {
         stats: ExecStats,
         /// Modelled timing breakdown.
         timing: Timing,
+        /// Stream the launch ran on (0 = default stream).
+        stream: u32,
     },
     /// A PCIe transfer.
     Transfer {
@@ -114,6 +118,8 @@ pub enum SessionEvent {
         dur_ns: f64,
         /// Bytes moved.
         bytes: u64,
+        /// Stream the transfer ran on (0 = default stream).
+        stream: u32,
     },
     /// A device fault pinned to the virtual timeline: either a memcheck
     /// record from a completed launch or the fault that aborted one.
@@ -133,11 +139,20 @@ pub enum SessionEvent {
         /// Compute unit the faulting block was scheduled on (round-robin
         /// distribution), `0` for unsited faults.
         cu: u32,
+        /// Stream the faulting launch ran on (0 = default stream).
+        stream: u32,
     },
 }
 
 /// Build the trace event for one device fault.
-fn fault_event(kernel: &str, t_ns: f64, fault: &DeviceFault, grid: Dim3, cus: u32) -> SessionEvent {
+fn fault_event(
+    kernel: &str,
+    t_ns: f64,
+    fault: &DeviceFault,
+    grid: Dim3,
+    cus: u32,
+    stream: u32,
+) -> SessionEvent {
     SessionEvent::Fault {
         kernel: kernel.to_string(),
         t_ns,
@@ -148,6 +163,7 @@ fn fault_event(kernel: &str, t_ns: f64, fault: &DeviceFault, grid: Dim3, cus: u3
         cu: fault
             .linear_block(grid.x, grid.y)
             .map_or(0, |b| (b % cus.max(1) as u64) as u32),
+        stream,
     }
 }
 
@@ -179,6 +195,14 @@ pub struct Session {
     fault: Option<String>,
     memcheck: bool,
     inject: Option<FaultPlan>,
+    /// Per-engine device timeline (persisted across sync points).
+    timeline: TimelineState,
+    /// Enqueued ops not yet committed to the timeline.
+    pending: Vec<PendingOp>,
+    /// Stream table; index = stream id, entry 0 is the default stream.
+    streams: Vec<StreamState>,
+    /// Staged d2h payloads keyed by the enqueuing event.
+    readbacks: BTreeMap<(u32, u64), Vec<u8>>,
 }
 
 impl Session {
@@ -201,6 +225,10 @@ impl Session {
             fault: None,
             memcheck: memcheck_env(),
             inject: None,
+            timeline: TimelineState::new(),
+            pending: Vec::new(),
+            streams: vec![StreamState::default()],
+            readbacks: BTreeMap::new(),
         }
     }
 
@@ -229,11 +257,32 @@ impl Session {
     }
 
     /// Reset the context, as `cudaDeviceReset` would: the sticky fault is
-    /// cleared, device memory is wiped, loaded kernels and the virtual
-    /// clock are discarded. Existing [`KernelHandle`]s and [`DevPtr`]s
-    /// are invalidated. Host-side knobs (exec options, memcheck, tracing,
-    /// fault plan) survive; the trace buffer restarts empty.
-    pub fn reset(&mut self) {
+    /// cleared, device memory is wiped, loaded kernels, streams and the
+    /// virtual clock are discarded. Existing [`KernelHandle`]s, [`DevPtr`]s,
+    /// [`Stream`]s and [`Event`]s are invalidated. Host-side knobs (exec
+    /// options, memcheck, tracing, fault plan) survive; the trace buffer
+    /// restarts empty.
+    ///
+    /// Enqueued stream work that was never committed to the timeline (for
+    /// example because a fault poisoned the context before the next
+    /// synchronisation point) is *cancelled*, and the returned
+    /// [`ResetReport`] says exactly what was lost — ops per stream plus any
+    /// completed-but-untaken readbacks — so callers can tell a clean reset
+    /// from one that discarded in-flight work.
+    pub fn reset(&mut self) -> ResetReport {
+        let mut cancelled_by_stream: Vec<(u32, usize)> = Vec::new();
+        for p in &self.pending {
+            match cancelled_by_stream.binary_search_by_key(&p.op.stream, |e| e.0) {
+                Ok(i) => cancelled_by_stream[i].1 += 1,
+                Err(i) => cancelled_by_stream.insert(i, (p.op.stream, 1)),
+            }
+        }
+        let report = ResetReport {
+            cancelled_ops: self.pending.len(),
+            cancelled_by_stream,
+            dropped_readbacks: self.readbacks.len(),
+            fault: self.fault.clone(),
+        };
         let cap = self.gmem.capacity();
         self.gmem = GlobalMemory::new(cap);
         self.kernels.clear();
@@ -245,6 +294,11 @@ impl Session {
             t.clear();
         }
         self.fault = None;
+        self.timeline = TimelineState::new();
+        self.pending.clear();
+        self.streams = vec![StreamState::default()];
+        self.readbacks.clear();
+        report
     }
 
     /// Whether the memcheck sanitizer is on for subsequent launches.
@@ -309,9 +363,214 @@ impl Session {
         self.now_ns
     }
 
-    /// Advance the virtual clock.
-    pub fn advance_ns(&mut self, ns: f64) {
-        self.now_ns += ns;
+    /// Advance the host clock to `t_ns` if it is ahead of now. The clock is
+    /// monotonic by construction: all advancement happens here, from
+    /// committed timeline ops, so virtual time can never go backwards or
+    /// skew between streams.
+    fn clock_to(&mut self, t_ns: f64) {
+        if t_ns > self.now_ns {
+            self.now_ns = t_ns;
+        }
+    }
+
+    /// Create a new stream. Work on distinct streams may overlap on the
+    /// virtual timeline wherever it occupies distinct device engines.
+    pub fn create_stream(&mut self) -> Stream {
+        self.streams.push(StreamState::default());
+        Stream((self.streams.len() - 1) as u32)
+    }
+
+    /// Number of streams in the session (including the default stream).
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Enqueued ops not yet committed to the timeline.
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The device fault raised by a launch enqueued on `stream`, if any —
+    /// the per-stream face of the sticky context poison: the whole context
+    /// is lost (CUDA semantics), but this says *which stream* carried the
+    /// faulting launch.
+    pub fn stream_error(&self, stream: Stream) -> Option<&str> {
+        self.streams
+            .get(stream.id() as usize)
+            .and_then(|s| s.error.as_deref())
+    }
+
+    fn stream_state_mut(&mut self, stream: Stream) -> Result<&mut StreamState, RtError> {
+        self.streams
+            .get_mut(stream.id() as usize)
+            .ok_or(RtError::BadStream)
+    }
+
+    /// Enqueue one op on `stream`: assign its per-stream sequence number,
+    /// absorb any recorded cross-stream waits, and defer its timing.
+    fn enqueue_op(
+        &mut self,
+        stream: Stream,
+        resource: TimelineResource,
+        dur_ns: f64,
+        payload: PendingPayload,
+    ) -> Result<Event, RtError> {
+        let ready_ns = self.now_ns;
+        let st = self.stream_state_mut(stream)?;
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let deps = std::mem::take(&mut st.pending_deps);
+        self.pending.push(PendingOp {
+            op: TimelineOp {
+                stream: stream.id(),
+                seq,
+                resource,
+                dur_ns,
+                ready_ns,
+                deps,
+            },
+            payload,
+        });
+        Ok(Event::new(stream.id(), seq))
+    }
+
+    /// Make all *future* work enqueued on `stream` wait until the op
+    /// recorded by `event` has completed on the timeline
+    /// (`cudaStreamWaitEvent` semantics: ordering is transitive through
+    /// in-stream program order, so only the next op carries the edge).
+    pub fn stream_wait_event(&mut self, stream: Stream, event: Event) -> Result<(), RtError> {
+        let src = self
+            .streams
+            .get(event.stream_id() as usize)
+            .ok_or(RtError::BadEvent("unknown stream"))?;
+        if event.seq() >= src.next_seq {
+            return Err(RtError::BadEvent("op was never enqueued"));
+        }
+        self.stream_state_mut(stream)?
+            .pending_deps
+            .push(event.key());
+        Ok(())
+    }
+
+    /// Commit every pending op to the timeline: the deterministic scheduler
+    /// places them per engine, and the placements become trace events. The
+    /// host clock does not move — only synchronisation advances it.
+    fn commit_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let ops: Vec<TimelineOp> = pending.iter().map(|p| p.op.clone()).collect();
+        let mut payloads: BTreeMap<(u32, u64), PendingPayload> = pending
+            .into_iter()
+            .map(|p| ((p.op.stream, p.op.seq), p.payload))
+            .collect();
+        for placed in self.timeline.schedule(&ops) {
+            let payload = payloads
+                .remove(&(placed.stream, placed.seq))
+                .expect("every scheduled op has a payload");
+            if self.trace.is_none() {
+                continue;
+            }
+            match payload {
+                PendingPayload::Transfer { dir, bytes } => {
+                    self.record(SessionEvent::Transfer {
+                        dir,
+                        start_ns: placed.start_ns,
+                        dur_ns: placed.end_ns - placed.start_ns,
+                        bytes,
+                        stream: placed.stream,
+                    });
+                }
+                PendingPayload::Launch {
+                    kernel,
+                    overhead_ns,
+                    kernel_ns,
+                    grid,
+                    block,
+                    stats,
+                    timing,
+                    faults,
+                    cus,
+                } => {
+                    // Memcheck records pin to kernel start, before the
+                    // launch slice itself (matching the synchronous order).
+                    let t = placed.start_ns + overhead_ns;
+                    for f in &faults {
+                        let ev = fault_event(&kernel, t, f, grid, cus, placed.stream);
+                        self.record(ev);
+                    }
+                    self.record(SessionEvent::Launch {
+                        kernel,
+                        start_ns: placed.start_ns,
+                        overhead_ns,
+                        kernel_ns,
+                        grid,
+                        block,
+                        stats: *stats,
+                        timing,
+                        stream: placed.stream,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Block until the op recorded by `event` has completed: commits
+    /// pending work to the timeline and advances the host clock to the
+    /// op's completion time. Returns that completion time.
+    pub fn event_synchronize(&mut self, event: Event) -> Result<f64, RtError> {
+        self.check_live()?;
+        self.commit_pending();
+        let end = self
+            .timeline
+            .op_end_ns(event.stream_id(), event.seq())
+            .ok_or(RtError::BadEvent("op was never enqueued"))?;
+        self.clock_to(end);
+        Ok(end)
+    }
+
+    /// Block until everything enqueued on `stream` has completed. Returns
+    /// the stream's completion time.
+    pub fn stream_synchronize(&mut self, stream: Stream) -> Result<f64, RtError> {
+        self.check_live()?;
+        if stream.id() as usize >= self.streams.len() {
+            return Err(RtError::BadStream);
+        }
+        self.commit_pending();
+        let end = self.timeline.stream_tail_ns(stream.id());
+        self.clock_to(end);
+        Ok(self.now_ns)
+    }
+
+    /// Block until every stream is idle (`cudaDeviceSynchronize`). Returns
+    /// the device-wide completion time.
+    pub fn device_synchronize(&mut self) -> Result<f64, RtError> {
+        self.check_live()?;
+        self.commit_pending();
+        let end = self.timeline.horizon_ns();
+        self.clock_to(end);
+        Ok(self.now_ns)
+    }
+
+    /// Take the bytes staged by an enqueued d2h. Synchronises on `event`
+    /// first, so the virtual clock covers the transfer. Each readback can
+    /// be taken once; a non-d2h event is [`RtError::BadEvent`].
+    pub fn take_readback(&mut self, event: Event) -> Result<Vec<u8>, RtError> {
+        self.event_synchronize(event)?;
+        self.readbacks
+            .remove(&event.key())
+            .ok_or(RtError::BadEvent("no readback staged for this event"))
+    }
+
+    pub(crate) fn stage_readback(&mut self, event: Event, data: Vec<u8>) {
+        self.readbacks.insert(event.key(), data);
+    }
+
+    pub(crate) fn set_stream_error(&mut self, stream: Stream, desc: String) {
+        if let Some(st) = self.streams.get_mut(stream.id() as usize) {
+            st.error.get_or_insert(desc);
+        }
     }
 
     /// Number of kernel launches so far.
@@ -399,10 +658,13 @@ pub trait Gpu {
         Ok(s.gmem.alloc(bytes)?)
     }
 
-    /// Host-to-device transfer of raw bytes. The transfer must fit the
-    /// destination allocation: writing past its end is
-    /// [`RtError::TransferSize`], not silent corruption of a neighbour.
-    fn h2d(&mut self, ptr: DevPtr, data: &[u8]) -> Result<(), RtError> {
+    /// Asynchronous host-to-device transfer on `stream`. The bytes move
+    /// eagerly (enqueue order within a stream *is* execution order); the
+    /// transfer's time on the H2D DMA engine is committed at the next
+    /// synchronisation point. The transfer must fit the destination
+    /// allocation: writing past its end is [`RtError::TransferSize`], not
+    /// silent corruption of a neighbour.
+    fn enqueue_h2d(&mut self, stream: Stream, ptr: DevPtr, data: &[u8]) -> Result<Event, RtError> {
         self.session().check_live()?;
         let s = self.session_mut();
         if let Some((start, bytes)) = s.gmem.alloc_containing(ptr.0) {
@@ -429,43 +691,108 @@ pub trait Gpu {
             _ => s.gmem.copy_in(ptr, data)?,
         }
         let dur = MEMCPY_LATENCY_NS + data.len() as f64 / PCIE_GBS;
-        let start = s.now_ns();
-        s.record(SessionEvent::Transfer {
-            dir: TransferDir::H2D,
-            start_ns: start,
-            dur_ns: dur,
-            bytes: data.len() as u64,
-        });
-        s.advance_ns(dur);
+        s.enqueue_op(
+            stream,
+            TimelineResource::H2dEngine,
+            dur,
+            PendingPayload::Transfer {
+                dir: TransferDir::H2D,
+                bytes: data.len() as u64,
+            },
+        )
+    }
+
+    /// Host-to-device transfer of raw bytes — sugar over the default
+    /// stream: enqueue, then synchronise on the transfer's event, which
+    /// reproduces the fully serial timeline exactly.
+    fn h2d(&mut self, ptr: DevPtr, data: &[u8]) -> Result<(), RtError> {
+        let ev = self.enqueue_h2d(Stream::DEFAULT, ptr, data)?;
+        self.session_mut().event_synchronize(ev)?;
         Ok(())
     }
 
-    /// Device-to-host transfer of raw bytes. The requested length must
-    /// fit the source allocation (see [`Gpu::h2d`]).
-    fn d2h(&mut self, ptr: DevPtr, data: &mut [u8]) -> Result<(), RtError> {
+    /// Asynchronous device-to-host transfer of `bytes` bytes on `stream`.
+    /// The bytes are staged eagerly; [`Gpu::take_readback`] (or the typed
+    /// [`GpuExt::take_readback_t`]) synchronises on the returned event and
+    /// hands them out. The requested length must fit the source allocation
+    /// (see [`Gpu::enqueue_h2d`]).
+    fn enqueue_d2h(&mut self, stream: Stream, ptr: DevPtr, bytes: u64) -> Result<Event, RtError> {
         self.session().check_live()?;
         let s = self.session_mut();
-        if let Some((start, bytes)) = s.gmem.alloc_containing(ptr.0) {
-            let available = start + bytes - ptr.0;
-            if data.len() as u64 > available {
+        if let Some((start, alloc_bytes)) = s.gmem.alloc_containing(ptr.0) {
+            let available = start + alloc_bytes - ptr.0;
+            if bytes > available {
                 return Err(RtError::TransferSize {
                     op: "d2h",
-                    requested: data.len() as u64,
+                    requested: bytes,
                     available,
                 });
             }
         }
-        s.gmem.copy_out(ptr, data)?;
-        let dur = MEMCPY_LATENCY_NS + data.len() as f64 / PCIE_GBS;
-        let start = s.now_ns();
-        s.record(SessionEvent::Transfer {
-            dir: TransferDir::D2H,
-            start_ns: start,
-            dur_ns: dur,
-            bytes: data.len() as u64,
-        });
-        s.advance_ns(dur);
+        let mut data = vec![0u8; bytes as usize];
+        s.gmem.copy_out(ptr, &mut data)?;
+        let dur = MEMCPY_LATENCY_NS + bytes as f64 / PCIE_GBS;
+        let ev = s.enqueue_op(
+            stream,
+            TimelineResource::D2hEngine,
+            dur,
+            PendingPayload::Transfer {
+                dir: TransferDir::D2H,
+                bytes,
+            },
+        )?;
+        s.stage_readback(ev, data);
+        Ok(ev)
+    }
+
+    /// Device-to-host transfer of raw bytes — sugar over the default
+    /// stream (enqueue + synchronise + take).
+    fn d2h(&mut self, ptr: DevPtr, data: &mut [u8]) -> Result<(), RtError> {
+        let ev = self.enqueue_d2h(Stream::DEFAULT, ptr, data.len() as u64)?;
+        let staged = self.session_mut().take_readback(ev)?;
+        data.copy_from_slice(&staged);
         Ok(())
+    }
+
+    /// Create a new stream (see [`Session::create_stream`]).
+    fn create_stream(&mut self) -> Stream {
+        self.session_mut().create_stream()
+    }
+
+    /// Make future work on `stream` wait for `event`
+    /// (see [`Session::stream_wait_event`]).
+    fn stream_wait_event(&mut self, stream: Stream, event: Event) -> Result<(), RtError> {
+        self.session_mut().stream_wait_event(stream, event)
+    }
+
+    /// Wait until the op recorded by `event` completes; returns its virtual
+    /// completion time (see [`Session::event_synchronize`]).
+    fn event_synchronize(&mut self, event: Event) -> Result<f64, RtError> {
+        self.session_mut().event_synchronize(event)
+    }
+
+    /// Wait until everything on `stream` completes
+    /// (see [`Session::stream_synchronize`]).
+    fn stream_synchronize(&mut self, stream: Stream) -> Result<f64, RtError> {
+        self.session_mut().stream_synchronize(stream)
+    }
+
+    /// Wait until every stream is idle
+    /// (see [`Session::device_synchronize`]).
+    fn device_synchronize(&mut self) -> Result<f64, RtError> {
+        self.session_mut().device_synchronize()
+    }
+
+    /// Take the bytes staged by an enqueued d2h
+    /// (see [`Session::take_readback`]).
+    fn take_readback(&mut self, event: Event) -> Result<Vec<u8>, RtError> {
+        self.session_mut().take_readback(event)
+    }
+
+    /// The device fault raised on `stream`, if any
+    /// (see [`Session::stream_error`]).
+    fn stream_error(&self, stream: Stream) -> Option<&str> {
+        self.session().stream_error(stream)
     }
 
     /// The sticky device fault poisoning this context, if any.
@@ -473,9 +800,10 @@ pub trait Gpu {
         self.session().fault()
     }
 
-    /// Reset the context after a device fault (see [`Session::reset`]).
-    fn reset(&mut self) {
-        self.session_mut().reset();
+    /// Reset the context after a device fault; cancels pending stream work
+    /// and reports what was lost (see [`Session::reset`]).
+    fn reset(&mut self) -> ResetReport {
+        self.session_mut().reset()
     }
 
     /// Turn the memcheck sanitizer on or off for subsequent launches
@@ -567,19 +895,30 @@ pub trait Gpu {
         Ok(self.session_mut().load(loaded))
     }
 
-    /// Launch a kernel; advances the virtual clock by the API overhead plus
-    /// the modelled kernel duration. Object-safe core — call sites usually
-    /// prefer [`GpuExt::launch`], which also takes builders by value.
-    fn launch_config(
+    /// Launch a kernel asynchronously on `stream`. The simulator runs
+    /// eagerly — the returned [`LaunchOutcome`] carries the exact report,
+    /// bit-identical to the synchronous path — but the launch's time on the
+    /// compute engine (API submit overhead + modelled kernel duration) is
+    /// committed to the timeline at the next synchronisation point, where
+    /// it may overlap transfers on other streams.
+    ///
+    /// A device fault surfaces immediately as [`RtError::DeviceFault`],
+    /// poisons the context (CUDA sticky semantics) and is recorded as the
+    /// stream's error ([`Gpu::stream_error`]).
+    fn enqueue_launch_config(
         &mut self,
+        stream: Stream,
         h: KernelHandle,
         cfg: &LaunchConfig,
-    ) -> Result<LaunchOutcome, RtError> {
+    ) -> Result<(Event, LaunchOutcome), RtError> {
         self.session().check_live()?;
         let overhead = self.submit_overhead_ns() + self.device().hw_launch_ns;
         {
             let kernel = self.session().kernel(h)?;
             self.validate_launch(kernel, cfg)?;
+        }
+        if stream.id() as usize >= self.session().stream_count() {
+            return Err(RtError::BadStream);
         }
         let s = self.session_mut();
         let action = s
@@ -610,52 +949,73 @@ pub trait Gpu {
                 let mut err = RtError::from(e);
                 if let RtError::DeviceFault { kernel: k, fault } = &mut err {
                     k.clone_from(&name);
-                    let ev =
-                        fault_event(&name, s.now_ns(), fault, cfg.grid, s.device.compute_units);
+                    let ev = fault_event(
+                        &name,
+                        s.now_ns(),
+                        fault,
+                        cfg.grid,
+                        s.device.compute_units,
+                        stream.id(),
+                    );
                     s.record(ev);
                 }
                 if err.is_sticky() {
-                    // CUDA sticky semantics: the context is lost until reset
+                    // CUDA sticky semantics: the context is lost until
+                    // reset, and the stream remembers it carried the fault
                     s.poison(err.to_string());
+                    s.set_stream_error(stream, err.to_string());
                 }
                 return Err(err);
             }
         };
-        // Memcheck records: suppressed access faults, pinned to kernel start.
-        if !report.faults.is_empty() && s.tracing() {
-            let t = s.now_ns() + overhead;
-            let cus = s.device.compute_units;
-            let evs: Vec<SessionEvent> = report
-                .faults
-                .iter()
-                .map(|f| fault_event(&name, t, f, cfg.grid, cus))
-                .collect();
-            for ev in evs {
-                s.record(ev);
-            }
-        }
         s.launches += 1;
         s.kernel_ns_total += report.timing.total_ns;
         s.profile_total.accumulate(&report.profile);
-        if s.tracing() {
-            let name = s.kernels[h.0].name.clone();
-            let start = s.now_ns();
-            s.record(SessionEvent::Launch {
+        // Memcheck-suppressed faults ride in the payload; they are pinned
+        // to the scheduled kernel start when the op commits.
+        let faults = if s.tracing() && !report.faults.is_empty() {
+            report.faults.clone()
+        } else {
+            Vec::new()
+        };
+        let ev = s.enqueue_op(
+            stream,
+            TimelineResource::Compute,
+            overhead + report.timing.total_ns,
+            PendingPayload::Launch {
                 kernel: name,
-                start_ns: start,
                 overhead_ns: overhead,
                 kernel_ns: report.timing.total_ns,
                 grid: cfg.grid,
                 block: cfg.block,
-                stats: report.stats.clone(),
+                stats: Box::new(report.stats.clone()),
                 timing: report.timing,
-            });
-        }
-        s.advance_ns(overhead + report.timing.total_ns);
-        Ok(LaunchOutcome {
-            report,
-            overhead_ns: overhead,
-        })
+                faults,
+                cus: s.device.compute_units,
+            },
+        )?;
+        Ok((
+            ev,
+            LaunchOutcome {
+                report,
+                overhead_ns: overhead,
+            },
+        ))
+    }
+
+    /// Launch a kernel synchronously — sugar over the default stream:
+    /// enqueue, then synchronise on the launch's event, advancing the
+    /// virtual clock by the API overhead plus the modelled kernel duration.
+    /// Object-safe core — call sites usually prefer [`GpuExt::launch`],
+    /// which also takes builders by value.
+    fn launch_config(
+        &mut self,
+        h: KernelHandle,
+        cfg: &LaunchConfig,
+    ) -> Result<LaunchOutcome, RtError> {
+        let (ev, outcome) = self.enqueue_launch_config(Stream::DEFAULT, h, cfg)?;
+        self.session_mut().event_synchronize(ev)?;
+        Ok(outcome)
     }
 }
 
@@ -713,6 +1073,77 @@ pub trait GpuExt: Gpu {
     /// Download a typed buffer in full.
     fn d2h_buf<T: DeviceScalar>(&mut self, buf: &Buffer<T>) -> Result<Vec<T>, RtError> {
         self.d2h_t(buf.ptr(), buf.len())
+    }
+
+    /// Enqueue a launch on `stream` from anything convertible to a
+    /// [`LaunchConfig`] (see [`Gpu::enqueue_launch_config`]).
+    fn enqueue_launch(
+        &mut self,
+        stream: Stream,
+        h: KernelHandle,
+        cfg: impl Into<LaunchConfig>,
+    ) -> Result<(Event, LaunchOutcome), RtError> {
+        let cfg = cfg.into();
+        self.enqueue_launch_config(stream, h, &cfg)
+    }
+
+    /// Enqueue a typed upload on `stream`.
+    fn enqueue_h2d_t<T: DeviceScalar>(
+        &mut self,
+        stream: Stream,
+        ptr: DevPtr,
+        data: &[T],
+    ) -> Result<Event, RtError> {
+        let mut bytes = Vec::with_capacity(data.len() * T::BYTES);
+        for v in data {
+            v.write_le(&mut bytes);
+        }
+        self.enqueue_h2d(stream, ptr, &bytes)
+    }
+
+    /// Enqueue a typed upload into a buffer on `stream`. `data` outgrowing
+    /// the buffer is [`RtError::TransferSize`], not a panic.
+    fn enqueue_h2d_buf<T: DeviceScalar>(
+        &mut self,
+        stream: Stream,
+        buf: &Buffer<T>,
+        data: &[T],
+    ) -> Result<Event, RtError> {
+        if data.len() > buf.len() {
+            return Err(RtError::TransferSize {
+                op: "h2d_buf",
+                requested: (data.len() * T::BYTES) as u64,
+                available: buf.bytes(),
+            });
+        }
+        self.enqueue_h2d_t(stream, buf.ptr(), data)
+    }
+
+    /// Enqueue a typed download of `len` elements on `stream`; the data
+    /// comes back through [`GpuExt::take_readback_t`].
+    fn enqueue_d2h_t<T: DeviceScalar>(
+        &mut self,
+        stream: Stream,
+        ptr: DevPtr,
+        len: usize,
+    ) -> Result<Event, RtError> {
+        self.enqueue_d2h(stream, ptr, (len * T::BYTES) as u64)
+    }
+
+    /// Enqueue a full typed-buffer download on `stream`.
+    fn enqueue_d2h_buf<T: DeviceScalar>(
+        &mut self,
+        stream: Stream,
+        buf: &Buffer<T>,
+    ) -> Result<Event, RtError> {
+        self.enqueue_d2h_t::<T>(stream, buf.ptr(), buf.len())
+    }
+
+    /// Take a typed readback staged by [`GpuExt::enqueue_d2h_t`] /
+    /// [`GpuExt::enqueue_d2h_buf`]; synchronises on `event` first.
+    fn take_readback_t<T: DeviceScalar>(&mut self, event: Event) -> Result<Vec<T>, RtError> {
+        let bytes = self.take_readback(event)?;
+        Ok(bytes.chunks_exact(T::BYTES).map(T::from_le).collect())
     }
 }
 

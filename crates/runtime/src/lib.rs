@@ -28,6 +28,7 @@ pub mod error;
 pub mod gpu;
 pub mod inject;
 pub mod opencl;
+pub mod stream;
 
 pub use buffer::{Buffer, DeviceScalar};
 pub use cuda::{Cuda, CUDA_SUBMIT_NS};
@@ -38,6 +39,7 @@ pub use gpu::{
 };
 pub use inject::FaultPlan;
 pub use opencl::{OpenCl, OPENCL_SUBMIT_NS, SPE_USABLE_LOCAL_STORE};
+pub use stream::{Event, ResetReport, Stream};
 
 #[cfg(test)]
 mod tests {

@@ -48,4 +48,4 @@ pub use launch::{
 };
 pub use mem::{DevPtr, GlobalMemory, WriteOverlay};
 pub use stats::{CounterSet, ExecStats};
-pub use timing::kernel_time_ns;
+pub use timing::{kernel_time_ns, ScheduledOp, TimelineOp, TimelineResource, TimelineState};

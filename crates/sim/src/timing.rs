@@ -155,6 +155,194 @@ pub fn kernel_time(
     }
 }
 
+// ---------------------------------------------------------------------------
+// The stream timeline scheduler.
+// ---------------------------------------------------------------------------
+
+/// A hardware engine of the virtual device timeline. Transfers and kernels
+/// enqueued on different streams overlap exactly when they occupy different
+/// engines: the model has one DMA engine per direction (the Fermi-era dual
+/// copy engines) and one compute engine that serialises kernel launches,
+/// which is the paper-era concurrency model (no concurrent kernels).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TimelineResource {
+    /// Host→device DMA engine.
+    H2dEngine,
+    /// Device→host DMA engine.
+    D2hEngine,
+    /// The compute engine (kernel launches).
+    Compute,
+}
+
+impl TimelineResource {
+    /// Number of distinct resources.
+    pub const COUNT: usize = 3;
+
+    /// Dense index for per-resource tables.
+    pub fn index(self) -> usize {
+        match self {
+            TimelineResource::H2dEngine => 0,
+            TimelineResource::D2hEngine => 1,
+            TimelineResource::Compute => 2,
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TimelineResource::H2dEngine => "H2D engine",
+            TimelineResource::D2hEngine => "D2H engine",
+            TimelineResource::Compute => "compute",
+        }
+    }
+}
+
+/// One enqueued operation awaiting placement on the timeline.
+///
+/// Ops are identified by `(stream, seq)` where `seq` is the dense per-stream
+/// enqueue counter; that pair is also what completion events reference, so a
+/// schedule depends only on the *op set and its dependencies*, never on the
+/// host-side interleaving that produced it.
+#[derive(Clone, Debug)]
+pub struct TimelineOp {
+    /// Owning stream id.
+    pub stream: u32,
+    /// Dense per-stream sequence number (enqueue order within the stream).
+    pub seq: u64,
+    /// Engine this op occupies.
+    pub resource: TimelineResource,
+    /// Occupancy duration in virtual ns.
+    pub dur_ns: f64,
+    /// Earliest possible start (the host clock when the op was enqueued).
+    pub ready_ns: f64,
+    /// Cross-stream waits: `(stream, seq)` ops that must complete first.
+    pub deps: Vec<(u32, u64)>,
+}
+
+/// Placement of one op on the timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScheduledOp {
+    /// Owning stream id.
+    pub stream: u32,
+    /// Per-stream sequence number.
+    pub seq: u64,
+    /// Engine the op ran on.
+    pub resource: TimelineResource,
+    /// Scheduled start, ns.
+    pub start_ns: f64,
+    /// Scheduled end, ns.
+    pub end_ns: f64,
+}
+
+/// Persistent scheduler state: per-engine availability and completion times
+/// of every committed op, carried across synchronisation points.
+///
+/// [`TimelineState::schedule`] is deterministic **list scheduling**: among
+/// the ops whose in-stream predecessor and declared dependencies are
+/// committed, it repeatedly commits the one with the earliest feasible start
+/// (ties broken by stream id, then sequence number). The result is a pure
+/// function of the op set — bit-identical for any host thread count and any
+/// dependency-equivalent enqueue interleaving.
+#[derive(Clone, Debug, Default)]
+pub struct TimelineState {
+    resource_free: [f64; TimelineResource::COUNT],
+    stream_tail: std::collections::BTreeMap<u32, f64>,
+    committed_seq: std::collections::BTreeMap<u32, u64>,
+    op_end: std::collections::BTreeMap<(u32, u64), f64>,
+}
+
+impl TimelineState {
+    /// Fresh, empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// When `resource` is next free.
+    pub fn resource_free_ns(&self, resource: TimelineResource) -> f64 {
+        self.resource_free[resource.index()]
+    }
+
+    /// End of the last committed op on `stream` (0.0 if none).
+    pub fn stream_tail_ns(&self, stream: u32) -> f64 {
+        self.stream_tail.get(&stream).copied().unwrap_or(0.0)
+    }
+
+    /// Completion time of a committed op, if committed.
+    pub fn op_end_ns(&self, stream: u32, seq: u64) -> Option<f64> {
+        self.op_end.get(&(stream, seq)).copied()
+    }
+
+    /// Latest committed completion time across all engines.
+    pub fn horizon_ns(&self) -> f64 {
+        self.resource_free
+            .iter()
+            .copied()
+            .fold(0.0f64, |a, b| a.max(b))
+    }
+
+    /// Place `ops` on the timeline and commit them, returning the placements
+    /// in commit order.
+    ///
+    /// Panics if a dependency refers to an op that is neither committed nor
+    /// part of `ops` (a runtime-layer bug: event handles only exist for
+    /// enqueued ops).
+    pub fn schedule(&mut self, ops: &[TimelineOp]) -> Vec<ScheduledOp> {
+        // Canonical working order: (stream, seq). This makes the selection
+        // below independent of the order `ops` arrived in.
+        let mut pending: Vec<&TimelineOp> = ops.iter().collect();
+        pending.sort_by_key(|o| (o.stream, o.seq));
+        let mut out = Vec::with_capacity(ops.len());
+        while !pending.is_empty() {
+            // (start, stream, seq, index-into-pending) of the best candidate.
+            let mut best: Option<(f64, u32, u64, usize)> = None;
+            for (i, op) in pending.iter().enumerate() {
+                // In-stream program order: only the next uncommitted seq of
+                // each stream is eligible.
+                let next = self.committed_seq.get(&op.stream).copied().unwrap_or(0);
+                if op.seq != next {
+                    continue;
+                }
+                // Declared cross-stream dependencies must be committed.
+                let mut ready = op.ready_ns.max(self.stream_tail_ns(op.stream));
+                let mut deps_met = true;
+                for &(ds, dq) in &op.deps {
+                    match self.op_end.get(&(ds, dq)) {
+                        Some(&end) => ready = ready.max(end),
+                        None => {
+                            deps_met = false;
+                            break;
+                        }
+                    }
+                }
+                if !deps_met {
+                    continue;
+                }
+                let start = ready.max(self.resource_free[op.resource.index()]);
+                let key = (start, op.stream, op.seq);
+                if best.is_none_or(|(s, st, sq, _)| key < (s, st, sq)) {
+                    best = Some((start, op.stream, op.seq, i));
+                }
+            }
+            let (start, _, _, idx) = best
+                .expect("timeline deadlock: a pending op depends on an op that was never enqueued");
+            let op = pending.remove(idx);
+            let end = start + op.dur_ns;
+            self.resource_free[op.resource.index()] = end;
+            self.stream_tail.insert(op.stream, end);
+            self.committed_seq.insert(op.stream, op.seq + 1);
+            self.op_end.insert((op.stream, op.seq), end);
+            out.push(ScheduledOp {
+                stream: op.stream,
+                seq: op.seq,
+                resource: op.resource,
+                start_ns: start,
+                end_ns: end,
+            });
+        }
+        out
+    }
+}
+
 /// Convenience wrapper returning only nanoseconds.
 pub fn kernel_time_ns(
     device: &DeviceSpec,
@@ -273,5 +461,128 @@ mod tests {
         let d = DeviceSpec::gtx480();
         let t = kernel_time(&d, &ExecStats::default(), 32, 1, 8, 0);
         assert!(t.total_ns >= PIPELINE_NS);
+    }
+
+    fn op(
+        stream: u32,
+        seq: u64,
+        resource: TimelineResource,
+        dur_ns: f64,
+        deps: &[(u32, u64)],
+    ) -> TimelineOp {
+        TimelineOp {
+            stream,
+            seq,
+            resource,
+            dur_ns,
+            ready_ns: 0.0,
+            deps: deps.to_vec(),
+        }
+    }
+
+    #[test]
+    fn two_streams_overlap_transfers_with_compute() {
+        use TimelineResource::*;
+        // One stream: h2d(100) -> launch(200) -> h2d(100) -> launch(200)
+        let mut serial = TimelineState::new();
+        let s = serial.schedule(&[
+            op(0, 0, H2dEngine, 100.0, &[]),
+            op(0, 1, Compute, 200.0, &[]),
+            op(0, 2, H2dEngine, 100.0, &[]),
+            op(0, 3, Compute, 200.0, &[]),
+        ]);
+        assert_eq!(s.last().unwrap().end_ns, 600.0);
+
+        // Two streams: the second chunk's upload overlaps the first chunk's
+        // kernel, so the pipeline finishes one transfer earlier.
+        let mut piped = TimelineState::new();
+        let p = piped.schedule(&[
+            op(1, 0, H2dEngine, 100.0, &[]),
+            op(1, 1, Compute, 200.0, &[]),
+            op(2, 0, H2dEngine, 100.0, &[]),
+            op(2, 1, Compute, 200.0, &[]),
+        ]);
+        let end = p.iter().map(|o| o.end_ns).fold(0.0f64, f64::max);
+        assert_eq!(end, 500.0, "upload of chunk 2 hides behind kernel 1");
+        // The overlap is real: stream 2's upload starts before stream 1's
+        // kernel ends.
+        let k1_end = piped.op_end_ns(1, 1).unwrap();
+        let u2 = p.iter().find(|o| o.stream == 2 && o.seq == 0).unwrap();
+        assert!(u2.start_ns < k1_end);
+    }
+
+    #[test]
+    fn same_resource_never_overlaps() {
+        use TimelineResource::*;
+        let mut t = TimelineState::new();
+        let p = t.schedule(&[op(1, 0, Compute, 300.0, &[]), op(2, 0, Compute, 300.0, &[])]);
+        assert_eq!(p[0].end_ns, 300.0);
+        assert_eq!(
+            p[1].start_ns, 300.0,
+            "one compute engine serialises kernels"
+        );
+    }
+
+    #[test]
+    fn schedule_is_invariant_to_enqueue_interleaving() {
+        use TimelineResource::*;
+        let ops = [
+            op(1, 0, H2dEngine, 123.0, &[]),
+            op(1, 1, Compute, 456.0, &[]),
+            op(1, 2, D2hEngine, 78.0, &[]),
+            op(2, 0, H2dEngine, 200.0, &[]),
+            op(2, 1, Compute, 100.0, &[(1, 1)]),
+            op(2, 2, D2hEngine, 90.0, &[]),
+        ];
+        let mut a = TimelineState::new();
+        let mut fwd = a.schedule(&ops);
+        // A dependency-equivalent interleaving: streams swapped in arrival
+        // order, in-stream order preserved.
+        let shuffled = [
+            ops[3].clone(),
+            ops[0].clone(),
+            ops[4].clone(),
+            ops[5].clone(),
+            ops[1].clone(),
+            ops[2].clone(),
+        ];
+        let mut b = TimelineState::new();
+        let mut rev = b.schedule(&shuffled);
+        fwd.sort_by_key(|o| (o.stream, o.seq));
+        rev.sort_by_key(|o| (o.stream, o.seq));
+        assert_eq!(fwd, rev, "placement must be bit-identical");
+    }
+
+    #[test]
+    fn cross_stream_wait_orders_consumer_after_producer() {
+        use TimelineResource::*;
+        let mut t = TimelineState::new();
+        let p = t.schedule(&[
+            op(1, 0, H2dEngine, 500.0, &[]),
+            op(2, 0, Compute, 100.0, &[(1, 0)]),
+        ]);
+        let producer = p.iter().find(|o| o.stream == 1).unwrap();
+        let consumer = p.iter().find(|o| o.stream == 2).unwrap();
+        assert!(consumer.start_ns >= producer.end_ns);
+    }
+
+    #[test]
+    fn state_persists_across_sync_points() {
+        use TimelineResource::*;
+        let mut t = TimelineState::new();
+        t.schedule(&[op(1, 0, Compute, 400.0, &[])]);
+        // A later batch on another stream still queues behind the engine.
+        let p = t.schedule(&[op(2, 0, Compute, 100.0, &[])]);
+        assert_eq!(p[0].start_ns, 400.0);
+        assert_eq!(t.horizon_ns(), 500.0);
+        assert_eq!(t.stream_tail_ns(1), 400.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "timeline deadlock")]
+    fn dangling_dependency_panics() {
+        use TimelineResource::*;
+        let mut t = TimelineState::new();
+        t.schedule(&[op(1, 0, Compute, 1.0, &[(9, 9)])]);
     }
 }

@@ -14,6 +14,13 @@
 //! - counter (`C`) tracks sampled at every kernel boundary: DRAM
 //!   bandwidth, L1/L2 hit rates, and achieved occupancy.
 //!
+//! Work enqueued on an **explicit stream** (id > 0) gets its *own* track
+//! (`Stream 1`, `Stream 2`, …) carrying that stream's transfers and
+//! launches, so cross-stream overlap is visible as side-by-side slices —
+//! while each individual track stays physically serial (slices within one
+//! track never overlap). Default-stream work keeps the per-engine tracks
+//! above, and only default-stream launches drive the counter tracks.
+//!
 //! Timestamps are the session's virtual nanoseconds divided by 1000
 //! (the format counts microseconds); fractional values are allowed by
 //! the format and preserved by Perfetto.
@@ -30,6 +37,9 @@ const CU_TID0: i64 = 10;
 const PCIE_TID: i64 = 2;
 /// Thread id of the API/launch-overhead track.
 const API_TID: i64 = 3;
+/// Thread-id base for explicit-stream tracks (tid = STREAM_TID0 + stream
+/// id; safely above any realistic CU count).
+const STREAM_TID0: i64 = 100;
 
 fn ev_meta(name: &str, tid: i64, value: &str) -> Json {
     Json::obj([
@@ -76,14 +86,15 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
     out.push(ev_meta("process_name", 0, device.name));
     out.push(ev_meta("thread_name", PCIE_TID, "PCIe"));
     out.push(ev_meta("thread_name", API_TID, "API"));
-    // Name only the CU tracks the trace actually uses.
+    // Name only the CU tracks the trace actually uses (default-stream
+    // work), plus one track per explicit stream that appears.
     let max_cu = events
         .iter()
         .filter_map(|e| match e {
-            SessionEvent::Launch { grid, .. } => {
-                Some((grid.count().min(device.compute_units as u64)).max(1) as u32)
-            }
-            SessionEvent::Fault { cu, .. } => Some(cu + 1),
+            SessionEvent::Launch {
+                grid, stream: 0, ..
+            } => Some((grid.count().min(device.compute_units as u64)).max(1) as u32),
+            SessionEvent::Fault { cu, stream: 0, .. } => Some(cu + 1),
             _ => None,
         })
         .max()
@@ -95,6 +106,24 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
             &format!("CU {cu}"),
         ));
     }
+    let mut stream_ids: Vec<u32> = events
+        .iter()
+        .map(|e| match e {
+            SessionEvent::Launch { stream, .. }
+            | SessionEvent::Transfer { stream, .. }
+            | SessionEvent::Fault { stream, .. } => *stream,
+        })
+        .filter(|&s| s > 0)
+        .collect();
+    stream_ids.sort_unstable();
+    stream_ids.dedup();
+    for s in &stream_ids {
+        out.push(ev_meta(
+            "thread_name",
+            STREAM_TID0 + *s as i64,
+            &format!("Stream {s}"),
+        ));
+    }
 
     for e in events {
         match e {
@@ -103,15 +132,21 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
                 start_ns,
                 dur_ns,
                 bytes,
+                stream,
             } => {
                 let name = match dir {
                     TransferDir::H2D => "memcpy H2D",
                     TransferDir::D2H => "memcpy D2H",
                 };
+                let tid = if *stream == 0 {
+                    PCIE_TID
+                } else {
+                    STREAM_TID0 + *stream as i64
+                };
                 let gbs = *bytes as f64 / dur_ns.max(1.0);
                 out.push(ev_slice(
                     name,
-                    PCIE_TID,
+                    tid,
                     *start_ns,
                     *dur_ns,
                     Json::obj([("bytes", (*bytes).into()), ("GB/s", Json::Num(gbs))]),
@@ -126,18 +161,8 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
                 block,
                 stats,
                 timing,
+                stream,
             } => {
-                out.push(ev_slice(
-                    &format!("launch {kernel}"),
-                    API_TID,
-                    *start_ns,
-                    *overhead_ns,
-                    Json::obj([("overhead_ns", Json::Num(*overhead_ns))]),
-                ));
-                let kstart = start_ns + overhead_ns;
-                // Blocks spread round-robin over the CUs; every occupied CU
-                // is busy for the whole modelled kernel duration.
-                let cus = (grid.count().min(device.compute_units as u64)).max(1) as u32;
                 let args = Json::obj([
                     (
                         "grid",
@@ -153,6 +178,35 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
                     ("dram_bytes", stats.dram_bytes().into()),
                     ("l2_hit_rate", Json::Num(stats.l2_hit_rate())),
                 ]);
+                if *stream > 0 {
+                    // Explicit-stream launch: one slice on the stream's own
+                    // track spanning submit overhead + kernel, so overlap
+                    // with other streams shows without ever stacking slices
+                    // within one track.
+                    let mut a = args.clone();
+                    if let Json::Obj(fields) = &mut a {
+                        fields.push(("overhead_ns".to_string(), Json::Num(*overhead_ns)));
+                    }
+                    out.push(ev_slice(
+                        kernel,
+                        STREAM_TID0 + *stream as i64,
+                        *start_ns,
+                        overhead_ns + kernel_ns,
+                        a,
+                    ));
+                    continue;
+                }
+                out.push(ev_slice(
+                    &format!("launch {kernel}"),
+                    API_TID,
+                    *start_ns,
+                    *overhead_ns,
+                    Json::obj([("overhead_ns", Json::Num(*overhead_ns))]),
+                ));
+                let kstart = start_ns + overhead_ns;
+                // Blocks spread round-robin over the CUs; every occupied CU
+                // is busy for the whole modelled kernel duration.
+                let cus = (grid.count().min(device.compute_units as u64)).max(1) as u32;
                 for cu in 0..cus {
                     out.push(ev_slice(
                         kernel,
@@ -183,10 +237,11 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
                 block,
                 thread,
                 cu,
+                stream,
             } => {
                 // Instant event on the CU track that ran the faulting
-                // block, so the fault lands on the offending lane of the
-                // timeline.
+                // block (default stream) or on the stream's own track, so
+                // the fault lands on the offending lane of the timeline.
                 let mut args = vec![("fault".to_string(), Json::Str(desc.clone()))];
                 if let Some(pc) = pc {
                     args.push(("pc".to_string(), (*pc as u64).into()));
@@ -203,6 +258,11 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
                         Json::Str(format!("{},{},{}", t[0], t[1], t[2])),
                     ));
                 }
+                let tid = if *stream == 0 {
+                    CU_TID0 + *cu as i64
+                } else {
+                    STREAM_TID0 + *stream as i64
+                };
                 out.push(Json::obj([
                     ("name", Json::Str(format!("FAULT {kernel}"))),
                     ("cat", "gpucmp".into()),
@@ -210,7 +270,7 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
                     ("s", "t".into()),
                     ("ts", Json::Num(t_ns / 1000.0)),
                     ("pid", Json::Int(PID)),
-                    ("tid", Json::Int(CU_TID0 + *cu as i64)),
+                    ("tid", Json::Int(tid)),
                     ("args", Json::Obj(args)),
                 ]));
             }

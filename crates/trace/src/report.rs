@@ -13,9 +13,11 @@ use gpucmp_sim::CounterSet;
 
 /// Report schema version; bump on breaking layout changes. Version 2
 /// added per-run fault status (`status`/`fault`/`attempts`) for graceful
-/// campaign degradation; version-1 documents still parse (status defaults
-/// to `"ok"`).
-pub const SCHEMA_VERSION: i64 = 2;
+/// campaign degradation; version 3 added incremental-campaign support
+/// (`input_hash`/`cached` per run) so unchanged cells can be reused from
+/// a previous report. Older documents still parse (status defaults to
+/// `"ok"`, `input_hash` to empty, `cached` to false).
+pub const SCHEMA_VERSION: i64 = 3;
 /// Oldest schema version [`BenchReport::from_text`] still accepts.
 pub const MIN_SCHEMA_VERSION: i64 = 1;
 
@@ -57,6 +59,13 @@ pub struct BenchRun {
     /// Attempts consumed (1 = first try succeeded; >1 = bounded retry
     /// recovered or, for skipped runs, every retry failed).
     pub attempts: u32,
+    /// Hex fingerprint of everything that determines this cell's numbers
+    /// (benchmark, device, API, scale, fault settings, model revision).
+    /// Empty in pre-v3 reports — such rows never match a cache lookup.
+    pub input_hash: String,
+    /// Whether this row was reused from a previous report (same
+    /// `input_hash`) instead of being re-executed.
+    pub cached: bool,
 }
 
 impl BenchRun {
@@ -103,6 +112,11 @@ impl BenchReport {
         self.runs.iter().any(|r| !r.is_ok())
     }
 
+    /// Number of runs reused from a previous report's cache.
+    pub fn cache_hits(&self) -> usize {
+        self.runs.iter().filter(|r| r.cached).count()
+    }
+
     /// Find a run.
     pub fn run(&self, bench: &str, device: &str, api: &str) -> Option<&BenchRun> {
         self.runs
@@ -143,6 +157,8 @@ impl BenchReport {
                         },
                     ),
                     ("attempts", (r.attempts as u64).into()),
+                    ("input_hash", r.input_hash.as_str().into()),
+                    ("cached", r.cached.into()),
                     (
                         "counters",
                         Json::Obj(
@@ -253,6 +269,14 @@ impl BenchReport {
                     .to_string(),
                 fault: r.get("fault").and_then(Json::as_str).map(str::to_string),
                 attempts: r.get("attempts").and_then(Json::as_f64).unwrap_or(1.0) as u32,
+                // schema-1/2 reports predate incremental campaigns: no
+                // fingerprint (never cache-matches), not cached
+                input_hash: r
+                    .get("input_hash")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                cached: r.get("cached").and_then(Json::as_bool).unwrap_or(false),
             });
         }
         let mut prs = Vec::new();
@@ -392,6 +416,8 @@ mod tests {
                 status: RUN_OK.to_string(),
                 fault: None,
                 attempts: 1,
+                input_hash: "00f1e2d3c4b5a697".into(),
+                cached: true,
             }],
             prs: vec![PrEntry {
                 bench: "BFS".into(),
@@ -413,12 +439,31 @@ mod tests {
         let pr = parsed.pr("BFS", "GTX280").unwrap();
         assert_eq!(pr.pr, 0.63);
         assert_eq!(pr.dominant_counter, "launch_overhead_ns");
+        assert_eq!(run.input_hash, "00f1e2d3c4b5a697");
+        assert!(run.cached);
+        assert_eq!(parsed.cache_hits(), 1);
     }
 
     #[test]
     fn wrong_schema_is_rejected() {
         assert!(BenchReport::from_text("{\"schema\":99,\"runs\":[],\"prs\":[]}").is_err());
         assert!(BenchReport::from_text("not json").is_err());
+    }
+
+    #[test]
+    fn pre_v3_reports_parse_with_empty_cache_fields() {
+        let text = r#"{"schema":2,"scale":"quick","fault_seed":null,
+            "runs":[{"bench":"MxM","device":"GTX480","api":"CUDA",
+                     "value":1.5,"unit":"GFlops/s","verified":true,
+                     "wall_ns":1e6,"kernel_ns":9e5,"launches":1,
+                     "sim_cycles":1e5,"status":"ok","fault":null,
+                     "attempts":1,"counters":{}}],
+            "prs":[]}"#;
+        let parsed = BenchReport::from_text(text).unwrap();
+        let run = parsed.run("MxM", "GTX480", "CUDA").unwrap();
+        assert_eq!(run.input_hash, "");
+        assert!(!run.cached);
+        assert_eq!(parsed.cache_hits(), 0);
     }
 
     #[test]

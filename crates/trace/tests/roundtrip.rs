@@ -175,6 +175,96 @@ fn memcheck_faults_export_as_instant_events_on_cu_tracks() {
 }
 
 #[test]
+fn explicit_streams_get_their_own_tracks_with_visible_overlap() {
+    use gpucmp_benchmarks::mxm::MxM;
+
+    // A two-stream MxM run: every transfer and launch rides an explicit
+    // stream, so the trace must carry "Stream N" tracks instead of the
+    // per-engine ones.
+    let device = DeviceSpec::gtx480();
+    let mut gpu = Cuda::new(device.clone()).expect("NVIDIA device");
+    gpu.set_tracing(true);
+    MxM::new(Scale::Paper)
+        .with_streams(true)
+        .run(&mut gpu)
+        .expect("MxM run");
+
+    let doc = chrome_trace(&device, gpu.trace_events());
+    let parsed = parse(&doc.to_text()).expect("valid JSON");
+    let tev = parsed.get("traceEvents").and_then(Json::as_arr).unwrap();
+
+    // Both stream tracks are named.
+    for name in ["Stream 1", "Stream 2"] {
+        assert!(
+            tev.iter().any(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("M")
+                    && e.get("name").and_then(Json::as_str) == Some("thread_name")
+                    && e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        == Some(name)
+            }),
+            "missing {name} track"
+        );
+    }
+
+    // Collect slices per stream track (tid >= 100).
+    let mut by_tid: std::collections::BTreeMap<i64, Vec<(f64, f64)>> = Default::default();
+    for e in tev {
+        if e.get("ph").and_then(Json::as_str) == Some("X") {
+            let tid = e.get("tid").and_then(Json::as_i64).unwrap();
+            if tid >= 100 {
+                let ts = e.get("ts").and_then(Json::as_f64).unwrap();
+                let dur = e.get("dur").and_then(Json::as_f64).unwrap();
+                by_tid.entry(tid).or_default().push((ts, ts + dur));
+            }
+        }
+    }
+    assert_eq!(by_tid.len(), 2, "slices on exactly two stream tracks");
+    // Each stream's kernel slice is present (launch slices carry the
+    // kernel name on stream tracks).
+    let kernel_slices = tev
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("name").and_then(Json::as_str) == Some("matrix_mul")
+        })
+        .count();
+    assert_eq!(kernel_slices, 2, "one kernel slice per panel");
+
+    // Within a track the timeline stays physical (no stacked slices)...
+    for (tid, spans) in by_tid.iter_mut() {
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in spans.windows(2) {
+            assert!(
+                w[1].0 >= w[0].1 - 1e-9,
+                "overlapping slices on tid {tid}: {w:?}"
+            );
+        }
+    }
+    // ...but across the two tracks the pipeline overlap is visible:
+    // some slice on stream 1 runs concurrently with one on stream 2.
+    let (a, b) = {
+        let mut it = by_tid.values();
+        (it.next().unwrap(), it.next().unwrap())
+    };
+    let overlap = a
+        .iter()
+        .any(|&(s1, e1)| b.iter().any(|&(s2, e2)| s1 < e2 && s2 < e1));
+    assert!(overlap, "streams must visibly overlap: {a:?} vs {b:?}");
+
+    // Stream launches don't paint CU tracks or drive the counters —
+    // those stay reserved for default-stream work.
+    assert!(!tev.iter().any(|e| {
+        let tid = e.get("tid").and_then(Json::as_i64).unwrap_or(-1);
+        e.get("ph").and_then(Json::as_str) == Some("X") && (10..100).contains(&tid)
+    }));
+    assert!(!tev
+        .iter()
+        .any(|e| e.get("ph").and_then(Json::as_str) == Some("C")));
+}
+
+#[test]
 fn untraced_sessions_record_nothing() {
     let device = DeviceSpec::gtx480();
     let mut gpu = Cuda::new(device.clone()).expect("NVIDIA device");
