@@ -9,7 +9,8 @@
 //! results of Fang et al. that must survive any simulator or benchmark
 //! change, at either problem scale:
 //!
-//! - the full 16 x {GTX280, GTX480} x {CUDA, OpenCL} matrix ran and
+//! - the full 19 x {GTX280, GTX480} x {CUDA, OpenCL} matrix (the 16
+//!   paper benchmarks plus the three explicit-stream variants) ran and
 //!   every run verified against its CPU reference;
 //! - Sobel on the GTX280 has PR > 1 (the unmodified OpenCL version uses
 //!   constant memory, the CUDA one does not — Fig. 8);
@@ -19,7 +20,10 @@
 //!   via texture memory — Figs. 4/5);
 //! - the synthetic peak benchmarks are API-neutral (PR within 15 % of
 //!   1 — Figs. 1/2);
-//! - every run carries a populated hardware-counter set.
+//! - every run carries a populated hardware-counter set;
+//! - when the report carries a tier speed matrix (`sim_speed`, schema
+//!   v4), the fused execution tier is no slower than the interpreter on
+//!   every benchmark.
 //!
 //! # Fault-skipped runs vs regressions
 //!
@@ -44,8 +48,9 @@
 use gpucmp_trace::BenchReport;
 use std::process::ExitCode;
 
-/// Expected campaign shape.
-const BENCHES: usize = 16;
+/// Expected campaign shape: the 16 paper benchmarks plus the three
+/// explicit-stream variants (BFS, MxM, FDTD).
+const BENCHES: usize = 19;
 const DEVICES: [&str; 2] = ["GTX280", "GTX480"];
 const APIS: [&str; 2] = ["CUDA", "OpenCL"];
 
@@ -111,7 +116,7 @@ pub fn check_with_cache_floor(report: &BenchReport, min_cache_hits: Option<usize
     let want_runs = BENCHES * DEVICES.len() * APIS.len();
     if report.runs.len() != want_runs {
         res.errors.push(format!(
-            "expected {want_runs} runs (16 benchmarks x 2 devices x 2 APIs), found {}",
+            "expected {want_runs} runs (19 benchmarks x 2 devices x 2 APIs), found {}",
             report.runs.len()
         ));
     }
@@ -235,6 +240,20 @@ pub fn check_with_cache_floor(report: &BenchReport, min_cache_hits: Option<usize
         }
     }
 
+    // Schema v4: when the report carries a tier speed matrix, the fused
+    // tier must not lose to the interpreter anywhere — that would mean
+    // the compiled hot path regressed into pure overhead.
+    for s in &report.sim_speed {
+        if s.fused_ns > s.interp_ns {
+            res.errors.push(format!(
+                "{}: fused tier slower than interpreter ({:.3} ms vs {:.3} ms)",
+                s.bench,
+                s.fused_ns as f64 / 1e6,
+                s.interp_ns as f64 / 1e6
+            ));
+        }
+    }
+
     res
 }
 
@@ -332,6 +351,9 @@ mod tests {
             "FDTD",
             "MaxFlops",
             "DeviceMemory",
+            "BFS+streams",
+            "MxM+streams",
+            "FDTD+streams",
         ];
         let mut report = BenchReport {
             scale: "quick".into(),
@@ -442,7 +464,35 @@ mod tests {
         assert!(check(&r)
             .errors
             .iter()
-            .any(|e| e.contains("expected 64 runs")));
+            .any(|e| e.contains("expected 76 runs")));
+    }
+
+    #[test]
+    fn a_slow_fused_tier_fails_the_gate() {
+        let mut r = passing_report();
+        r.sim_speed = vec![
+            gpucmp_trace::SimSpeed {
+                bench: "MxM".into(),
+                interp_ns: 9_000_000,
+                decoded_ns: 6_000_000,
+                fused_ns: 3_000_000,
+            },
+            gpucmp_trace::SimSpeed {
+                bench: "BFS".into(),
+                interp_ns: 1_000_000,
+                decoded_ns: 900_000,
+                fused_ns: 1_500_000,
+            },
+        ];
+        let res = check(&r);
+        assert_eq!(res.exit_code(), 1);
+        assert!(res
+            .errors
+            .iter()
+            .any(|e| e.contains("BFS: fused tier slower")));
+        // Fix the slow row and the gate passes again.
+        r.sim_speed[1].fused_ns = 800_000;
+        assert_eq!(check(&r).exit_code(), 0);
     }
 
     #[test]
@@ -451,17 +501,17 @@ mod tests {
         // No floor: a cache-less report is fine.
         assert_eq!(check_with_cache_floor(&r, None).exit_code(), 0);
         // A floor over an uncached report regresses.
-        let res = check_with_cache_floor(&r, Some(58));
+        let res = check_with_cache_floor(&r, Some(69));
         assert_eq!(res.exit_code(), 1);
         assert!(res.errors.iter().any(|e| e.contains("cached runs")));
         // Mark enough rows cached and the same floor passes.
-        for run in r.runs.iter_mut().take(60) {
+        for run in r.runs.iter_mut().take(72) {
             run.cached = true;
         }
-        assert_eq!(check_with_cache_floor(&r, Some(58)).exit_code(), 0);
+        assert_eq!(check_with_cache_floor(&r, Some(69)).exit_code(), 0);
         // A cached row that lost its fingerprint is a campaign bug.
         r.runs[0].input_hash.clear();
-        let res = check_with_cache_floor(&r, Some(58));
+        let res = check_with_cache_floor(&r, Some(69));
         assert_eq!(res.exit_code(), 1);
         assert!(res
             .errors

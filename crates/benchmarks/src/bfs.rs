@@ -167,7 +167,11 @@ impl Bfs {
 
 impl Benchmark for Bfs {
     fn name(&self) -> &'static str {
-        "BFS"
+        if self.streams {
+            "BFS+streams"
+        } else {
+            "BFS"
+        }
     }
 
     fn metric(&self) -> Metric {

@@ -388,7 +388,11 @@ impl Fdtd {
 
 impl Benchmark for Fdtd {
     fn name(&self) -> &'static str {
-        "FDTD"
+        if self.streams {
+            "FDTD+streams"
+        } else {
+            "FDTD"
+        }
     }
 
     fn metric(&self) -> Metric {

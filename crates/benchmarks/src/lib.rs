@@ -61,6 +61,19 @@ pub fn synthetic(scale: Scale) -> Vec<Box<dyn Benchmark>> {
     ]
 }
 
+/// The explicit-stream variants of the benchmarks that ship an
+/// overlapped-transfer pipeline (BFS, MxM, FDTD). Same workloads and
+/// verification as their synchronous rows; only the host-side transfer /
+/// compute overlap differs, which is exactly what the campaign's
+/// wall-time columns surface.
+pub fn streamed_variants(scale: Scale) -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(bfs::Bfs::new(scale).with_streams(true)),
+        Box::new(mxm::MxM::new(scale).with_streams(true)),
+        Box::new(fdtd::Fdtd::new(scale).with_streams(true)),
+    ]
+}
+
 #[cfg(test)]
 mod registry_tests {
     use super::*;
@@ -77,6 +90,11 @@ mod registry_tests {
             ]
         );
         assert_eq!(synthetic(Scale::Quick).len(), 2);
+        let streamed: Vec<_> = streamed_variants(Scale::Quick)
+            .iter()
+            .map(|b| b.name())
+            .collect();
+        assert_eq!(streamed, vec!["BFS+streams", "MxM+streams", "FDTD+streams"]);
     }
 
     #[test]

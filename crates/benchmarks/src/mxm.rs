@@ -168,7 +168,11 @@ impl MxM {
 
 impl Benchmark for MxM {
     fn name(&self) -> &'static str {
-        "MxM"
+        if self.streams {
+            "MxM+streams"
+        } else {
+            "MxM"
+        }
     }
 
     fn metric(&self) -> Metric {

@@ -1,10 +1,12 @@
 //! The full profiled benchmark campaign behind `BENCH_<timestamp>.json`.
 //!
 //! Runs all 16 benchmarks (Table II real-world + the two synthetic peaks)
-//! on both NVIDIA devices through both APIs — 64 runs — collecting the
-//! per-run hardware-counter sets, then derives the per-(benchmark,
-//! device) PRs with a machine-attributed *dominant counter* (the
-//! profiling analogue of the paper's Section IV prose explanations).
+//! plus the three explicit-stream variants (BFS, MxM, FDTD with
+//! overlapped transfers) on both NVIDIA devices through both APIs — 76
+//! runs — collecting the per-run hardware-counter sets, then derives the
+//! per-(benchmark, device) PRs with a machine-attributed *dominant
+//! counter* (the profiling analogue of the paper's Section IV prose
+//! explanations).
 //!
 //! The campaign degrades gracefully: every (benchmark, device, API)
 //! triple runs in isolation (a panic or a device fault in one cannot take
@@ -140,9 +142,10 @@ pub fn input_fingerprint(opts: &CampaignOptions, bench: &str, device: &str, api:
     format!("{h:016x}")
 }
 
-fn all_benchmarks(scale: Scale) -> Vec<Box<dyn gpucmp_benchmarks::Benchmark>> {
+pub(crate) fn all_benchmarks(scale: Scale) -> Vec<Box<dyn gpucmp_benchmarks::Benchmark>> {
     let mut v = gpucmp_benchmarks::real_world(scale);
     v.extend(gpucmp_benchmarks::synthetic(scale));
+    v.extend(gpucmp_benchmarks::streamed_variants(scale));
     v
 }
 
@@ -301,6 +304,7 @@ pub fn bench_report_with(opts: &CampaignOptions) -> BenchReport {
         fault_seed: opts.fault_seed,
         runs,
         prs,
+        sim_speed: vec![],
     }
 }
 
@@ -410,11 +414,19 @@ pub fn merge_reports(parts: &[BenchReport]) -> BenchReport {
         (pos(&a.bench), &a.device, &a.api).cmp(&(pos(&b.bench), &b.device, &b.api))
     });
     let prs = derive_prs(&runs);
+    // The tier speed matrix is measured once per campaign, not per shard:
+    // keep the first part's, if any.
+    let sim_speed = parts
+        .iter()
+        .find(|p| !p.sim_speed.is_empty())
+        .map(|p| p.sim_speed.clone())
+        .unwrap_or_default();
     BenchReport {
         scale,
         fault_seed,
         runs,
         prs,
+        sim_speed,
     }
 }
 
@@ -427,10 +439,10 @@ mod tests {
         let report = bench_report(Scale::Quick);
         assert_eq!(
             report.runs.len(),
-            16 * 2 * 2,
-            "16 benchmarks x 2 devices x 2 APIs"
+            19 * 2 * 2,
+            "16 benchmarks + 3 streamed variants, x 2 devices x 2 APIs"
         );
-        assert_eq!(report.prs.len(), 16 * 2);
+        assert_eq!(report.prs.len(), 19 * 2);
         assert!(
             report.runs.iter().all(|r| r.verified),
             "all NVIDIA runs verify"
@@ -521,7 +533,7 @@ mod tests {
                 bench_report_with(&opts)
             })
             .collect();
-        assert!(parts.iter().all(|p| p.runs.len() == 32), "half each");
+        assert!(parts.iter().all(|p| p.runs.len() == 38), "half each");
         let merged = merge_reports(&parts);
         assert_eq!(merged.runs.len(), full.runs.len());
         assert_eq!(merged.prs.len(), full.prs.len());
@@ -554,7 +566,7 @@ mod tests {
             ..CampaignOptions::new(Scale::Quick)
         };
         let report = bench_report_with(&opts);
-        assert_eq!(report.runs.len(), 64, "every triple is reported");
+        assert_eq!(report.runs.len(), 76, "every triple is reported");
         assert_eq!(report.fault_seed, Some(42));
         // With attempt-0 injection and a clean retry, every injected
         // triple recovers: the report is complete, but the retries show.
@@ -564,7 +576,7 @@ mod tests {
             "a seeded campaign injects into a sizeable minority, got {retried}"
         );
         assert!(report.runs.iter().all(|r| r.is_ok()), "retries recover all");
-        assert_eq!(report.prs.len(), 32);
+        assert_eq!(report.prs.len(), 38);
         // Determinism: the same seed retries exactly the same triples.
         let again = bench_report_with(&opts);
         for (a, b) in report.runs.iter().zip(&again.runs) {
@@ -583,11 +595,11 @@ mod tests {
             ..CampaignOptions::new(Scale::Quick)
         };
         let report = bench_report_with(&opts);
-        assert_eq!(report.runs.len(), 64, "skips are recorded, not dropped");
+        assert_eq!(report.runs.len(), 76, "skips are recorded, not dropped");
         assert!(report.is_partial());
         let skipped: Vec<_> = report.runs.iter().filter(|r| !r.is_ok()).collect();
         assert!(
-            skipped.len() > 5 && skipped.len() < 40,
+            skipped.len() > 5 && skipped.len() < 48,
             "about a third skip, got {}",
             skipped.len()
         );
@@ -613,7 +625,7 @@ mod tests {
             })
             .count();
         assert_eq!(ok_pairs, report.prs.len());
-        assert!(report.prs.len() < 32);
+        assert!(report.prs.len() < 38);
         // The partial report round-trips.
         let parsed = BenchReport::from_text(&report.to_text()).unwrap();
         assert!(parsed.is_partial());

@@ -9,7 +9,7 @@ use gpucmp_benchmarks::{fdtd::Fdtd, fft::Fft, md::Md, sobel::Sobel, spmv::Spmv};
 use gpucmp_compiler::Api;
 use gpucmp_ptx::InstStats;
 use gpucmp_runtime::{ClStatus, Cuda, FaultPlan, Gpu, GpuExt, OpenCl, RtError};
-use gpucmp_sim::{DeviceSpec, ExecOptions};
+use gpucmp_sim::{DeviceSpec, ExecOptions, ExecTier};
 use rayon::prelude::*;
 use std::fmt;
 
@@ -17,14 +17,16 @@ use std::fmt;
 ///
 /// `GPUCMP_SIM_THREADS=N` simulates thread blocks on `N` host workers
 /// (`0` = one per available core). Unset or unparsable means serial.
-/// Purely a host-side speed knob: every reported number is bit-identical
-/// for every setting.
+/// `GPUCMP_SIM_TIER={interp,decoded,fused}` selects the execution tier
+/// (default: fused). Both are purely host-side speed knobs: every
+/// reported number is bit-identical for every setting.
 pub fn exec_options_from_env() -> ExecOptions {
     std::env::var("GPUCMP_SIM_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .map(ExecOptions::with_threads)
         .unwrap_or_default()
+        .tier(ExecTier::from_env())
 }
 
 /// Run a benchmark through the CUDA runtime on `device`.
@@ -42,8 +44,20 @@ pub fn run_cuda_with(
     device: &DeviceSpec,
     plan: Option<FaultPlan>,
 ) -> Result<gpucmp_benchmarks::RunOutput, RtError> {
+    run_cuda_with_exec(bench, device, plan, exec_options_from_env())
+}
+
+/// [`run_cuda_with`] with explicit [`ExecOptions`] instead of the
+/// environment-derived ones. Lets differential tests pin the execution
+/// tier and worker count without mutating process-global state.
+pub fn run_cuda_with_exec(
+    bench: &dyn Benchmark,
+    device: &DeviceSpec,
+    plan: Option<FaultPlan>,
+    exec: ExecOptions,
+) -> Result<gpucmp_benchmarks::RunOutput, RtError> {
     let mut gpu = Cuda::new(device.clone())?;
-    gpu.set_exec_options(exec_options_from_env());
+    gpu.set_exec_options(exec);
     gpu.set_fault_plan(plan);
     bench.run(&mut gpu)
 }
@@ -63,8 +77,19 @@ pub fn run_opencl_with(
     device: &DeviceSpec,
     plan: Option<FaultPlan>,
 ) -> Result<gpucmp_benchmarks::RunOutput, RtError> {
+    run_opencl_with_exec(bench, device, plan, exec_options_from_env())
+}
+
+/// [`run_opencl_with`] with explicit [`ExecOptions`] instead of the
+/// environment-derived ones.
+pub fn run_opencl_with_exec(
+    bench: &dyn Benchmark,
+    device: &DeviceSpec,
+    plan: Option<FaultPlan>,
+    exec: ExecOptions,
+) -> Result<gpucmp_benchmarks::RunOutput, RtError> {
     let mut gpu = OpenCl::create_any(device.clone());
-    gpu.set_exec_options(exec_options_from_env());
+    gpu.set_exec_options(exec);
     gpu.set_fault_plan(plan);
     bench.run(&mut gpu)
 }

@@ -14,13 +14,16 @@
 //! - [`experiments`] — a registry with one entry per figure/table of the
 //!   paper's evaluation, producing the same rows/series from the
 //!   simulator-backed benchmark suite;
-//! - [`bench_report`] — the profiled 64-run campaign behind the
-//!   machine-readable `BENCH_<timestamp>.json` report that CI gates on.
+//! - [`bench_report`] — the profiled 76-run campaign behind the
+//!   machine-readable `BENCH_<timestamp>.json` report that CI gates on;
+//! - [`sim_speed`] — host wall-clock of the simulator's execution tiers
+//!   (interpreter / pre-decoded / fused), the report's speedup matrix.
 
 pub mod bench_report;
 pub mod experiments;
 pub mod fair;
 pub mod pr;
+pub mod sim_speed;
 
 pub use fair::{fairness, BuildConfig, FairStep, Fairness, Role};
 pub use pr::{Pr, SIMILARITY_BAND};

@@ -32,6 +32,7 @@
 
 pub mod builder;
 pub mod display;
+pub mod hash;
 pub mod inst;
 pub mod kernel;
 pub mod reg;
@@ -40,6 +41,7 @@ pub mod ty;
 pub mod validate;
 
 pub use builder::KernelBuilder;
+pub use hash::kernel_hash;
 pub use inst::{Address, AtomOp, CmpOp, Inst, Op1, Op2, Op3, TexRef};
 pub use kernel::{ConstSegment, Kernel, LabelId, Module, Param, ResolvedKernel};
 pub use reg::{Operand, Reg, Special};

@@ -14,14 +14,15 @@ use crate::error::RtError;
 use crate::inject::{FaultPlan, LaunchAction, TransferAction};
 use crate::stream::{Event, PendingOp, PendingPayload, ResetReport, Stream, StreamState};
 use gpucmp_compiler::{compile_with_style, Api, KernelDef};
-use gpucmp_ptx::ResolvedKernel;
+use gpucmp_ptx::{kernel_hash, ResolvedKernel};
 use gpucmp_sim::launch::Dim3;
 use gpucmp_sim::timing::{TimelineOp, TimelineResource, TimelineState, Timing};
 use gpucmp_sim::{
-    launch_with as sim_launch_with, DevPtr, DeviceFault, DeviceSpec, ExecOptions, ExecProfile,
-    ExecStats, GlobalMemory, LaunchConfig, LaunchReport,
+    decode_kernel, launch_with_code as sim_launch_with_code, DecodedKernel, DevPtr, DeviceFault,
+    DeviceSpec, ExecOptions, ExecProfile, ExecStats, ExecTier, GlobalMemory, LaunchConfig,
+    LaunchReport,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// PCIe effective host↔device bandwidth in GB/s (PCIe 2.0 x16 era).
@@ -49,6 +50,9 @@ pub struct LoadedKernel {
     pub ptx_stats: gpucmp_ptx::InstStats,
     /// Registers the backend had to spill against the device cap.
     pub spilled: u32,
+    /// Stable content hash of the executable form — the key into the
+    /// session's pre-decoded code cache.
+    pub code_hash: u64,
 }
 
 impl LoadedKernel {
@@ -203,13 +207,23 @@ pub struct Session {
     streams: Vec<StreamState>,
     /// Staged d2h payloads keyed by the enqueuing event.
     readbacks: BTreeMap<(u32, u64), Vec<u8>>,
+    /// Pre-decoded dispatch IR by kernel content hash: each distinct kernel
+    /// is decoded at most once per session, however many times it is
+    /// rebuilt or launched. Sound across [`Session::reset`] because the
+    /// hash covers the full executable form and the session's device (which
+    /// decoding specialises for) never changes.
+    code_cache: HashMap<u64, Arc<DecodedKernel>>,
+    /// Number of kernel decodes performed (cache misses) — observability
+    /// for tests and reports.
+    decode_count: u64,
 }
 
 impl Session {
     /// Create a session on `device` with the default memory arena.
     ///
     /// The memcheck sanitizer starts on if the `GPUCMP_MEMCHECK`
-    /// environment variable is set to anything but `0`/`false`.
+    /// environment variable is set to anything but `0`/`false`, and the
+    /// execution tier comes from `GPUCMP_SIM_TIER` (default: fused).
     pub fn new(device: DeviceSpec) -> Self {
         let cap = (device.mem_capacity_mib as u64 * 1024 * 1024).min(DEFAULT_ARENA_BYTES);
         Session {
@@ -219,7 +233,7 @@ impl Session {
             now_ns: 0.0,
             launches: 0,
             kernel_ns_total: 0.0,
-            exec: ExecOptions::default(),
+            exec: ExecOptions::default().tier(ExecTier::from_env()),
             profile_total: ExecProfile::default(),
             trace: None,
             fault: None,
@@ -229,6 +243,8 @@ impl Session {
             pending: Vec::new(),
             streams: vec![StreamState::default()],
             readbacks: BTreeMap::new(),
+            code_cache: HashMap::new(),
+            decode_count: 0,
         }
     }
 
@@ -269,6 +285,10 @@ impl Session {
     /// [`ResetReport`] says exactly what was lost — ops per stream plus any
     /// completed-but-untaken readbacks — so callers can tell a clean reset
     /// from one that discarded in-flight work.
+    ///
+    /// The pre-decoded code cache survives (it is keyed by kernel content,
+    /// not handles): rebuilding the same kernels after a reset launches
+    /// without re-decoding.
     pub fn reset(&mut self) -> ResetReport {
         let mut cancelled_by_stream: Vec<(u32, usize)> = Vec::new();
         for p in &self.pending {
@@ -589,6 +609,18 @@ impl Session {
         self.profile_total
     }
 
+    /// Kernel decodes performed so far (code-cache misses). On the decoded
+    /// and fused tiers this stays at one per *distinct* kernel however many
+    /// times it is rebuilt or launched; the interp tier never decodes.
+    pub fn decode_count(&self) -> u64 {
+        self.decode_count
+    }
+
+    /// Distinct kernels currently held by the pre-decoded code cache.
+    pub fn code_cache_len(&self) -> usize {
+        self.code_cache.len()
+    }
+
     /// Look a loaded kernel up.
     pub fn kernel(&self, h: KernelHandle) -> Result<&LoadedKernel, RtError> {
         self.kernels.get(h.0).ok_or(RtError::BadHandle)
@@ -885,12 +917,14 @@ pub trait Gpu {
         let mut const_bank = def.const_data.clone();
         // pad to 16 bytes like a real constant bank image
         const_bank.resize(const_bank.len().next_multiple_of(16), 0);
+        let code_hash = kernel_hash(&resolved.kernel);
         let loaded = LoadedKernel {
             name: def.name.clone(),
             resolved: Arc::new(resolved),
             const_bank: Arc::new(const_bank),
             ptx_stats: compiled.ptx_stats,
             spilled: compiled.ptxas.spilled,
+            code_hash,
         };
         Ok(self.session_mut().load(loaded))
     }
@@ -942,8 +976,31 @@ pub trait Gpu {
         let const_bank = Arc::clone(&s.kernels[h.0].const_bank);
         let name = s.kernels[h.0].name.clone();
         let opts = s.exec.memcheck(s.memcheck);
-        let report = match sim_launch_with(&s.device, &kernel, &mut s.gmem, &const_bank, cfg, &opts)
-        {
+        // Decoded tiers launch through the session code cache: one decode
+        // per distinct kernel (by content hash) for the session's lifetime.
+        let code: Option<Arc<DecodedKernel>> = if opts.tier == ExecTier::Interp {
+            None
+        } else {
+            let hash = s.kernels[h.0].code_hash;
+            Some(match s.code_cache.get(&hash) {
+                Some(c) => Arc::clone(c),
+                None => {
+                    let c = Arc::new(decode_kernel(&kernel, &s.device));
+                    s.decode_count += 1;
+                    s.code_cache.insert(hash, Arc::clone(&c));
+                    c
+                }
+            })
+        };
+        let report = match sim_launch_with_code(
+            &s.device,
+            &kernel,
+            &mut s.gmem,
+            &const_bank,
+            cfg,
+            &opts,
+            code.as_deref(),
+        ) {
             Ok(r) => r,
             Err(e) => {
                 let mut err = RtError::from(e);

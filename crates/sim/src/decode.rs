@@ -1,0 +1,566 @@
+//! The decode tier: a flat, pre-decoded dispatch IR compiled once per
+//! kernel.
+//!
+//! [`decode_kernel`] translates a lowered, resolved kernel into a
+//! [`DecodedKernel`]: a dense instruction array with no `Label`
+//! pseudo-instructions, branch targets pre-resolved into *decoded*
+//! instruction indices, register operands pre-resolved to flat slot
+//! indices, immediates pre-converted to the raw register bits the
+//! interpreter's `eval` would produce (`float_bits` applied at decode
+//! time), and the per-instruction issue cost pre-computed for the session's
+//! device. The warp loop in `crate::dispatch` then runs without
+//! per-instruction operand matching, label skipping, or cost-table lookups.
+//!
+//! On top of the flat stream, decode performs a *superinstruction* analysis
+//! for the fused tier: every instruction records the length of the maximal
+//! straight-line run of infallible pure scalar operations starting at it,
+//! together with that run's summed issue cost and per-lane flop increments.
+//! The fused dispatch loop retires such a run as a single step, bumping the
+//! counters by the precomputed aggregates — producing bit-identical
+//! [`crate::ExecStats`] to stepping the run one instruction at a time.
+//! Fallible operations (memory, integer div/rem, control flow) are never
+//! fused, so fault ordering and fault sites are unchanged by construction.
+//!
+//! Execution tiers are selected with [`ExecTier`] (env var
+//! `GPUCMP_SIM_TIER={interp,decoded,fused}`); the interpreter in
+//! [`crate::exec`] remains the reference tier.
+
+use crate::alu::float_bits;
+use crate::device::{Arch, DeviceSpec};
+use gpucmp_ptx::{CmpOp, Inst, Op1, Op2, Op3, Operand, ResolvedKernel, Special, Ty};
+
+/// Which execution engine simulates warp instructions.
+///
+/// All tiers are bit-identical by contract: same [`crate::ExecStats`], same
+/// faults (kind, site, and order), same memcheck records, same memory
+/// results. The tiers differ only in host wall-clock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecTier {
+    /// The reference per-instruction interpreter over the original
+    /// instruction stream (labels skipped at run time).
+    Interp,
+    /// The pre-decoded dispatch IR, stepped one instruction at a time.
+    Decoded,
+    /// The pre-decoded IR with straight-line runs of pure scalar
+    /// instructions retired as single superinstruction steps (the default).
+    #[default]
+    Fused,
+}
+
+impl ExecTier {
+    /// Parse a tier name (case-insensitive). `None` for unknown names.
+    pub fn parse(s: &str) -> Option<ExecTier> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "interp" | "interpreter" => Some(ExecTier::Interp),
+            "decoded" | "decode" => Some(ExecTier::Decoded),
+            "fused" | "fuse" => Some(ExecTier::Fused),
+            _ => None,
+        }
+    }
+
+    /// Read `GPUCMP_SIM_TIER`; unset or unrecognised values fall back to
+    /// the default tier ([`ExecTier::Fused`]).
+    pub fn from_env() -> ExecTier {
+        std::env::var("GPUCMP_SIM_TIER")
+            .ok()
+            .and_then(|v| ExecTier::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// Canonical lowercase name (the `GPUCMP_SIM_TIER` value).
+    pub const fn name(self) -> &'static str {
+        match self {
+            ExecTier::Interp => "interp",
+            ExecTier::Decoded => "decoded",
+            ExecTier::Fused => "fused",
+        }
+    }
+}
+
+/// A pre-resolved scalar source operand. Immediates carry the exact raw
+/// register bits the interpreter's `eval` would produce for the operand in
+/// its use-type context.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum DSrc {
+    /// Register slot index (`Reg::index()`).
+    Reg(u32),
+    /// Pre-converted immediate bits.
+    Imm(u64),
+    /// Special register, still evaluated per lane (depends on tid/ctaid).
+    Special(Special),
+}
+
+fn decode_src(op: Operand, ty: Ty) -> DSrc {
+    match op {
+        Operand::Reg(r) => DSrc::Reg(r.0),
+        Operand::ImmI(v) => DSrc::Imm(if ty.is_float() {
+            float_bits(ty, v as f64)
+        } else {
+            v as u64
+        }),
+        Operand::ImmF(v) => DSrc::Imm(float_bits(ty, v)),
+        Operand::Special(s) => DSrc::Special(s),
+    }
+}
+
+/// A decoded operation. Scalar ALU ops and control flow are fully
+/// pre-resolved; memory operations keep their original [`Inst`] and
+/// delegate to the interpreter's warp-wide handlers, so the transaction,
+/// cache, bank-conflict, and memcheck modelling is shared between tiers by
+/// construction.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum DOp {
+    /// `mov.ty d, a`
+    Mov { ty: Ty, d: u32, a: DSrc },
+    /// `cvt.dty.sty d, a`
+    Cvt { dty: Ty, sty: Ty, d: u32, a: DSrc },
+    /// Unary op.
+    Un { op: Op1, ty: Ty, d: u32, a: DSrc },
+    /// Binary op.
+    Bin {
+        op: Op2,
+        ty: Ty,
+        d: u32,
+        a: DSrc,
+        b: DSrc,
+    },
+    /// Ternary op (mad/fma).
+    Tern {
+        op: Op3,
+        ty: Ty,
+        d: u32,
+        a: DSrc,
+        b: DSrc,
+        c: DSrc,
+    },
+    /// `setp.cmp.ty p, a, b`
+    Setp {
+        cmp: CmpOp,
+        ty: Ty,
+        d: u32,
+        a: DSrc,
+        b: DSrc,
+    },
+    /// `selp.ty d, a, b, p`
+    Selp {
+        ty: Ty,
+        d: u32,
+        a: DSrc,
+        b: DSrc,
+        p: u32,
+    },
+    /// Push a reconvergence frame.
+    Ssy,
+    /// Reconvergence point.
+    Sync,
+    /// Branch: `target` is a *decoded* instruction index; the predicate is
+    /// a pre-resolved register slot plus polarity.
+    Bra {
+        target: u32,
+        pred: Option<(u32, bool)>,
+    },
+    /// Block-wide barrier.
+    Bar,
+    /// Kernel return.
+    Ret,
+    /// Memory op (ld/st/tex/atom), delegated to the interpreter's warp
+    /// handlers.
+    Mem(Inst),
+}
+
+/// One pre-decoded instruction plus its fusion metadata.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DecodedInst {
+    pub(crate) op: DOp,
+    /// Index in the *original* instruction stream (fault attribution:
+    /// `FaultSite.pc` must match the interpreter's).
+    pub(crate) orig_pc: u32,
+    /// Issue cost in millicycles, pre-computed for the session device.
+    pub(crate) cost: u64,
+    /// Length of the maximal fusible straight-line run starting here
+    /// (0 if this instruction is not fusible).
+    pub(crate) fuse: u32,
+    /// Summed issue cost of that run (0 if not fusible).
+    pub(crate) run_cost: u64,
+    /// Summed per-lane flop increments of that run (0 if not fusible).
+    pub(crate) run_flops: u64,
+}
+
+/// A kernel compiled to the pre-decoded dispatch IR for one device.
+///
+/// Plain data (`Send + Sync`): one decode is shared by all block workers of
+/// a launch, and the session code cache shares one across launches via
+/// `Arc`. Decoding is device-dependent (issue costs are baked in), which is
+/// sound for the per-session cache because a session's device never
+/// changes.
+#[derive(Clone, Debug)]
+pub struct DecodedKernel {
+    pub(crate) body: Vec<DecodedInst>,
+    /// `(taken_branch_cycles * 1000)`, pre-computed.
+    pub(crate) branch_refill_millicycles: u64,
+    /// `(barrier_cost_cycles * 1000)`, pre-computed.
+    pub(crate) barrier_cost_millicycles: u64,
+}
+
+impl DecodedKernel {
+    /// Number of decoded (real, non-label) instructions.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Whether the decoded body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Number of instructions covered by fusible runs of length >= 2
+    /// (diagnostic; used by tests and the sim-speed report).
+    pub fn fused_coverage(&self) -> usize {
+        let mut covered = 0usize;
+        let mut i = 0usize;
+        while i < self.body.len() {
+            let l = self.body[i].fuse as usize;
+            if l >= 2 {
+                covered += l;
+                i += l;
+            } else {
+                i += 1;
+            }
+        }
+        covered
+    }
+}
+
+/// Issue-cost table, in millicycles per warp instruction. Shared by the
+/// reference interpreter (per-instruction lookup) and the decoder (baked
+/// into [`DecodedInst::cost`]), so tier cost parity holds by construction.
+pub(crate) fn issue_cost_millicycles(d: &DeviceSpec, inst: &Inst) -> u64 {
+    let float_scale = d.arith_cycle_scale;
+    let f64_penalty = match d.arch {
+        Arch::Gt200 => 8.0,
+        Arch::Fermi => 4.0,
+        _ => 4.0,
+    };
+    let cost_f = |c: f64| (c * 1000.0) as u64;
+    match inst {
+        Inst::Label(_) | Inst::Ssy { .. } | Inst::SyncPoint => 0,
+        Inst::Mov { .. } | Inst::Cvt { .. } => 1000,
+        Inst::Setp { .. } | Inst::Selp { .. } | Inst::Bra { .. } => 1000,
+        Inst::Un { op, ty, .. } => {
+            if op.is_sfu() {
+                cost_f(4.0)
+            } else if ty.is_float() {
+                let base = if ty.is_wide() { f64_penalty } else { 1.0 };
+                cost_f(base * float_scale)
+            } else {
+                1000
+            }
+        }
+        Inst::Bin { op, ty, .. } => match op {
+            Op2::Div | Op2::Rem => {
+                if ty.is_float() {
+                    cost_f(8.0)
+                } else {
+                    cost_f(16.0)
+                }
+            }
+            Op2::Mul => {
+                if ty.is_float() {
+                    let base = if ty.is_wide() { f64_penalty } else { 1.0 };
+                    cost_f(base * float_scale)
+                } else if d.arch == Arch::Gt200 {
+                    cost_f(4.0) // 32-bit integer mul is slow on GT200
+                } else {
+                    1000
+                }
+            }
+            _ => {
+                if ty.is_float() {
+                    let base = if ty.is_wide() { f64_penalty } else { 1.0 };
+                    cost_f(base * float_scale)
+                } else {
+                    1000
+                }
+            }
+        },
+        Inst::Tern { ty, .. } => {
+            if ty.is_float() {
+                let base = if ty.is_wide() { f64_penalty } else { 1.0 };
+                cost_f(base * float_scale)
+            } else if d.arch == Arch::Gt200 {
+                cost_f(4.0)
+            } else {
+                1000
+            }
+        }
+        Inst::Ld { .. } | Inst::St { .. } | Inst::Tex { .. } => 1000,
+        Inst::Atom { .. } => cost_f(4.0),
+        Inst::Bar => 1000, // barrier_cost added separately
+        Inst::Ret => 1000,
+    }
+}
+
+/// Whether a decoded op may join a fused superinstruction run. Only
+/// *infallible* pure scalar register ops qualify: integer div/rem (the one
+/// fallible ALU case, `DivByZero`) and everything touching memory or
+/// control flow are excluded, so a fused run can never fault and fault
+/// ordering is identical to single-stepping.
+fn fusible(op: &DOp) -> bool {
+    match op {
+        DOp::Mov { .. }
+        | DOp::Cvt { .. }
+        | DOp::Un { .. }
+        | DOp::Tern { .. }
+        | DOp::Setp { .. }
+        | DOp::Selp { .. } => true,
+        DOp::Bin { op, ty, .. } => ty.is_float() || !matches!(op, Op2::Div | Op2::Rem),
+        _ => false,
+    }
+}
+
+/// Per-lane `ExecStats::flops` increment of a scalar op (must mirror the
+/// interpreter's `exec_scalar` exactly).
+fn flop_inc(op: &DOp) -> u64 {
+    match op {
+        DOp::Un { op, .. } => matches!(op, Op1::Sqrt | Op1::Rsqrt | Op1::Rcp) as u64,
+        DOp::Bin { op, ty, .. } => (ty.is_float() && !op.is_logic() && !op.is_shift()) as u64,
+        DOp::Tern { ty, .. } if ty.is_float() => 2,
+        _ => 0,
+    }
+}
+
+/// Compile a resolved kernel into the pre-decoded dispatch IR for `device`.
+pub fn decode_kernel(kernel: &ResolvedKernel, device: &DeviceSpec) -> DecodedKernel {
+    let src = &kernel.kernel.body;
+    let n = src.len();
+    let total = src.iter().filter(|i| !matches!(i, Inst::Label(_))).count() as u32;
+    // first_at[i] = decoded index of the first non-label instruction at
+    // original index >= i (what the interpreter's label-skipping loop would
+    // land on when branching to i).
+    let mut first_at = vec![total; n + 1];
+    let mut remaining = total;
+    let mut next = total;
+    for i in (0..n).rev() {
+        if !matches!(src[i], Inst::Label(_)) {
+            remaining -= 1;
+            next = remaining;
+        }
+        first_at[i] = next;
+    }
+
+    let mut body: Vec<DecodedInst> = Vec::with_capacity(total as usize);
+    for (pc, inst) in src.iter().enumerate() {
+        let op = match *inst {
+            Inst::Label(_) => continue,
+            Inst::Mov { ty, d, a } => DOp::Mov {
+                ty,
+                d: d.0,
+                a: decode_src(a, ty),
+            },
+            Inst::Cvt { dty, sty, d, a } => DOp::Cvt {
+                dty,
+                sty,
+                d: d.0,
+                a: decode_src(a, sty),
+            },
+            Inst::Un { op, ty, d, a } => DOp::Un {
+                op,
+                ty,
+                d: d.0,
+                a: decode_src(a, ty),
+            },
+            Inst::Bin { op, ty, d, a, b } => DOp::Bin {
+                op,
+                ty,
+                d: d.0,
+                a: decode_src(a, ty),
+                b: decode_src(b, ty),
+            },
+            Inst::Tern { op, ty, d, a, b, c } => DOp::Tern {
+                op,
+                ty,
+                d: d.0,
+                a: decode_src(a, ty),
+                b: decode_src(b, ty),
+                c: decode_src(c, ty),
+            },
+            Inst::Setp { cmp, ty, d, a, b } => DOp::Setp {
+                cmp,
+                ty,
+                d: d.0,
+                a: decode_src(a, ty),
+                b: decode_src(b, ty),
+            },
+            Inst::Selp { ty, d, a, b, p } => DOp::Selp {
+                ty,
+                d: d.0,
+                a: decode_src(a, ty),
+                b: decode_src(b, ty),
+                p: p.0,
+            },
+            Inst::Ssy { .. } => DOp::Ssy,
+            Inst::SyncPoint => DOp::Sync,
+            Inst::Bra { pred, .. } => DOp::Bra {
+                target: first_at[kernel.target(pc)],
+                pred: pred.map(|(p, pol)| (p.0, pol)),
+            },
+            Inst::Bar => DOp::Bar,
+            Inst::Ret => DOp::Ret,
+            Inst::Ld { .. } | Inst::St { .. } | Inst::Tex { .. } | Inst::Atom { .. } => {
+                DOp::Mem(*inst)
+            }
+        };
+        body.push(DecodedInst {
+            op,
+            orig_pc: pc as u32,
+            cost: issue_cost_millicycles(device, inst),
+            fuse: 0,
+            run_cost: 0,
+            run_flops: 0,
+        });
+    }
+    debug_assert_eq!(body.len(), total as usize);
+
+    // Backward superinstruction analysis: a branch into the middle of a run
+    // sees the correct remaining length/cost/flops by construction, because
+    // every instruction records the aggregates of the run *starting at it*.
+    let m = body.len();
+    for i in (0..m).rev() {
+        if fusible(&body[i].op) {
+            let (nf, nc, nfl) = if i + 1 < m {
+                (
+                    body[i + 1].fuse,
+                    body[i + 1].run_cost,
+                    body[i + 1].run_flops,
+                )
+            } else {
+                (0, 0, 0)
+            };
+            body[i].fuse = nf + 1;
+            body[i].run_cost = body[i].cost + nc;
+            body[i].run_flops = flop_inc(&body[i].op) + nfl;
+        }
+    }
+
+    DecodedKernel {
+        body,
+        branch_refill_millicycles: (device.taken_branch_cycles * 1000.0) as u64,
+        barrier_cost_millicycles: (device.barrier_cost_cycles * 1000.0) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpucmp_ptx::{Address, Kernel, LabelId, Reg, Space};
+
+    fn decode(k: &Kernel) -> DecodedKernel {
+        decode_kernel(&k.resolve().unwrap(), &DeviceSpec::gtx480())
+    }
+
+    #[test]
+    fn labels_are_stripped_and_targets_remapped() {
+        let mut k = Kernel::new("t");
+        k.regs = vec![Ty::Pred];
+        k.body = vec![
+            Inst::Ssy { target: LabelId(0) },
+            Inst::Bra {
+                target: LabelId(0),
+                pred: Some((Reg(0), true)),
+            },
+            Inst::Label(LabelId(1)),
+            Inst::Bar,
+            Inst::Label(LabelId(0)),
+            Inst::SyncPoint,
+            Inst::Ret,
+        ];
+        let d = decode(&k);
+        assert_eq!(d.len(), 5); // two labels stripped
+        match d.body[1].op {
+            // Label(0) sits at original pc 4; the first real instruction at
+            // or after it is SyncPoint, decoded index 3.
+            DOp::Bra { target, pred } => {
+                assert_eq!(target, 3);
+                assert_eq!(pred, Some((0, true)));
+            }
+            ref other => panic!("expected Bra, got {other:?}"),
+        }
+        // orig_pc survives for fault attribution.
+        assert_eq!(d.body[3].orig_pc, 5);
+    }
+
+    #[test]
+    fn float_immediates_are_preconverted() {
+        let mut k = Kernel::new("t");
+        k.regs = vec![Ty::F32];
+        k.body = vec![
+            Inst::Mov {
+                ty: Ty::F32,
+                d: Reg(0),
+                a: Operand::ImmI(2),
+            },
+            Inst::Ret,
+        ];
+        let d = decode(&k);
+        match d.body[0].op {
+            DOp::Mov {
+                a: DSrc::Imm(bits), ..
+            } => assert_eq!(bits, 2.0f32.to_bits() as u64),
+            ref other => panic!("expected Mov imm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fusion_covers_scalar_runs_but_not_memory_or_int_div() {
+        let mut k = Kernel::new("t");
+        k.regs = vec![Ty::F32, Ty::F32, Ty::S32];
+        k.body = vec![
+            Inst::Mov {
+                ty: Ty::F32,
+                d: Reg(0),
+                a: Operand::ImmF(1.0),
+            },
+            Inst::Bin {
+                op: Op2::Add,
+                ty: Ty::F32,
+                d: Reg(1),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::ImmF(2.0),
+            },
+            Inst::Bin {
+                op: Op2::Div,
+                ty: Ty::S32,
+                d: Reg(2),
+                a: Operand::Reg(Reg(2)),
+                b: Operand::ImmI(2),
+            },
+            Inst::St {
+                space: Space::Global,
+                ty: Ty::F32,
+                addr: Address::base(Operand::ImmI(0)),
+                a: Operand::Reg(Reg(1)),
+            },
+            Inst::Ret,
+        ];
+        let d = decode(&k);
+        // mov + fadd fuse; integer div (fallible) and the store do not.
+        assert_eq!(d.body[0].fuse, 2);
+        assert_eq!(d.body[1].fuse, 1);
+        assert_eq!(d.body[2].fuse, 0);
+        assert_eq!(d.body[3].fuse, 0);
+        assert_eq!(d.body[0].run_cost, d.body[0].cost + d.body[1].cost);
+        // fadd contributes one flop per lane, mov none.
+        assert_eq!(d.body[0].run_flops, 1);
+        assert_eq!(d.fused_coverage(), 2);
+    }
+
+    #[test]
+    fn tier_parsing() {
+        assert_eq!(ExecTier::parse("interp"), Some(ExecTier::Interp));
+        assert_eq!(ExecTier::parse("DECODED"), Some(ExecTier::Decoded));
+        assert_eq!(ExecTier::parse(" fused "), Some(ExecTier::Fused));
+        assert_eq!(ExecTier::parse("jit"), None);
+        assert_eq!(ExecTier::default(), ExecTier::Fused);
+        assert_eq!(ExecTier::Fused.name(), "fused");
+    }
+}

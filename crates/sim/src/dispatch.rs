@@ -1,0 +1,294 @@
+//! The dispatch loop over the pre-decoded IR: the decoded and fused tiers.
+//!
+//! [`BlockExec::run_warp_decoded`] mirrors the reference interpreter's
+//! `run_warp` step for step, but over a [`DecodedKernel`]: no label
+//! skipping (labels are stripped at decode), no per-instruction cost-table
+//! lookup (costs are baked into the IR), no operand matching (register
+//! slots and immediates are pre-resolved), and branch targets land directly
+//! on decoded indices. Warp `pc` values are *decoded* indices here; fault
+//! sites report the original `pc` via [`DecodedInst::orig_pc`], so
+//! [`crate::error::FaultSite`]s are identical across tiers.
+//!
+//! With `fused == true`, a maximal straight-line run of infallible pure
+//! scalar instructions (precomputed at decode as [`DecodedInst::fuse`])
+//! retires as one superinstruction: the counters bump by the run's
+//! precomputed aggregates and the lanes execute the run register-file-hot,
+//! lane-major. Because fused ops are infallible and touch only per-lane
+//! registers, lane-major order is bit-identical to the interpreter's
+//! instruction-major order, and no fault can occur mid-run. If the
+//! remaining watchdog budget is smaller than the run, the warp falls back
+//! to single-stepping so the budget exhausts at exactly the same
+//! instruction as the interpreter.
+
+use crate::alu::{alu1, alu2, alu3, compare, convert, load_extend};
+use crate::decode::{DOp, DSrc, DecodedInst, DecodedKernel};
+use crate::error::FaultKind;
+use crate::exec::{BlockExec, Frame, WarpStatus};
+use crate::launch::Dim3;
+use gpucmp_ptx::Op1;
+
+impl<'a> BlockExec<'a> {
+    /// Run one warp of the decoded (or fused) tier until it blocks on a
+    /// barrier or returns. Mirrors `run_warp` exactly; see module docs.
+    pub(crate) fn run_warp_decoded(
+        &mut self,
+        w: usize,
+        ctaid: Dim3,
+        code: &DecodedKernel,
+        fused: bool,
+    ) -> Result<(), FaultKind> {
+        loop {
+            let pc = self.warps[w].pc;
+            // Borrow, never copy: `DecodedInst` embeds the full `Inst` for
+            // memory ops, and this is the hottest load in the simulator.
+            let di: &DecodedInst = &code.body[pc];
+            self.cur_pc = di.orig_pc as usize;
+            self.cur_tid = self.warps[w].base_tid;
+
+            // Superinstruction step: retire the whole straight-line run at
+            // once. Requires enough budget for every instruction of the run
+            // so the watchdog cannot fire mid-run (the fallback below
+            // single-steps to the exact interpreter exhaustion point).
+            let run = di.fuse as u64;
+            if fused && di.fuse >= 2 && self.budget >= run {
+                self.budget -= run;
+                let active = self.warps[w].active;
+                let lanes = active.count_ones() as u64;
+                self.stats.warp_instructions += run;
+                self.stats.lane_instructions += run * lanes;
+                self.stats.issue_millicycles += di.run_cost;
+                self.stats.flops += di.run_flops * lanes;
+                let base = self.warps[w].base_tid;
+                let ww = self.device.warp_width;
+                let end = pc + di.fuse as usize;
+                let ops = &code.body[pc..end];
+                for lane in 0..ww {
+                    if active & (1u64 << lane) == 0 {
+                        continue;
+                    }
+                    let tid = base + lane;
+                    self.cur_tid = tid;
+                    for d in ops {
+                        self.exec_scalar_d::<false>(tid, ctaid, &d.op)?;
+                    }
+                }
+                self.warps[w].pc = end;
+                continue;
+            }
+
+            if self.budget == 0 {
+                return Err(FaultKind::Watchdog {
+                    budget: self.budget_limit,
+                });
+            }
+            self.budget -= 1;
+            self.stats.warp_instructions += 1;
+            self.stats.lane_instructions += self.warps[w].active.count_ones() as u64;
+            self.stats.issue_millicycles += di.cost;
+
+            match di.op {
+                DOp::Ssy => {
+                    let active = self.warps[w].active;
+                    self.warps[w].stack.push(Frame {
+                        restore_mask: active,
+                        pending: None,
+                    });
+                    self.warps[w].pc += 1;
+                }
+                DOp::Sync => {
+                    let warp = &mut self.warps[w];
+                    let frame = warp
+                        .stack
+                        .last_mut()
+                        .ok_or(FaultKind::Divergence("sync without ssy frame"))?;
+                    if let Some((ppc, pmask)) = frame.pending.take() {
+                        warp.active = pmask;
+                        warp.pc = ppc;
+                    } else {
+                        warp.active = frame.restore_mask;
+                        warp.stack.pop();
+                        warp.pc += 1;
+                    }
+                }
+                DOp::Bra { target, pred } => {
+                    let t = target as usize;
+                    let refill = code.branch_refill_millicycles;
+                    match pred {
+                        None => {
+                            self.warps[w].pc = t;
+                            self.stats.issue_millicycles += refill;
+                        }
+                        Some((p, polarity)) => {
+                            let taken = self.pred_mask_slot(w, p, polarity);
+                            let warp = &mut self.warps[w];
+                            let active = warp.active;
+                            if taken == active {
+                                warp.pc = t;
+                                self.stats.issue_millicycles += refill;
+                            } else if taken == 0 {
+                                warp.pc += 1;
+                            } else {
+                                self.stats.divergent_branches += 1;
+                                let frame = warp
+                                    .stack
+                                    .last_mut()
+                                    .ok_or(FaultKind::Divergence("divergent branch without ssy"))?;
+                                self.stats.issue_millicycles += refill;
+                                match &mut frame.pending {
+                                    None => frame.pending = Some((t, taken)),
+                                    Some((ppc, pmask)) if *ppc == t => {
+                                        *pmask |= taken;
+                                    }
+                                    Some(_) => {
+                                        return Err(FaultKind::Divergence(
+                                            "conflicting divergence targets in one region",
+                                        ))
+                                    }
+                                }
+                                warp.active = active & !taken;
+                                warp.pc += 1;
+                            }
+                        }
+                    }
+                }
+                DOp::Bar => {
+                    let warp = &mut self.warps[w];
+                    if warp.active != warp.full {
+                        return Err(FaultKind::Divergence("barrier reached by divergent warp"));
+                    }
+                    self.stats.barriers += 1;
+                    self.stats.issue_millicycles += code.barrier_cost_millicycles;
+                    warp.status = WarpStatus::AtBarrier;
+                    return Ok(()); // pc advanced at release
+                }
+                DOp::Ret => {
+                    let warp = &mut self.warps[w];
+                    if !warp.stack.is_empty() {
+                        return Err(FaultKind::Divergence("ret inside ssy region"));
+                    }
+                    warp.status = WarpStatus::Done;
+                    return Ok(());
+                }
+                DOp::Mem(ref inst) => {
+                    self.exec_lanes(w, ctaid, inst)?;
+                    self.warps[w].pc += 1;
+                }
+                ref op => {
+                    let active = self.warps[w].active;
+                    let base = self.warps[w].base_tid;
+                    let ww = self.device.warp_width;
+                    for lane in 0..ww {
+                        if active & (1u64 << lane) == 0 {
+                            continue;
+                        }
+                        let tid = base + lane;
+                        self.cur_tid = tid;
+                        self.exec_scalar_d::<true>(tid, ctaid, op)?;
+                    }
+                    self.warps[w].pc += 1;
+                }
+            }
+        }
+    }
+
+    /// Pure register-to-register execution of a decoded op for one thread.
+    /// Must mirror `exec_scalar` exactly; with `STATS == false` the per-op
+    /// flop increments are skipped (the fused caller bumps the precomputed
+    /// run aggregate instead).
+    fn exec_scalar_d<const STATS: bool>(
+        &mut self,
+        tid: u32,
+        ctaid: Dim3,
+        op: &DOp,
+    ) -> Result<(), FaultKind> {
+        match *op {
+            DOp::Mov { ty, d, a } => {
+                let v = load_extend(self.eval_d(tid, ctaid, a), ty);
+                self.set_reg_slot(tid, d, v);
+            }
+            DOp::Cvt { dty, sty, d, a } => {
+                let v = self.eval_d(tid, ctaid, a);
+                self.set_reg_slot(tid, d, convert(v, sty, dty));
+            }
+            DOp::Un { op, ty, d, a } => {
+                let v = self.eval_d(tid, ctaid, a);
+                let r = alu1(op, ty, v);
+                if STATS && (op == Op1::Sqrt || op == Op1::Rsqrt || op == Op1::Rcp) {
+                    self.stats.flops += 1;
+                }
+                self.set_reg_slot(tid, d, r);
+            }
+            DOp::Bin { op, ty, d, a, b } => {
+                let va = self.eval_d(tid, ctaid, a);
+                let vb = self.eval_d(tid, ctaid, b);
+                let r = alu2(op, ty, va, vb)?;
+                if STATS && ty.is_float() && !op.is_logic() && !op.is_shift() {
+                    self.stats.flops += 1;
+                }
+                self.set_reg_slot(tid, d, r);
+            }
+            DOp::Tern { op, ty, d, a, b, c } => {
+                let va = self.eval_d(tid, ctaid, a);
+                let vb = self.eval_d(tid, ctaid, b);
+                let vc = self.eval_d(tid, ctaid, c);
+                let r = alu3(op, ty, va, vb, vc);
+                if STATS && ty.is_float() {
+                    self.stats.flops += 2;
+                }
+                self.set_reg_slot(tid, d, r);
+            }
+            DOp::Setp { cmp, ty, d, a, b } => {
+                let va = self.eval_d(tid, ctaid, a);
+                let vb = self.eval_d(tid, ctaid, b);
+                let r = compare(cmp, ty, va, vb) as u64;
+                self.set_reg_slot(tid, d, r);
+            }
+            DOp::Selp { ty, d, a, b, p } => {
+                let va = self.eval_d(tid, ctaid, a);
+                let vb = self.eval_d(tid, ctaid, b);
+                let vp = self.get_reg_slot(tid, p);
+                self.set_reg_slot(tid, d, load_extend(if vp != 0 { va } else { vb }, ty));
+            }
+            _ => unreachable!("exec_scalar_d on non-scalar op"),
+        }
+        Ok(())
+    }
+
+    /// Evaluate a pre-resolved source operand (immediates carry final bits).
+    #[inline]
+    fn eval_d(&self, tid: u32, ctaid: Dim3, s: DSrc) -> u64 {
+        match s {
+            DSrc::Reg(slot) => self.get_reg_slot(tid, slot),
+            DSrc::Imm(bits) => bits,
+            DSrc::Special(sp) => self.special(tid, ctaid, sp),
+        }
+    }
+
+    #[inline]
+    fn get_reg_slot(&self, tid: u32, slot: u32) -> u64 {
+        self.regs[(tid as usize) * self.reg_stride + slot as usize]
+    }
+
+    #[inline]
+    fn set_reg_slot(&mut self, tid: u32, slot: u32, v: u64) {
+        self.regs[(tid as usize) * self.reg_stride + slot as usize] = v;
+    }
+
+    /// Mask of active lanes whose predicate register slot equals `polarity`.
+    fn pred_mask_slot(&self, w: usize, slot: u32, polarity: bool) -> u64 {
+        let warp = &self.warps[w];
+        let ww = self.device.warp_width;
+        let mut mask = 0u64;
+        for lane in 0..ww {
+            let bit = 1u64 << lane;
+            if warp.active & bit == 0 {
+                continue;
+            }
+            let v = self.get_reg_slot(warp.base_tid + lane, slot) != 0;
+            if v == polarity {
+                mask |= bit;
+            }
+        }
+        mask
+    }
+}

@@ -21,14 +21,19 @@
 //! read-modify-writes) take a coherent serial fallback so atomics resolve
 //! in deterministic block order.
 
+use crate::alu::{
+    alu1, alu2, alu3, compare, convert, dram_traffic, float_bits, load_extend, read_bytes,
+    write_bytes,
+};
 use crate::cache::{Cache, CacheAccess};
-use crate::device::{Arch, DeviceSpec};
+use crate::decode::{decode_kernel, issue_cost_millicycles, DecodedKernel, ExecTier};
+use crate::device::DeviceSpec;
 use crate::error::{DeviceFault, FaultKind, FaultSite, SimError};
 use crate::launch::{Dim3, LaunchConfig, TexBinding};
 use crate::mem::{GlobalMemory, WriteOverlay};
 use crate::stats::ExecStats;
 use gpucmp_ptx::{
-    Address, AtomOp, CmpOp, Inst, Op1, Op2, Op3, Operand, Reg, ResolvedKernel, Space, Special, Ty,
+    Address, AtomOp, Inst, Op1, Op2, Operand, Reg, ResolvedKernel, Space, Special, Ty,
 };
 use std::time::Instant;
 
@@ -37,17 +42,20 @@ pub const DEFAULT_INST_BUDGET: u64 = 4_000_000_000;
 
 /// Divergence-stack frame (one per `ssy` region).
 #[derive(Clone, Debug)]
-struct Frame {
+pub(crate) struct Frame {
     /// Mask to restore when the region fully reconverges.
-    restore_mask: u64,
+    pub(crate) restore_mask: u64,
     /// A parked path: (target pc, mask), waiting to run when the current
-    /// path reaches the `sync`.
-    pending: Option<(usize, u64)>,
+    /// path reaches the `sync`. The pc lives in the instruction space of
+    /// the executing tier (original stream for interp, decoded stream for
+    /// decoded/fused) — warps are rebuilt per block and one launch runs one
+    /// tier, so the spaces never mix.
+    pub(crate) pending: Option<(usize, u64)>,
 }
 
 /// Warp scheduling status.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum WarpStatus {
+pub(crate) enum WarpStatus {
     Running,
     AtBarrier,
     Done,
@@ -55,16 +63,16 @@ enum WarpStatus {
 
 /// Per-warp execution state.
 #[derive(Clone, Debug)]
-struct WarpState {
-    pc: usize,
+pub(crate) struct WarpState {
+    pub(crate) pc: usize,
     /// Currently active lanes.
-    active: u64,
+    pub(crate) active: u64,
     /// Lanes that exist in this warp (partial last warp of a block).
-    full: u64,
-    stack: Vec<Frame>,
-    status: WarpStatus,
+    pub(crate) full: u64,
+    pub(crate) stack: Vec<Frame>,
+    pub(crate) status: WarpStatus,
     /// Linear tid of lane 0 of this warp within the block.
-    base_tid: u32,
+    pub(crate) base_tid: u32,
 }
 
 /// Host-side execution options for one launch: *how* to simulate, never
@@ -81,6 +89,11 @@ pub struct ExecOptions {
     /// granularity, like `cuda-memcheck`. Control-flow faults (barrier
     /// deadlock, divergence misuse, watchdog) still abort.
     pub memcheck: bool,
+    /// Which execution engine steps warp instructions (interp / decoded /
+    /// fused). Bit-identical results by contract; see [`ExecTier`].
+    /// `Default` does *not* consult the environment — callers that want
+    /// `GPUCMP_SIM_TIER` respected use [`ExecTier::from_env`].
+    pub tier: ExecTier,
 }
 
 impl Default for ExecOptions {
@@ -88,6 +101,7 @@ impl Default for ExecOptions {
         ExecOptions {
             threads: 1,
             memcheck: false,
+            tier: ExecTier::default(),
         }
     }
 }
@@ -109,6 +123,12 @@ impl ExecOptions {
     /// Enable or disable the memcheck sanitizer.
     pub fn memcheck(mut self, on: bool) -> Self {
         self.memcheck = on;
+        self
+    }
+
+    /// Select the execution tier.
+    pub fn tier(mut self, tier: ExecTier) -> Self {
+        self.tier = tier;
         self
     }
 
@@ -264,7 +284,38 @@ pub fn run_launch(
     const_bank: &[u8],
     opts: &ExecOptions,
 ) -> Result<(ExecStats, ExecProfile, Vec<DeviceFault>), SimError> {
+    run_launch_with_code(device, kernel, gmem, cfg, const_bank, opts, None)
+}
+
+/// [`run_launch`] with an optional pre-decoded kernel.
+///
+/// When `opts.tier` is a decoded tier and `code` is `Some`, the launch
+/// executes that pre-decoded body (the session code cache path — one
+/// decode per distinct kernel). With `code == None` the kernel is decoded
+/// here, once per launch. On [`ExecTier::Interp`] any provided `code` is
+/// ignored and the reference interpreter runs.
+pub fn run_launch_with_code(
+    device: &DeviceSpec,
+    kernel: &ResolvedKernel,
+    gmem: &mut GlobalMemory,
+    cfg: &LaunchConfig,
+    const_bank: &[u8],
+    opts: &ExecOptions,
+    code: Option<&DecodedKernel>,
+) -> Result<(ExecStats, ExecProfile, Vec<DeviceFault>), SimError> {
     validate_launch(device, kernel, cfg)?;
+    let decoded_here;
+    let code: Option<&DecodedKernel> = match opts.tier {
+        ExecTier::Interp => None,
+        ExecTier::Decoded | ExecTier::Fused => Some(match code {
+            Some(c) => c,
+            None => {
+                decoded_here = decode_kernel(kernel, device);
+                &decoded_here
+            }
+        }),
+    };
+    let fused = opts.tier == ExecTier::Fused;
     let blocks = cfg.grid.count();
     let block_threads = cfg.block.count() as u32;
 
@@ -300,7 +351,16 @@ pub fn run_launch(
             gmem,
             l2: device.l2.map(Cache::from_geom),
         };
-        let mut exec = BlockExec::new(device, kernel, cfg, const_bank, opts.memcheck, path);
+        let mut exec = BlockExec::new(
+            device,
+            kernel,
+            cfg,
+            const_bank,
+            opts.memcheck,
+            code,
+            fused,
+            path,
+        );
         let mut result = Ok(());
         for b in 0..blocks {
             result = exec.run_linear_block(b);
@@ -330,7 +390,16 @@ pub fn run_launch(
             events: Vec::new(),
             record_l2: device.l2.is_some(),
         };
-        let mut exec = BlockExec::new(device, kernel, cfg, const_bank, opts.memcheck, path);
+        let mut exec = BlockExec::new(
+            device,
+            kernel,
+            cfg,
+            const_bank,
+            opts.memcheck,
+            code,
+            fused,
+            path,
+        );
         let mut b = worker as u64;
         while b < blocks {
             exec.budget = cfg.inst_budget;
@@ -406,9 +475,9 @@ pub fn run_launch(
 /// Owns all per-block cache state and statistics; global memory is reached
 /// through a [`GmemPath`]. Use [`crate::launch::launch_with`] for the
 /// one-call wrapper that also produces timing.
-struct BlockExec<'a> {
-    device: &'a DeviceSpec,
-    kernel: &'a ResolvedKernel,
+pub(crate) struct BlockExec<'a> {
+    pub(crate) device: &'a DeviceSpec,
+    pub(crate) kernel: &'a ResolvedKernel,
     path: GmemPath<'a>,
     const_bank: &'a [u8],
     textures: &'a [TexBinding],
@@ -418,31 +487,47 @@ struct BlockExec<'a> {
     block: Dim3,
     /// Statistics for the block(s) run so far (snapshot workers drain this
     /// after every block; the coherent path accumulates across the launch).
-    stats: ExecStats,
+    pub(crate) stats: ExecStats,
     /// Remaining warp-instruction budget (per block under snapshot
     /// execution, per launch on the coherent path).
-    budget: u64,
+    pub(crate) budget: u64,
+    /// Pre-decoded dispatch IR (`None` on the interp reference tier).
+    code: Option<&'a DecodedKernel>,
+    /// Whether the decoded tier retires fused superinstruction runs.
+    fused: bool,
+    /// Register-file stride (`kernel.regs.len()`), cached so the decoded
+    /// tier's slot arithmetic skips the double pointer chase per access.
+    pub(crate) reg_stride: usize,
     // ---- per-block state (reused across blocks to avoid reallocation) ----
-    regs: Vec<u64>,
+    pub(crate) regs: Vec<u64>,
     shared: Vec<u8>,
     local: Vec<u8>,
-    warps: Vec<WarpState>,
+    pub(crate) warps: Vec<WarpState>,
     l1: Option<Cache>,
     texc: Option<Cache>,
     constc: Option<Cache>,
     /// Scratch: per-lane addresses of the current memory instruction.
     lane_addr: Vec<(u32, u64)>,
+    /// Scratch: distinct memory segments of one coalesce group.
+    seg_scratch: Vec<u64>,
+    /// Scratch: (bank, word) pairs of one shared-memory banking group.
+    word_scratch: Vec<(u64, u64)>,
+    /// Scratch: distinct constant-space addresses of one warp access.
+    addr_scratch: Vec<u64>,
+    /// Scratch: distinct cache lines of one warp access.
+    line_scratch: Vec<u64>,
     /// Linear id of the block currently executing (for the local-memory
     /// address model).
     cur_block: u64,
     /// Launch-configured warp-instruction budget (reported in Watchdog
     /// faults; `budget` below counts down from it).
-    budget_limit: u64,
-    /// pc of the instruction currently executing (fault attribution).
-    cur_pc: usize,
+    pub(crate) budget_limit: u64,
+    /// pc of the instruction currently executing, always in the *original*
+    /// instruction stream regardless of tier (fault attribution).
+    pub(crate) cur_pc: usize,
     /// Linear tid of the lane currently executing (fault attribution;
     /// warp-scoped faults attribute to lane 0 of the warp).
-    cur_tid: u32,
+    pub(crate) cur_tid: u32,
     /// Memcheck sanitizer: record access faults instead of aborting.
     memcheck: bool,
     /// Access faults recorded under memcheck (drained per block on the
@@ -452,12 +537,15 @@ struct BlockExec<'a> {
 
 impl<'a> BlockExec<'a> {
     /// Build a block interpreter (the launch must already be validated).
+    #[allow(clippy::too_many_arguments)]
     fn new(
         device: &'a DeviceSpec,
         kernel: &'a ResolvedKernel,
         cfg: &'a LaunchConfig,
         const_bank: &'a [u8],
         memcheck: bool,
+        code: Option<&'a DecodedKernel>,
+        fused: bool,
         path: GmemPath<'a>,
     ) -> Self {
         let mut param_bytes = Vec::with_capacity(cfg.params.len() * 8);
@@ -475,6 +563,9 @@ impl<'a> BlockExec<'a> {
             block: cfg.block,
             stats: ExecStats::default(),
             budget: cfg.inst_budget,
+            code,
+            fused,
+            reg_stride: kernel.kernel.regs.len(),
             regs: Vec::new(),
             shared: Vec::new(),
             local: Vec::new(),
@@ -483,6 +574,10 @@ impl<'a> BlockExec<'a> {
             texc: None,
             constc: None,
             lane_addr: Vec::new(),
+            seg_scratch: Vec::new(),
+            word_scratch: Vec::new(),
+            addr_scratch: Vec::new(),
+            line_scratch: Vec::new(),
             cur_block: 0,
             budget_limit: cfg.inst_budget,
             cur_pc: 0,
@@ -619,8 +714,11 @@ impl<'a> BlockExec<'a> {
             let mut progressed = false;
             for w in 0..self.warps.len() {
                 if self.warps[w].status == WarpStatus::Running {
-                    self.run_warp(w, ctaid)
-                        .map_err(|k| self.site_fault(k, ctaid))?;
+                    match self.code {
+                        None => self.run_warp(w, ctaid),
+                        Some(code) => self.run_warp_decoded(w, ctaid, code, self.fused),
+                    }
+                    .map_err(|k| self.site_fault(k, ctaid))?;
                     progressed = true;
                 }
             }
@@ -667,7 +765,7 @@ impl<'a> BlockExec<'a> {
             self.budget -= 1;
             self.stats.warp_instructions += 1;
             self.stats.lane_instructions += self.warps[w].active.count_ones() as u64;
-            self.stats.issue_millicycles += self.issue_cost_millicycles(&inst);
+            self.stats.issue_millicycles += issue_cost_millicycles(self.device, &inst);
 
             match inst {
                 Inst::Label(_) => unreachable!(),
@@ -767,7 +865,12 @@ impl<'a> BlockExec<'a> {
     // ------------------------------------------------------------------
 
     /// Execute a data instruction for every active lane of warp `w`.
-    fn exec_lanes(&mut self, w: usize, ctaid: Dim3, inst: &Inst) -> Result<(), FaultKind> {
+    pub(crate) fn exec_lanes(
+        &mut self,
+        w: usize,
+        ctaid: Dim3,
+        inst: &Inst,
+    ) -> Result<(), FaultKind> {
         // Memory instructions need transaction modelling over the whole
         // warp; everything else is a pure per-lane register update.
         match inst {
@@ -989,10 +1092,13 @@ impl<'a> BlockExec<'a> {
             .as_ref()
             .map(|c| c.line_bytes())
             .unwrap_or(self.device.segment_bytes as u64);
-        let mut lines: Vec<u64> = self.lane_addr.iter().map(|&(_, a)| a / line).collect();
-        lines.sort_unstable();
-        lines.dedup();
-        for l in lines {
+        self.line_scratch.clear();
+        self.line_scratch
+            .extend(self.lane_addr.iter().map(|&(_, a)| a / line));
+        self.line_scratch.sort_unstable();
+        self.line_scratch.dedup();
+        for i in 0..self.line_scratch.len() {
+            let l = self.line_scratch[i];
             match &mut self.texc {
                 Some(c) => match c.access(l * line) {
                     CacheAccess::Hit => self.stats.tex_hits += 1,
@@ -1103,26 +1209,28 @@ impl<'a> BlockExec<'a> {
                 let seg = self.device.segment_bytes.max(32) as u64;
                 // For each coalesce group of lanes, count distinct segments.
                 let mut i = 0;
-                let mut segs: Vec<u64> = Vec::with_capacity(8);
                 while i < self.lane_addr.len() {
                     let end = (i + group).min(self.lane_addr.len());
-                    segs.clear();
-                    for &(_, a) in &self.lane_addr[i..end] {
+                    self.seg_scratch.clear();
+                    for j in i..end {
+                        let (_, a) = self.lane_addr[j];
                         // every byte the access touches (may straddle)
                         let first = a / seg;
                         let last = (a + size as u64 - 1) / seg;
                         for s in first..=last {
-                            segs.push(s);
+                            self.seg_scratch.push(s);
                         }
                     }
-                    segs.sort_unstable();
-                    segs.dedup();
+                    self.seg_scratch.sort_unstable();
+                    self.seg_scratch.dedup();
                     // Fully-coalesced floor: the same lanes touching
                     // contiguous addresses would have needed this many
-                    // segments. The gap to `segs.len()` is serialisation.
+                    // segments. The gap to the distinct-segment count is
+                    // serialisation.
                     self.stats.gmem_ideal_transactions +=
                         ((end - i) as u64 * size as u64).div_ceil(seg).max(1);
-                    for &s in segs.iter() {
+                    for j in 0..self.seg_scratch.len() {
+                        let s = self.seg_scratch[j];
                         self.stats.gmem_transactions += 1;
                         self.global_transaction(s * seg, seg, is_store);
                     }
@@ -1143,18 +1251,17 @@ impl<'a> BlockExec<'a> {
                     let mut degree = 1u64;
                     if banks > 1 {
                         // words per bank
-                        let mut words: Vec<(u64, u64)> = self.lane_addr[i..end]
-                            .iter()
-                            .map(|&(_, a)| {
+                        self.word_scratch.clear();
+                        self.word_scratch
+                            .extend(self.lane_addr[i..end].iter().map(|&(_, a)| {
                                 let word = a / 4;
                                 (word % banks, word)
-                            })
-                            .collect();
-                        words.sort_unstable();
-                        words.dedup();
+                            }));
+                        self.word_scratch.sort_unstable();
+                        self.word_scratch.dedup();
                         let mut run = 0u64;
                         let mut prev_bank = u64::MAX;
-                        for (bank, _) in words {
+                        for &(bank, _) in &self.word_scratch {
                             if bank == prev_bank {
                                 run += 1;
                             } else {
@@ -1198,15 +1305,20 @@ impl<'a> BlockExec<'a> {
             }
             Space::Const => {
                 // Distinct addresses serialise; same-address is broadcast.
-                let mut addrs: Vec<u64> = self.lane_addr.iter().map(|&(_, a)| a).collect();
-                addrs.sort_unstable();
-                addrs.dedup();
-                self.stats.const_serializations += addrs.len() as u64 - 1;
+                self.addr_scratch.clear();
+                self.addr_scratch
+                    .extend(self.lane_addr.iter().map(|&(_, a)| a));
+                self.addr_scratch.sort_unstable();
+                self.addr_scratch.dedup();
+                self.stats.const_serializations += self.addr_scratch.len() as u64 - 1;
                 let line = self.constc.as_ref().map(|cc| cc.line_bytes()).unwrap_or(64);
-                let mut lines: Vec<u64> = addrs.iter().map(|a| a / line).collect();
-                lines.dedup();
-                self.stats.const_line_accesses += lines.len() as u64;
-                for l in lines {
+                self.line_scratch.clear();
+                self.line_scratch
+                    .extend(self.addr_scratch.iter().map(|a| a / line));
+                self.line_scratch.dedup();
+                self.stats.const_line_accesses += self.line_scratch.len() as u64;
+                for i in 0..self.line_scratch.len() {
+                    let l = self.line_scratch[i];
                     match &mut self.constc {
                         Some(cc) => {
                             if cc.access(l * line) == CacheAccess::Miss {
@@ -1411,7 +1523,7 @@ impl<'a> BlockExec<'a> {
         }
     }
 
-    fn special(&self, tid: u32, ctaid: Dim3, s: Special) -> u64 {
+    pub(crate) fn special(&self, tid: u32, ctaid: Dim3, s: Special) -> u64 {
         let b = self.block;
         let tz = tid / (b.x * b.y);
         let rem = tid % (b.x * b.y);
@@ -1453,649 +1565,5 @@ impl<'a> BlockExec<'a> {
             }
         }
         mask
-    }
-
-    /// Issue-cost table, in millicycles per warp instruction.
-    fn issue_cost_millicycles(&self, inst: &Inst) -> u64 {
-        let d = self.device;
-        let float_scale = d.arith_cycle_scale;
-        let f64_penalty = match d.arch {
-            Arch::Gt200 => 8.0,
-            Arch::Fermi => 4.0,
-            _ => 4.0,
-        };
-        let cost_f = |c: f64| (c * 1000.0) as u64;
-        match inst {
-            Inst::Label(_) | Inst::Ssy { .. } | Inst::SyncPoint => 0,
-            Inst::Mov { .. } | Inst::Cvt { .. } => 1000,
-            Inst::Setp { .. } | Inst::Selp { .. } | Inst::Bra { .. } => 1000,
-            Inst::Un { op, ty, .. } => {
-                if op.is_sfu() {
-                    cost_f(4.0)
-                } else if ty.is_float() {
-                    let base = if ty.is_wide() { f64_penalty } else { 1.0 };
-                    cost_f(base * float_scale)
-                } else {
-                    1000
-                }
-            }
-            Inst::Bin { op, ty, .. } => match op {
-                Op2::Div | Op2::Rem => {
-                    if ty.is_float() {
-                        cost_f(8.0)
-                    } else {
-                        cost_f(16.0)
-                    }
-                }
-                Op2::Mul => {
-                    if ty.is_float() {
-                        let base = if ty.is_wide() { f64_penalty } else { 1.0 };
-                        cost_f(base * float_scale)
-                    } else if d.arch == Arch::Gt200 {
-                        cost_f(4.0) // 32-bit integer mul is slow on GT200
-                    } else {
-                        1000
-                    }
-                }
-                _ => {
-                    if ty.is_float() {
-                        let base = if ty.is_wide() { f64_penalty } else { 1.0 };
-                        cost_f(base * float_scale)
-                    } else {
-                        1000
-                    }
-                }
-            },
-            Inst::Tern { ty, .. } => {
-                if ty.is_float() {
-                    let base = if ty.is_wide() { f64_penalty } else { 1.0 };
-                    cost_f(base * float_scale)
-                } else if d.arch == Arch::Gt200 {
-                    cost_f(4.0)
-                } else {
-                    1000
-                }
-            }
-            Inst::Ld { .. } | Inst::St { .. } | Inst::Tex { .. } => 1000,
-            Inst::Atom { .. } => cost_f(4.0),
-            Inst::Bar => 1000, // barrier_cost added separately
-            Inst::Ret => 1000,
-        }
-    }
-}
-
-/// Account DRAM traffic, including the per-partition striping that
-/// produces GT200's partition-camping behaviour. Free function (rather
-/// than a method) so both block interpreters and the merge-time L2 replay
-/// can charge traffic against any stats accumulator; every counter it
-/// touches is a commutative sum, so per-block accounting merges exactly.
-fn dram_traffic(device: &DeviceSpec, stats: &mut ExecStats, addr: u64, bytes: u64, is_store: bool) {
-    if is_store {
-        stats.dram_write_bytes += bytes;
-    } else {
-        stats.dram_read_bytes += bytes;
-    }
-    let parts = device.dram_partitions.max(1) as u64;
-    let stripe = addr / 256;
-    // Local (spill) space lives in the reserved high range; hardware
-    // interleaves it per-lane, which spreads partitions like a hash.
-    let p = if device.partition_hashed || addr >= (1u64 << 40) {
-        // Fermi-style address hash spreads any pattern evenly.
-        (stripe.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % parts
-    } else {
-        stripe % parts
-    };
-    stats.partition_bytes[p as usize] += bytes;
-}
-
-// ----------------------------------------------------------------------
-// Scalar ALU semantics
-// ----------------------------------------------------------------------
-
-#[inline]
-fn f32b(v: u64) -> f32 {
-    f32::from_bits(v as u32)
-}
-
-#[inline]
-fn f64b(v: u64) -> f64 {
-    f64::from_bits(v)
-}
-
-#[inline]
-fn bf32(v: f32) -> u64 {
-    v.to_bits() as u64
-}
-
-#[inline]
-fn bf64(v: f64) -> u64 {
-    v.to_bits()
-}
-
-fn float_bits(ty: Ty, v: f64) -> u64 {
-    match ty {
-        Ty::F32 => bf32(v as f32),
-        Ty::F64 => bf64(v),
-        // Integer context: immediate numeric value.
-        _ => v as i64 as u64,
-    }
-}
-
-/// Zero/sign-extend a freshly loaded value of type `ty` into a register.
-fn load_extend(v: u64, ty: Ty) -> u64 {
-    match ty {
-        Ty::B8 => v & 0xff,
-        Ty::B16 => v & 0xffff,
-        Ty::S32 => v as u32 as i32 as i64 as u64,
-        Ty::U32 | Ty::B32 | Ty::F32 => v & 0xffff_ffff,
-        _ => v,
-    }
-}
-
-fn alu1(op: Op1, ty: Ty, v: u64) -> u64 {
-    match ty {
-        Ty::F32 => {
-            let x = f32b(v);
-            bf32(match op {
-                Op1::Neg => -x,
-                Op1::Abs => x.abs(),
-                Op1::Sqrt => x.sqrt(),
-                Op1::Rsqrt => 1.0 / x.sqrt(),
-                Op1::Rcp => 1.0 / x,
-                Op1::Sin => x.sin(),
-                Op1::Cos => x.cos(),
-                Op1::Ex2 => x.exp2(),
-                Op1::Lg2 => x.log2(),
-                Op1::Not => return !v & 0xffff_ffff,
-            })
-        }
-        Ty::F64 => {
-            let x = f64b(v);
-            bf64(match op {
-                Op1::Neg => -x,
-                Op1::Abs => x.abs(),
-                Op1::Sqrt => x.sqrt(),
-                Op1::Rsqrt => 1.0 / x.sqrt(),
-                Op1::Rcp => 1.0 / x,
-                Op1::Sin => x.sin(),
-                Op1::Cos => x.cos(),
-                Op1::Ex2 => x.exp2(),
-                Op1::Lg2 => x.log2(),
-                Op1::Not => return !v,
-            })
-        }
-        Ty::S32 | Ty::U32 | Ty::B32 => {
-            let x = v as u32;
-            (match op {
-                Op1::Neg => (x as i32).wrapping_neg() as u32,
-                Op1::Abs => (x as i32).wrapping_abs() as u32,
-                Op1::Not => !x,
-                _ => unreachable!("SFU op on integer type"),
-            }) as u64
-        }
-        _ => match op {
-            Op1::Neg => (v as i64).wrapping_neg() as u64,
-            Op1::Abs => (v as i64).wrapping_abs() as u64,
-            Op1::Not => !v,
-            _ => unreachable!("SFU op on integer type"),
-        },
-    }
-}
-
-fn alu2(op: Op2, ty: Ty, a: u64, b: u64) -> Result<u64, FaultKind> {
-    Ok(match ty {
-        Ty::F32 => {
-            let (x, y) = (f32b(a), f32b(b));
-            bf32(match op {
-                Op2::Add => x + y,
-                Op2::Sub => x - y,
-                Op2::Mul => x * y,
-                Op2::Div => x / y,
-                Op2::Rem => x % y,
-                Op2::Min => x.min(y),
-                Op2::Max => x.max(y),
-                _ => return int_logic(op, a & 0xffff_ffff, b, 32),
-            })
-        }
-        Ty::F64 => {
-            let (x, y) = (f64b(a), f64b(b));
-            bf64(match op {
-                Op2::Add => x + y,
-                Op2::Sub => x - y,
-                Op2::Mul => x * y,
-                Op2::Div => x / y,
-                Op2::Rem => x % y,
-                Op2::Min => x.min(y),
-                Op2::Max => x.max(y),
-                _ => return int_logic(op, a, b, 64),
-            })
-        }
-        Ty::S32 => {
-            let (x, y) = (a as u32 as i32, b as u32 as i32);
-            (match op {
-                Op2::Add => x.wrapping_add(y),
-                Op2::Sub => x.wrapping_sub(y),
-                Op2::Mul => x.wrapping_mul(y),
-                Op2::Div => {
-                    if y == 0 {
-                        return Err(FaultKind::DivByZero);
-                    }
-                    x.wrapping_div(y)
-                }
-                Op2::Rem => {
-                    if y == 0 {
-                        return Err(FaultKind::DivByZero);
-                    }
-                    x.wrapping_rem(y)
-                }
-                Op2::Min => x.min(y),
-                Op2::Max => x.max(y),
-                Op2::Shr => {
-                    let sh = (b as u32).min(63);
-                    if sh >= 32 {
-                        x >> 31
-                    } else {
-                        x >> sh
-                    }
-                }
-                _ => return int_logic(op, a & 0xffff_ffff, b, 32),
-            }) as u32 as u64
-        }
-        Ty::U32 | Ty::B32 => {
-            let (x, y) = (a as u32, b as u32);
-            (match op {
-                Op2::Add => x.wrapping_add(y),
-                Op2::Sub => x.wrapping_sub(y),
-                Op2::Mul => x.wrapping_mul(y),
-                Op2::Div => {
-                    if y == 0 {
-                        return Err(FaultKind::DivByZero);
-                    }
-                    x / y
-                }
-                Op2::Rem => {
-                    if y == 0 {
-                        return Err(FaultKind::DivByZero);
-                    }
-                    x % y
-                }
-                Op2::Min => x.min(y),
-                Op2::Max => x.max(y),
-                _ => return int_logic(op, a & 0xffff_ffff, b, 32),
-            }) as u64
-        }
-        Ty::S64 => {
-            let (x, y) = (a as i64, b as i64);
-            (match op {
-                Op2::Add => x.wrapping_add(y),
-                Op2::Sub => x.wrapping_sub(y),
-                Op2::Mul => x.wrapping_mul(y),
-                Op2::Div => {
-                    if y == 0 {
-                        return Err(FaultKind::DivByZero);
-                    }
-                    x.wrapping_div(y)
-                }
-                Op2::Rem => {
-                    if y == 0 {
-                        return Err(FaultKind::DivByZero);
-                    }
-                    x.wrapping_rem(y)
-                }
-                Op2::Min => x.min(y),
-                Op2::Max => x.max(y),
-                Op2::Shr => {
-                    let sh = (b as u32).min(127);
-                    if sh >= 64 {
-                        x >> 63
-                    } else {
-                        x >> sh
-                    }
-                }
-                _ => return int_logic(op, a, b, 64),
-            }) as u64
-        }
-        Ty::U64 | Ty::B64 => {
-            let (x, y) = (a, b);
-            match op {
-                Op2::Add => x.wrapping_add(y),
-                Op2::Sub => x.wrapping_sub(y),
-                Op2::Mul => x.wrapping_mul(y),
-                Op2::Div => {
-                    if y == 0 {
-                        return Err(FaultKind::DivByZero);
-                    }
-                    x / y
-                }
-                Op2::Rem => {
-                    if y == 0 {
-                        return Err(FaultKind::DivByZero);
-                    }
-                    x % y
-                }
-                Op2::Min => x.min(y),
-                Op2::Max => x.max(y),
-                _ => return int_logic(op, a, b, 64),
-            }
-        }
-        Ty::Pred | Ty::B8 | Ty::B16 => {
-            return int_logic(op, a, b, 64);
-        }
-    })
-}
-
-/// and/or/xor/shl/shr on raw bits of the given width.
-fn int_logic(op: Op2, a: u64, b: u64, width: u32) -> Result<u64, FaultKind> {
-    let mask = if width == 64 {
-        u64::MAX
-    } else {
-        (1u64 << width) - 1
-    };
-    let r = match op {
-        Op2::And => a & b,
-        Op2::Or => a | b,
-        Op2::Xor => a ^ b,
-        Op2::Shl => {
-            let sh = (b as u32).min(127);
-            if sh >= width {
-                0
-            } else {
-                a << sh
-            }
-        }
-        Op2::Shr => {
-            let sh = (b as u32).min(127);
-            if sh >= width {
-                0
-            } else {
-                (a & mask) >> sh
-            }
-        }
-        _ => unreachable!("int_logic on {op:?}"),
-    };
-    Ok(r & mask)
-}
-
-fn alu3(op: Op3, ty: Ty, a: u64, b: u64, c: u64) -> u64 {
-    match ty {
-        Ty::F32 => {
-            let (x, y, z) = (f32b(a), f32b(b), f32b(c));
-            match op {
-                // GT200-era mad rounds the intermediate product; the paper's
-                // kernels tolerate either, and we use fused for both so the
-                // two front-ends produce bit-identical results.
-                Op3::Mad | Op3::Fma => bf32(x.mul_add(y, z)),
-            }
-        }
-        Ty::F64 => {
-            let (x, y, z) = (f64b(a), f64b(b), f64b(c));
-            bf64(x.mul_add(y, z))
-        }
-        Ty::S32 | Ty::U32 | Ty::B32 => {
-            let r = (a as u32).wrapping_mul(b as u32).wrapping_add(c as u32);
-            r as u64
-        }
-        _ => a.wrapping_mul(b).wrapping_add(c),
-    }
-}
-
-fn compare(cmp: CmpOp, ty: Ty, a: u64, b: u64) -> bool {
-    match ty {
-        Ty::F32 => {
-            let (x, y) = (f32b(a), f32b(b));
-            match cmp {
-                CmpOp::Eq => x == y,
-                CmpOp::Ne => x != y,
-                CmpOp::Lt => x < y,
-                CmpOp::Le => x <= y,
-                CmpOp::Gt => x > y,
-                CmpOp::Ge => x >= y,
-            }
-        }
-        Ty::F64 => {
-            let (x, y) = (f64b(a), f64b(b));
-            match cmp {
-                CmpOp::Eq => x == y,
-                CmpOp::Ne => x != y,
-                CmpOp::Lt => x < y,
-                CmpOp::Le => x <= y,
-                CmpOp::Gt => x > y,
-                CmpOp::Ge => x >= y,
-            }
-        }
-        Ty::S32 => {
-            let (x, y) = (a as u32 as i32, b as u32 as i32);
-            int_cmp(cmp, x as i64, y as i64)
-        }
-        Ty::S64 => int_cmp(cmp, a as i64, b as i64),
-        Ty::U32 | Ty::B32 => {
-            let (x, y) = (a as u32 as u64, b as u32 as u64);
-            uint_cmp(cmp, x, y)
-        }
-        _ => uint_cmp(cmp, a, b),
-    }
-}
-
-fn int_cmp(cmp: CmpOp, x: i64, y: i64) -> bool {
-    match cmp {
-        CmpOp::Eq => x == y,
-        CmpOp::Ne => x != y,
-        CmpOp::Lt => x < y,
-        CmpOp::Le => x <= y,
-        CmpOp::Gt => x > y,
-        CmpOp::Ge => x >= y,
-    }
-}
-
-fn uint_cmp(cmp: CmpOp, x: u64, y: u64) -> bool {
-    match cmp {
-        CmpOp::Eq => x == y,
-        CmpOp::Ne => x != y,
-        CmpOp::Lt => x < y,
-        CmpOp::Le => x <= y,
-        CmpOp::Gt => x > y,
-        CmpOp::Ge => x >= y,
-    }
-}
-
-/// Convert raw bits between scalar types with numeric semantics.
-fn convert(v: u64, sty: Ty, dty: Ty) -> u64 {
-    // Decode source to a numeric domain.
-    enum Num {
-        I(i64),
-        U(u64),
-        F(f64),
-    }
-    let n = match sty {
-        Ty::F32 => Num::F(f32b(v) as f64),
-        Ty::F64 => Num::F(f64b(v)),
-        Ty::S32 => Num::I(v as u32 as i32 as i64),
-        Ty::S64 => Num::I(v as i64),
-        _ => Num::U(v),
-    };
-    match dty {
-        Ty::F32 => bf32(match n {
-            Num::I(x) => x as f32,
-            Num::U(x) => x as f32,
-            Num::F(x) => x as f32,
-        }),
-        Ty::F64 => bf64(match n {
-            Num::I(x) => x as f64,
-            Num::U(x) => x as f64,
-            Num::F(x) => x,
-        }),
-        Ty::S32 => {
-            (match n {
-                Num::I(x) => x as i32,
-                Num::U(x) => x as i32,
-                Num::F(x) => x as i32,
-            }) as u32 as u64
-        }
-        Ty::S64 => {
-            (match n {
-                Num::I(x) => x,
-                Num::U(x) => x as i64,
-                Num::F(x) => x as i64,
-            }) as u64
-        }
-        Ty::U32 | Ty::B32 => {
-            (match n {
-                Num::I(x) => x as u32,
-                Num::U(x) => x as u32,
-                Num::F(x) => x as u32,
-            }) as u64
-        }
-        Ty::B8 => {
-            (match n {
-                Num::I(x) => x as u8,
-                Num::U(x) => x as u8,
-                Num::F(x) => x as u8,
-            }) as u64
-        }
-        Ty::B16 => {
-            (match n {
-                Num::I(x) => x as u16,
-                Num::U(x) => x as u16,
-                Num::F(x) => x as u16,
-            }) as u64
-        }
-        _ => match n {
-            Num::I(x) => x as u64,
-            Num::U(x) => x,
-            Num::F(x) => x as u64,
-        },
-    }
-}
-
-fn read_bytes(buf: &[u8], addr: u64, size: u32, space: Space) -> Result<u64, FaultKind> {
-    crate::mem::check_aligned(space, addr, size)?;
-    let a = addr as usize;
-    if addr
-        .checked_add(size as u64)
-        .is_none_or(|e| e > buf.len() as u64)
-    {
-        return Err(FaultKind::OutOfBounds {
-            space,
-            addr,
-            size,
-            limit: buf.len() as u64,
-        });
-    }
-    Ok(match size {
-        1 => buf[a] as u64,
-        2 => u16::from_le_bytes(buf[a..a + 2].try_into().unwrap()) as u64,
-        4 => u32::from_le_bytes(buf[a..a + 4].try_into().unwrap()) as u64,
-        8 => u64::from_le_bytes(buf[a..a + 8].try_into().unwrap()),
-        _ => unreachable!(),
-    })
-}
-
-fn write_bytes(
-    buf: &mut [u8],
-    addr: u64,
-    size: u32,
-    value: u64,
-    space: Space,
-) -> Result<(), FaultKind> {
-    crate::mem::check_aligned(space, addr, size)?;
-    let a = addr as usize;
-    if addr
-        .checked_add(size as u64)
-        .is_none_or(|e| e > buf.len() as u64)
-    {
-        return Err(FaultKind::OutOfBounds {
-            space,
-            addr,
-            size,
-            limit: buf.len() as u64,
-        });
-    }
-    match size {
-        1 => buf[a] = value as u8,
-        2 => buf[a..a + 2].copy_from_slice(&(value as u16).to_le_bytes()),
-        4 => buf[a..a + 4].copy_from_slice(&(value as u32).to_le_bytes()),
-        8 => buf[a..a + 8].copy_from_slice(&value.to_le_bytes()),
-        _ => unreachable!(),
-    }
-    Ok(())
-}
-
-#[cfg(test)]
-mod alu_tests {
-    use super::*;
-
-    #[test]
-    fn f32_arithmetic() {
-        let a = bf32(3.0);
-        let b = bf32(4.0);
-        assert_eq!(f32b(alu2(Op2::Add, Ty::F32, a, b).unwrap()), 7.0);
-        assert_eq!(f32b(alu2(Op2::Mul, Ty::F32, a, b).unwrap()), 12.0);
-        assert_eq!(f32b(alu2(Op2::Max, Ty::F32, a, b).unwrap()), 4.0);
-        assert_eq!(f32b(alu3(Op3::Mad, Ty::F32, a, b, bf32(1.0))), 13.0);
-    }
-
-    #[test]
-    fn s32_wrapping_and_division() {
-        let a = i32::MAX as u32 as u64;
-        assert_eq!(
-            alu2(Op2::Add, Ty::S32, a, 1).unwrap() as u32 as i32,
-            i32::MIN
-        );
-        assert_eq!(
-            alu2(Op2::Div, Ty::S32, (-7i32) as u32 as u64, 2).unwrap() as u32 as i32,
-            -3
-        );
-        assert!(matches!(
-            alu2(Op2::Div, Ty::S32, 1, 0),
-            Err(FaultKind::DivByZero)
-        ));
-    }
-
-    #[test]
-    fn shifts_clamp() {
-        assert_eq!(int_logic(Op2::Shl, 1, 40, 32).unwrap(), 0);
-        assert_eq!(int_logic(Op2::Shl, 1, 4, 32).unwrap(), 16);
-        assert_eq!(int_logic(Op2::Shr, 0x8000_0000, 31, 32).unwrap(), 1);
-        // arithmetic shift for s32
-        assert_eq!(
-            alu2(Op2::Shr, Ty::S32, (-8i32) as u32 as u64, 1).unwrap() as u32 as i32,
-            -4
-        );
-    }
-
-    #[test]
-    fn unsigned_compare_differs_from_signed() {
-        let a = 0xffff_ffffu64; // -1 as i32, max as u32
-        assert!(compare(CmpOp::Lt, Ty::S32, a, 1));
-        assert!(!compare(CmpOp::Lt, Ty::U32, a, 1));
-    }
-
-    #[test]
-    fn conversions() {
-        assert_eq!(f32b(convert(bf32(2.75), Ty::F32, Ty::F32)), 2.75);
-        assert_eq!(convert(bf32(2.75), Ty::F32, Ty::S32), 2);
-        assert_eq!(convert((-3i32) as u32 as u64, Ty::S32, Ty::S64) as i64, -3);
-        assert_eq!(f32b(convert(7, Ty::U32, Ty::F32)), 7.0);
-        assert_eq!(f64b(convert(bf32(1.5), Ty::F32, Ty::F64)), 1.5);
-        // negative float to signed int truncates toward zero
-        assert_eq!(convert(bf32(-2.9), Ty::F32, Ty::S32) as u32 as i32, -2);
-    }
-
-    #[test]
-    fn load_extension() {
-        assert_eq!(load_extend(0xffff_ffff_ffff_ffff, Ty::B8), 0xff);
-        assert_eq!(
-            load_extend(0x0000_0000_8000_0000, Ty::S32),
-            0xffff_ffff_8000_0000
-        );
-        assert_eq!(load_extend(0xdead_beef_0000_0001, Ty::U32), 1);
-    }
-
-    #[test]
-    fn sfu_ops() {
-        assert_eq!(f32b(alu1(Op1::Sqrt, Ty::F32, bf32(9.0))), 3.0);
-        assert!((f32b(alu1(Op1::Rsqrt, Ty::F32, bf32(4.0))) - 0.5).abs() < 1e-6);
-        assert_eq!(f32b(alu1(Op1::Neg, Ty::F32, bf32(2.0))), -2.0);
-        assert_eq!(alu1(Op1::Not, Ty::B32, 0) & 0xffff_ffff, 0xffff_ffff);
     }
 }

@@ -1,8 +1,9 @@
 //! Kernel launch: configuration, execution and the launch report.
 
+use crate::decode::DecodedKernel;
 use crate::device::DeviceSpec;
 use crate::error::{DeviceFault, SimError};
-use crate::exec::{run_launch, ExecOptions, ExecProfile, DEFAULT_INST_BUDGET};
+use crate::exec::{run_launch_with_code, ExecOptions, ExecProfile, DEFAULT_INST_BUDGET};
 use crate::mem::{DevPtr, GlobalMemory};
 use crate::stats::ExecStats;
 use crate::timing::{kernel_time, Timing};
@@ -284,7 +285,28 @@ pub fn launch_with(
     cfg: &LaunchConfig,
     opts: &ExecOptions,
 ) -> Result<LaunchReport, SimError> {
-    let (stats, profile, faults) = run_launch(device, kernel, gmem, cfg, const_bank, opts)?;
+    launch_with_code(device, kernel, gmem, const_bank, cfg, opts, None)
+}
+
+/// [`launch_with`] with an optional pre-decoded kernel. On the decoded and
+/// fused tiers ([`ExecOptions::tier`]), passing `Some` reuses an existing
+/// [`DecodedKernel`] (e.g. from the runtime's per-session code cache)
+/// instead of decoding on every launch; `None` decodes on the fly. The
+/// decoded kernel must come from this `kernel` and `device` — the runtime
+/// cache guarantees this by keying on the kernel's content hash within a
+/// fixed-device session.
+#[allow(clippy::too_many_arguments)]
+pub fn launch_with_code(
+    device: &DeviceSpec,
+    kernel: &ResolvedKernel,
+    gmem: &mut GlobalMemory,
+    const_bank: &[u8],
+    cfg: &LaunchConfig,
+    opts: &ExecOptions,
+    code: Option<&DecodedKernel>,
+) -> Result<LaunchReport, SimError> {
+    let (stats, profile, faults) =
+        run_launch_with_code(device, kernel, gmem, cfg, const_bank, opts, code)?;
     let k = &kernel.kernel;
     // Pre-ptxas kernels (phys_regs == 0) get a rough estimate so occupancy
     // remains meaningful in unit tests.

@@ -30,8 +30,11 @@
 //! identical inputs produce bit-identical memory contents, statistics, and
 //! virtual times on every run.
 
+mod alu;
 pub mod cache;
+pub mod decode;
 pub mod device;
+mod dispatch;
 pub mod error;
 pub mod exec;
 pub mod launch;
@@ -40,11 +43,13 @@ pub mod stats;
 pub mod timing;
 
 pub use cache::Cache;
+pub use decode::{decode_kernel, DecodedKernel, ExecTier};
 pub use device::{Arch, DeviceKind, DeviceSpec};
 pub use error::{DeviceFault, FaultKind, FaultSite, SimError};
 pub use exec::{ExecOptions, ExecProfile};
 pub use launch::{
-    launch, launch_with, Dim3, LaunchConfig, LaunchConfigBuilder, LaunchReport, TexBinding,
+    launch, launch_with, launch_with_code, Dim3, LaunchConfig, LaunchConfigBuilder, LaunchReport,
+    TexBinding,
 };
 pub use mem::{DevPtr, GlobalMemory, WriteOverlay};
 pub use stats::{CounterSet, ExecStats};

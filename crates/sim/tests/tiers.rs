@@ -1,0 +1,275 @@
+//! Differential tests for the execution tiers: interp vs decoded vs fused
+//! must produce bit-identical launch results — statistics, virtual timing,
+//! fault kinds and sites, and memcheck records.
+
+use gpucmp_ptx::{Address, CmpOp, KernelBuilder, Op1, Op2, Op3, Operand, Space, Special, Ty};
+use gpucmp_sim::{
+    decode_kernel, launch_with, launch_with_code, DeviceSpec, ExecOptions, ExecTier, FaultKind,
+    GlobalMemory, LaunchConfig, SimError,
+};
+
+/// A kernel exercising every tier-relevant construct: scalar runs (fusible),
+/// integer division (fallible, unfusible), divergence with reconvergence,
+/// shared memory with a barrier, and global loads/stores.
+fn mixed_kernel() -> gpucmp_ptx::Kernel {
+    let mut b = KernelBuilder::new("mixed");
+    b.param("x", Ty::U64);
+    b.param("y", Ty::U64);
+    b.param("n", Ty::S32);
+    b.shared_alloc(4 * 256);
+    let tid = b.special(Special::TidX);
+    let ntid = b.special(Special::NtidX);
+    let ctaid = b.special(Special::CtaidX);
+    let gid = b.tern(Op3::Mad, Ty::U32, ctaid, ntid, tid);
+    let n = b.ld_param(2, Ty::S32);
+    let p = b.setp(CmpOp::Ge, Ty::S32, gid, n);
+    let end = b.new_label();
+    b.ssy(end);
+    b.bra_if(end, p, true);
+    // Fusible scalar run: cvt, shifts, float math.
+    let xptr = b.ld_param(0, Ty::U64);
+    let yptr = b.ld_param(1, Ty::U64);
+    let off64 = b.cvt(Ty::U64, Ty::U32, gid);
+    let off = b.bin(Op2::Shl, Ty::U64, off64, 2i32);
+    let xa = b.bin(Op2::Add, Ty::U64, xptr, off);
+    let _ya = b.bin(Op2::Add, Ty::U64, yptr, off); // extends the scalar run
+    let xv = b.ld(Space::Global, Ty::F32, Address::base(Operand::Reg(xa)));
+    // Unfusible integer division in the middle of scalar code.
+    let three = b.mov(Ty::S32, 3i32);
+    let q = b.bin(Op2::Div, Ty::S32, gid, three);
+    let qf = b.cvt(Ty::F32, Ty::S32, q);
+    let s = b.un(Op1::Sqrt, Ty::F32, xv);
+    let r = b.tern(Op3::Fma, Ty::F32, s, qf, xv);
+    // Shared-memory round trip with a barrier.
+    let toff = b.cvt(Ty::U64, Ty::U32, tid);
+    let soff = b.bin(Op2::Shl, Ty::U64, toff, 2i32);
+    b.st(Space::Shared, Ty::F32, Address::base(Operand::Reg(soff)), r);
+    b.place_label(end);
+    b.sync();
+    b.bar();
+    let p2 = b.setp(CmpOp::Ge, Ty::S32, gid, n);
+    let end2 = b.new_label();
+    b.ssy(end2);
+    b.bra_if(end2, p2, true);
+    let soff2 = {
+        let t = b.cvt(Ty::U64, Ty::U32, tid);
+        b.bin(Op2::Shl, Ty::U64, t, 2i32)
+    };
+    let back = b.ld(Space::Shared, Ty::F32, Address::base(Operand::Reg(soff2)));
+    let ya2 = {
+        let yptr = b.ld_param(1, Ty::U64);
+        let o64 = b.cvt(Ty::U64, Ty::U32, gid);
+        let o = b.bin(Op2::Shl, Ty::U64, o64, 2i32);
+        b.bin(Op2::Add, Ty::U64, yptr, o)
+    };
+    b.st(
+        Space::Global,
+        Ty::F32,
+        Address::base(Operand::Reg(ya2)),
+        back,
+    );
+    b.place_label(end2);
+    b.sync();
+    b.finish()
+}
+
+struct Outcome {
+    out: Vec<f32>,
+    report: gpucmp_sim::LaunchReport,
+}
+
+fn run_tier(tier: ExecTier, threads: usize, memcheck: bool, n: usize) -> Outcome {
+    let device = DeviceSpec::gtx480();
+    let kernel = mixed_kernel().resolve().unwrap();
+    let mut gmem = GlobalMemory::new(1 << 20);
+    let x = gmem.alloc((n * 4) as u64).unwrap();
+    let y = gmem.alloc((n * 4) as u64).unwrap();
+    let xs: Vec<f32> = (0..n).map(|i| (i % 131) as f32 * 0.25 + 1.0).collect();
+    gmem.write_f32_slice(x, &xs).unwrap();
+    let cfg = LaunchConfig::new(8u32, 256u32)
+        .arg_ptr(x)
+        .arg_ptr(y)
+        .arg_i32(n as i32);
+    let opts = ExecOptions::with_threads(threads)
+        .memcheck(memcheck)
+        .tier(tier);
+    let report = launch_with(&device, &kernel, &mut gmem, &[], &cfg, &opts).unwrap();
+    Outcome {
+        out: gmem.read_f32_slice(y, n).unwrap(),
+        report,
+    }
+}
+
+#[test]
+fn tiers_produce_bit_identical_reports() {
+    for &threads in &[1usize, 8] {
+        let base = run_tier(ExecTier::Interp, threads, false, 1900);
+        for tier in [ExecTier::Decoded, ExecTier::Fused] {
+            let got = run_tier(tier, threads, false, 1900);
+            assert_eq!(got.out, base.out, "{tier:?} memory @ {threads} threads");
+            assert_eq!(
+                got.report.stats, base.report.stats,
+                "{tier:?} stats @ {threads} threads"
+            );
+            assert_eq!(
+                got.report.kernel_ns(),
+                base.report.kernel_ns(),
+                "{tier:?} timing @ {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn tiers_record_identical_memcheck_faults() {
+    // Undersized buffers: every tier must log the same access faults in the
+    // same order and still complete the launch.
+    let device = DeviceSpec::gtx480();
+    let kernel = mixed_kernel().resolve().unwrap();
+    let run = |tier: ExecTier| {
+        let mut gmem = GlobalMemory::new(1 << 16);
+        let x = gmem.alloc(256).unwrap();
+        let y = gmem.alloc(256).unwrap();
+        let cfg = LaunchConfig::new(4u32, 128u32)
+            .arg_ptr(x)
+            .arg_ptr(y)
+            .arg_i32(512);
+        let opts = ExecOptions::serial().memcheck(true).tier(tier);
+        launch_with(&device, &kernel, &mut gmem, &[], &cfg, &opts).unwrap()
+    };
+    let base = run(ExecTier::Interp);
+    assert!(!base.faults.is_empty(), "test must exercise memcheck");
+    for tier in [ExecTier::Decoded, ExecTier::Fused] {
+        let got = run(tier);
+        assert_eq!(got.faults, base.faults, "{tier:?} memcheck records");
+        assert_eq!(got.stats, base.stats, "{tier:?} stats under memcheck");
+    }
+}
+
+#[test]
+fn tiers_report_identical_fault_sites() {
+    // Aborting faults must carry the same kind and the same (pc, block,
+    // thread) site on every tier — orig_pc attribution through the IR.
+    let device = DeviceSpec::gtx480();
+    let kernel = mixed_kernel().resolve().unwrap();
+    let run = |tier: ExecTier| {
+        let mut gmem = GlobalMemory::new(1 << 12);
+        let x = gmem.alloc(64).unwrap();
+        let y = gmem.alloc(64).unwrap();
+        let cfg = LaunchConfig::new(8u32, 128u32)
+            .arg_ptr(x)
+            .arg_ptr(y)
+            .arg_i32(4096);
+        let opts = ExecOptions::serial().tier(tier);
+        launch_with(&device, &kernel, &mut gmem, &[], &cfg, &opts).unwrap_err()
+    };
+    let base = match run(ExecTier::Interp) {
+        SimError::Fault(f) => f,
+        other => panic!("expected fault, got {other:?}"),
+    };
+    assert!(matches!(base.kind, FaultKind::OutOfBounds { .. }));
+    for tier in [ExecTier::Decoded, ExecTier::Fused] {
+        match run(tier) {
+            SimError::Fault(f) => assert_eq!(f, base, "{tier:?} fault"),
+            other => panic!("{tier:?}: expected fault, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn watchdog_fires_at_the_same_instruction_on_every_tier() {
+    // An infinite loop with a tiny budget: the fused tier must degrade to
+    // single-stepping and exhaust the budget at the interp-identical pc.
+    let mut b = KernelBuilder::new("spin");
+    let one = b.mov(Ty::S32, 1i32);
+    let top = b.new_label();
+    b.place_label(top);
+    let acc = b.bin(Op2::Add, Ty::S32, one, one);
+    let _ = b.bin(Op2::Mul, Ty::S32, acc, one);
+    b.bra(top);
+    let kernel = b.finish().resolve().unwrap();
+    let device = DeviceSpec::gtx480();
+    let run = |tier: ExecTier| {
+        let mut gmem = GlobalMemory::new(1 << 12);
+        let cfg = LaunchConfig::builder()
+            .grid(1u32)
+            .block(32u32)
+            .inst_budget(100)
+            .build();
+        let opts = ExecOptions::serial().tier(tier);
+        launch_with(&device, &kernel, &mut gmem, &[], &cfg, &opts).unwrap_err()
+    };
+    let base = match run(ExecTier::Interp) {
+        SimError::Fault(f) => f,
+        other => panic!("expected watchdog, got {other:?}"),
+    };
+    assert!(matches!(base.kind, FaultKind::Watchdog { budget: 100 }));
+    assert!(base.site.is_some());
+    for tier in [ExecTier::Decoded, ExecTier::Fused] {
+        match run(tier) {
+            SimError::Fault(f) => assert_eq!(f, base, "{tier:?} watchdog"),
+            other => panic!("{tier:?}: expected watchdog, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn precompiled_code_matches_on_the_fly_decode() {
+    // launch_with_code(Some(..)) — the session code-cache path — must be
+    // indistinguishable from decoding at launch.
+    let device = DeviceSpec::gtx480();
+    let kernel = mixed_kernel().resolve().unwrap();
+    let code = decode_kernel(&kernel, &device);
+    assert!(code.fused_coverage() > 0, "kernel must have fusible runs");
+    let run = |code: Option<&gpucmp_sim::DecodedKernel>| {
+        let mut gmem = GlobalMemory::new(1 << 20);
+        let x = gmem.alloc(4096).unwrap();
+        let y = gmem.alloc(4096).unwrap();
+        let xs: Vec<f32> = (0..1024).map(|i| i as f32).collect();
+        gmem.write_f32_slice(x, &xs).unwrap();
+        let cfg = LaunchConfig::new(4u32, 256u32)
+            .arg_ptr(x)
+            .arg_ptr(y)
+            .arg_i32(1024);
+        let opts = ExecOptions::serial().tier(ExecTier::Fused);
+        let r = launch_with_code(&device, &kernel, &mut gmem, &[], &cfg, &opts, code).unwrap();
+        (gmem.read_f32_slice(y, 1024).unwrap(), r.stats)
+    };
+    let (o1, s1) = run(Some(&code));
+    let (o2, s2) = run(None);
+    assert_eq!(o1, o2);
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn divide_by_zero_faults_identically_across_tiers() {
+    // Integer division is the one fallible scalar op — excluded from
+    // fusion, so its fault site must match the interpreter exactly.
+    let mut b = KernelBuilder::new("divz");
+    b.param("n", Ty::S32);
+    let tid = b.special(Special::TidX);
+    let n = b.ld_param(0, Ty::S32);
+    let d = b.bin(Op2::Sub, Ty::S32, n, tid);
+    // faults when tid == n (lane n divides by zero)
+    let _ = b.bin(Op2::Div, Ty::S32, tid, d);
+    let kernel = b.finish().resolve().unwrap();
+    let device = DeviceSpec::gtx480();
+    let run = |tier: ExecTier| {
+        let mut gmem = GlobalMemory::new(1 << 12);
+        let cfg = LaunchConfig::new(1u32, 64u32).arg_i32(17);
+        let opts = ExecOptions::serial().tier(tier);
+        launch_with(&device, &kernel, &mut gmem, &[], &cfg, &opts).unwrap_err()
+    };
+    let base = match run(ExecTier::Interp) {
+        SimError::Fault(f) => f,
+        other => panic!("expected fault, got {other:?}"),
+    };
+    assert!(matches!(base.kind, FaultKind::DivByZero));
+    assert_eq!(base.site.unwrap().thread, [17, 0, 0]);
+    for tier in [ExecTier::Decoded, ExecTier::Fused] {
+        match run(tier) {
+            SimError::Fault(f) => assert_eq!(f, base, "{tier:?} div-by-zero"),
+            other => panic!("{tier:?}: expected fault, got {other:?}"),
+        }
+    }
+}

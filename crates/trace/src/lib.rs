@@ -20,6 +20,6 @@ pub mod report;
 pub use chrome::chrome_trace;
 pub use json::{parse, Json, JsonError};
 pub use report::{
-    dominant_counter, BenchReport, BenchRun, PrEntry, MIN_SCHEMA_VERSION, RUN_FAULT_SKIPPED,
-    RUN_OK, SCHEMA_VERSION,
+    dominant_counter, BenchReport, BenchRun, PrEntry, SimSpeed, MIN_SCHEMA_VERSION,
+    RUN_FAULT_SKIPPED, RUN_OK, SCHEMA_VERSION,
 };

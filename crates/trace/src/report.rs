@@ -15,9 +15,11 @@ use gpucmp_sim::CounterSet;
 /// added per-run fault status (`status`/`fault`/`attempts`) for graceful
 /// campaign degradation; version 3 added incremental-campaign support
 /// (`input_hash`/`cached` per run) so unchanged cells can be reused from
-/// a previous report. Older documents still parse (status defaults to
-/// `"ok"`, `input_hash` to empty, `cached` to false).
-pub const SCHEMA_VERSION: i64 = 3;
+/// a previous report; version 4 added the optional `sim_speed` matrix
+/// (host wall-clock per execution tier). Older documents still parse
+/// (status defaults to `"ok"`, `input_hash` to empty, `cached` to false,
+/// `sim_speed` to empty).
+pub const SCHEMA_VERSION: i64 = 4;
 /// Oldest schema version [`BenchReport::from_text`] still accepts.
 pub const MIN_SCHEMA_VERSION: i64 = 1;
 
@@ -89,6 +91,33 @@ pub struct PrEntry {
     pub dominant_counter: String,
 }
 
+/// Host wall-clock of one benchmark simulated under each execution tier
+/// (interpreter / pre-decoded / fused). The simulated reports are
+/// bit-identical across tiers; only the host time to produce them moves.
+#[derive(Clone, Debug)]
+pub struct SimSpeed {
+    /// Benchmark name.
+    pub bench: String,
+    /// Host execution+merge time under the interpreter tier, ns.
+    pub interp_ns: u64,
+    /// Host execution+merge time under the pre-decoded tier, ns.
+    pub decoded_ns: u64,
+    /// Host execution+merge time under the fused tier, ns.
+    pub fused_ns: u64,
+}
+
+impl SimSpeed {
+    /// Interpreter / fused host wall-clock ratio.
+    pub fn fused_speedup(&self) -> f64 {
+        self.interp_ns as f64 / (self.fused_ns.max(1)) as f64
+    }
+
+    /// Interpreter / decoded host wall-clock ratio.
+    pub fn decoded_speedup(&self) -> f64 {
+        self.interp_ns as f64 / (self.decoded_ns.max(1)) as f64
+    }
+}
+
 /// A whole benchmark campaign, serialisable to/from `BENCH_*.json`.
 #[derive(Clone, Debug, Default)]
 pub struct BenchReport {
@@ -102,6 +131,9 @@ pub struct BenchReport {
     pub runs: Vec<BenchRun>,
     /// Per-(bench, device) PR rows.
     pub prs: Vec<PrEntry>,
+    /// Host-side tier speed matrix (schema v4, optional — empty when the
+    /// campaign did not measure simulator speed).
+    pub sim_speed: Vec<SimSpeed>,
 }
 
 impl BenchReport {
@@ -183,6 +215,18 @@ impl BenchReport {
                 ])
             })
             .collect();
+        let sim_speed = self
+            .sim_speed
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("bench", s.bench.as_str().into()),
+                    ("interp_ns", s.interp_ns.into()),
+                    ("decoded_ns", s.decoded_ns.into()),
+                    ("fused_ns", s.fused_ns.into()),
+                ])
+            })
+            .collect();
         Json::obj([
             ("schema", Json::Int(SCHEMA_VERSION)),
             ("scale", self.scale.as_str().into()),
@@ -195,6 +239,7 @@ impl BenchReport {
             ),
             ("runs", Json::Arr(runs)),
             ("prs", Json::Arr(prs)),
+            ("sim_speed", Json::Arr(sim_speed)),
         ])
     }
 
@@ -307,11 +352,29 @@ impl BenchReport {
                     .to_string(),
             });
         }
+        // pre-v4 reports predate the tier speed matrix: empty
+        let mut sim_speed = Vec::new();
+        if let Some(entries) = doc.get("sim_speed").and_then(Json::as_arr) {
+            for s in entries {
+                let num = |k: &str| s.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                sim_speed.push(SimSpeed {
+                    bench: s
+                        .get("bench")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("sim_speed missing 'bench'"))?
+                        .to_string(),
+                    interp_ns: num("interp_ns"),
+                    decoded_ns: num("decoded_ns"),
+                    fused_ns: num("fused_ns"),
+                });
+            }
+        }
         Ok(BenchReport {
             scale,
             fault_seed,
             runs,
             prs,
+            sim_speed,
         })
     }
 }
@@ -425,6 +488,12 @@ mod tests {
                 pr: 0.63,
                 dominant_counter: "launch_overhead_ns".into(),
             }],
+            sim_speed: vec![SimSpeed {
+                bench: "BFS".into(),
+                interp_ns: 9_000_000,
+                decoded_ns: 6_000_000,
+                fused_ns: 3_000_000,
+            }],
         };
         let parsed = BenchReport::from_text(&report.to_text()).unwrap();
         assert_eq!(parsed.scale, "quick");
@@ -442,6 +511,20 @@ mod tests {
         assert_eq!(run.input_hash, "00f1e2d3c4b5a697");
         assert!(run.cached);
         assert_eq!(parsed.cache_hits(), 1);
+        assert_eq!(parsed.sim_speed.len(), 1);
+        assert_eq!(parsed.sim_speed[0].bench, "BFS");
+        assert_eq!(parsed.sim_speed[0].interp_ns, 9_000_000);
+        assert_eq!(parsed.sim_speed[0].fused_ns, 3_000_000);
+        assert!((parsed.sim_speed[0].fused_speedup() - 3.0).abs() < 1e-9);
+        assert!((parsed.sim_speed[0].decoded_speedup() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pre_v4_reports_parse_with_empty_sim_speed() {
+        let text = r#"{"schema":3,"scale":"quick","fault_seed":null,
+            "runs":[],"prs":[]}"#;
+        let parsed = BenchReport::from_text(text).unwrap();
+        assert!(parsed.sim_speed.is_empty());
     }
 
     #[test]

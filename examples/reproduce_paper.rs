@@ -59,7 +59,7 @@ fn emit_bench_artifacts(scale: Scale) {
     }
     if let Some((shard, shards)) = opts.shard {
         println!(
-            "Shard {shard}/{shards}: {} of the 64 matrix cells ran here; merge the \
+            "Shard {shard}/{shards}: {} matrix cells ran here; merge the \
              shard reports before gating",
             report.runs.len()
         );
