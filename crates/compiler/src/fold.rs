@@ -109,7 +109,14 @@ pub fn fold_expr(e: &Expr, level: FoldLevel) -> Expr {
                     (Op2::Or, x, Expr::ImmI(0)) | (Op2::Xor, x, Expr::ImmI(0)) => return x.clone(),
                     (Op2::Or, Expr::ImmI(0), x) | (Op2::Xor, Expr::ImmI(0), x) => return x.clone(),
                     (Op2::Rem, _, Expr::ImmI(1)) => return Expr::ImmI(0),
-                    (Op2::Add, x, Expr::ImmF(f)) | (Op2::Sub, x, Expr::ImmF(f)) if *f == 0.0 => {
+                    // Zero elision must respect the zero's sign to stay
+                    // IEEE-exact: x + (+0.0) rewrites -0.0 to +0.0, and
+                    // x - (-0.0) does the same, so only the sign-preserving
+                    // pairings may fold.
+                    (Op2::Add, x, Expr::ImmF(f)) if *f == 0.0 && f.is_sign_negative() => {
+                        return x.clone()
+                    }
+                    (Op2::Sub, x, Expr::ImmF(f)) if *f == 0.0 && f.is_sign_positive() => {
                         return x.clone()
                     }
                     (Op2::Mul, x, Expr::ImmF(f)) if *f == 1.0 => return x.clone(),
@@ -292,9 +299,14 @@ fn fold_int(op: Op2, x: i64, y: i64) -> Option<i64> {
             if !(0..64).contains(&y) {
                 return None;
             }
-            // logical shift on the 64-bit image; folded indices are
-            // non-negative in practice.
-            ((x as u64) >> y) as i64
+            // Only fold where every runtime reading agrees: for negative
+            // (or 32-bit-truncating) values, S32 shifts arithmetically and
+            // U32 logically, and the result type is unknown here — leave
+            // those to the runtime op.
+            if !(0..=i32::MAX as i64).contains(&x) {
+                return None;
+            }
+            x >> y
         }
     })
 }
@@ -383,6 +395,43 @@ mod tests {
         assert_eq!(folded, vec![Stmt::Let(v, Expr::ImmI(2))]);
         let kept = fold_stmts(&[s], FoldLevel::Basic);
         assert!(matches!(kept[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn zero_elision_preserves_float_signs() {
+        let v = Expr::Var(crate::ast::Var { id: 0, ty: Ty::F32 });
+        // x + (+0.0) rewrites a negative-zero x to +0.0: must NOT fold.
+        let e = v.clone() + 0.0f32;
+        assert!(matches!(
+            fold_expr(&e, FoldLevel::Aggressive),
+            Expr::Bin(..)
+        ));
+        // x + (-0.0) and x - (+0.0) are exact identities: fold.
+        let e = Expr::Bin(Op2::Add, Box::new(v.clone()), Box::new(Expr::ImmF(-0.0)));
+        assert_eq!(fold_expr(&e, FoldLevel::Aggressive), v);
+        let e = v.clone() - 0.0f32;
+        assert_eq!(fold_expr(&e, FoldLevel::Aggressive), v);
+        // x - (-0.0) rewrites negative zero too: must NOT fold.
+        let e = Expr::Bin(Op2::Sub, Box::new(v.clone()), Box::new(Expr::ImmF(-0.0)));
+        assert!(matches!(
+            fold_expr(&e, FoldLevel::Aggressive),
+            Expr::Bin(..)
+        ));
+    }
+
+    #[test]
+    fn shr_of_negative_left_to_runtime() {
+        // S32 shifts arithmetically, U32 logically; the fold doesn't know
+        // the result type, so a negative operand must survive folding.
+        let e = Expr::Bin(Op2::Shr, Box::new(Expr::ImmI(-5)), Box::new(Expr::ImmI(3)));
+        assert!(matches!(
+            fold_expr(&e, FoldLevel::Aggressive),
+            Expr::Bin(..)
+        ));
+        // A non-negative 32-bit value reads the same under every shift
+        // semantics: folds.
+        let e = Expr::Bin(Op2::Shr, Box::new(Expr::ImmI(40)), Box::new(Expr::ImmI(3)));
+        assert_eq!(fold_expr(&e, FoldLevel::Aggressive), Expr::ImmI(5));
     }
 
     #[test]

@@ -252,11 +252,46 @@ impl<'a> Lowerer<'a> {
         }
     }
 
+    /// Comparison operand type, fold-stable.
+    ///
+    /// Signedness must not depend on the front-end's fold level: plain
+    /// inference on the style-folded tree would make it depend on *which*
+    /// operand (or select arm) survives folding — e.g. `-6 < select(c,
+    /// s32_var, u32_leaf)` infers S32 before folding but U32 after an
+    /// aggressive fold collapses the select, silently turning the
+    /// comparison unsigned under one front-end only. So the decision is
+    /// made on the *maximally*-folded operands: re-folding aggressively is
+    /// idempotent, so both front-ends land on identical trees here. The
+    /// extra fold is for typing only — codegen still lowers the
+    /// style-folded operands.
+    ///
+    /// On those trees: an explicit top-level cast pins the type (the
+    /// `(x-1) u< (w-2)` interior-test idiom), an unsigned comparison
+    /// requires *both* sides to infer U32 (sorting u32 keys), and any
+    /// mixed or partly-constant integer comparison is signed.
+    fn cmp_ty(&self, a: &Expr, b: &Expr) -> Ty {
+        let fa = fold_expr(a, FoldLevel::Aggressive);
+        let fb = fold_expr(b, FoldLevel::Aggressive);
+        if let Expr::Cast(ty, _) = fa {
+            return ty;
+        }
+        if let Expr::Cast(ty, _) = fb {
+            return ty;
+        }
+        match (self.infer(&fa), self.infer(&fb)) {
+            (Some(Ty::U32), Some(Ty::U32)) => Ty::U32,
+            (ta, tb) => match ta.or(tb).unwrap_or(Ty::S32) {
+                Ty::U32 | Ty::B32 => Ty::S32,
+                other => other,
+            },
+        }
+    }
+
     /// Lower a condition to a predicate register and polarity.
     fn pred(&mut self, cond: &Expr) -> (Reg, bool) {
         match cond {
             Expr::Cmp(op, a, b) => {
-                let ty = self.infer(a).or_else(|| self.infer(b)).unwrap_or(Ty::S32);
+                let ty = self.cmp_ty(a, b);
                 let va = self.expr(a, ty);
                 let vb = self.expr(b, ty);
                 (self.b.setp(*op, ty, va, vb), true)
@@ -333,7 +368,7 @@ impl<'a> Lowerer<'a> {
             }
             Expr::Cmp(op, a, b) => {
                 // a comparison used as a value: produce 0/1 of `want`.
-                let ty = self.infer(a).or_else(|| self.infer(b)).unwrap_or(Ty::S32);
+                let ty = self.cmp_ty(a, b);
                 let va = self.expr(a, ty);
                 let vb = self.expr(b, ty);
                 let p = self.b.setp(*op, ty, va, vb);
@@ -700,7 +735,11 @@ impl<'a> Lowerer<'a> {
             Expr::Special(_) => Some(Ty::U32),
             Expr::Un(_, a) => self.infer(a),
             Expr::Bin(_, a, b) => self.infer(a).or_else(|| self.infer(b)),
-            Expr::Cmp(..) => Some(Ty::Pred),
+            // A comparison used as a *value* materializes as selp 0/1, so
+            // its natural type in any arithmetic/conversion context is
+            // S32. (Condition positions never infer the comparison itself;
+            // they destructure it into setp directly.)
+            Expr::Cmp(..) => Some(Ty::S32),
             Expr::Select(_, a, b) => self.infer(a).or_else(|| self.infer(b)),
             Expr::Cast(ty, _) => Some(*ty),
             Expr::Load { ty, .. } | Expr::TexFetch { ty, .. } => Some(*ty),

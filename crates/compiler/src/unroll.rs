@@ -101,6 +101,20 @@ pub fn unroll_stmts_with(
                                 continue;
                             }
                         }
+                        if *step < 0 {
+                            // Strip-mining assumes an upward loop; for a
+                            // downward one the pragma is ignored (like the
+                            // non-constant Full case above).
+                            out.push(Stmt::For {
+                                var: *var,
+                                start: start.clone(),
+                                end: end.clone(),
+                                step: *step,
+                                unroll: Unroll::None,
+                                body,
+                            });
+                            continue;
+                        }
                         partial_unroll(
                             &mut out,
                             *var,

@@ -1,0 +1,158 @@
+//! The `fuzz` binary: differential kernel fuzzing campaigns and corpus
+//! replay.
+//!
+//! ```text
+//! fuzz --cases 1000 --seed 8             # campaign
+//! fuzz --replay crates/fuzz/corpus/x.kdsl  # replay one reproducer
+//! fuzz --cases 50 --seed 8 --mutate tier-xor   # prove the oracle bites
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = divergence (or a broken case), 2 = usage.
+
+use gpucmp_fuzz::oracle::{MutateMode, Oracle};
+use gpucmp_fuzz::runner::{campaign, replay_file, CampaignOutcome};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    cases: u64,
+    seed: u64,
+    replay: Option<PathBuf>,
+    mutate: Option<MutateMode>,
+    out: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzz [--cases N] [--seed S] [--replay FILE] [--mutate tier-xor] [--out DIR]
+
+  --cases N        number of generated cases to run (default 1000)
+  --seed S         campaign seed; case i uses a seed derived from (S, i) (default 0)
+  --replay FILE    replay one .kdsl case through the full oracle instead of generating
+  --mutate MODE    inject a deliberate divergence (oracle self-test); MODE: tier-xor
+  --out DIR        where minimized reproducers are written (default: crates/fuzz/corpus)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cases: 1000,
+        seed: 0,
+        replay: None,
+        mutate: None,
+        out: PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus")),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--cases" => {
+                args.cases = val("--cases").parse().unwrap_or_else(|_| usage());
+            }
+            "--seed" => {
+                args.seed = val("--seed").parse().unwrap_or_else(|_| usage());
+            }
+            "--replay" => args.replay = Some(PathBuf::from(val("--replay"))),
+            "--mutate" => match val("--mutate").as_str() {
+                "tier-xor" => args.mutate = Some(MutateMode::TierXor),
+                other => {
+                    eprintln!("unknown mutation mode {other:?}");
+                    usage();
+                }
+            },
+            "--out" => args.out = PathBuf::from(val("--out")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let oracle = match args.mutate {
+        Some(m) => Oracle::with_mutation(m),
+        None => Oracle::new(),
+    };
+
+    if let Some(path) = &args.replay {
+        return match replay_file(&oracle, path) {
+            Ok(None) => {
+                println!("replay {}: clean on every axis", path.display());
+                ExitCode::SUCCESS
+            }
+            Ok(Some(d)) => {
+                eprintln!("replay {}: DIVERGENCE on {}", path.display(), d.axis);
+                eprintln!("{}", d.detail);
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("replay {}: error: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    println!(
+        "fuzzing {} cases from seed {} (reproducers -> {})",
+        args.cases,
+        args.seed,
+        args.out.display()
+    );
+    let outcome = campaign(
+        &oracle,
+        args.seed,
+        args.cases,
+        Some(&args.out),
+        |done, total| {
+            if done > 0 {
+                println!("  {done}/{total}");
+            }
+        },
+    );
+    match outcome {
+        CampaignOutcome::Clean { cases } => {
+            println!("{cases} cases: all execution paths agree");
+            ExitCode::SUCCESS
+        }
+        CampaignOutcome::Diverged {
+            index,
+            case_seed,
+            minimized,
+            divergence,
+            written,
+        } => {
+            eprintln!(
+                "case {index} (seed {case_seed:#018x}): DIVERGENCE on {}",
+                divergence.axis
+            );
+            eprintln!("{}", divergence.detail);
+            eprintln!("minimized to {} statement(s)", minimized.stmt_count());
+            if let Some(p) = written {
+                eprintln!("reproducer written to {}", p.display());
+                eprintln!("replay with: fuzz --replay {}", p.display());
+            }
+            ExitCode::FAILURE
+        }
+        CampaignOutcome::Broken {
+            index,
+            case_seed,
+            error,
+        } => {
+            eprintln!("case {index} (seed {case_seed:#018x}): harness error: {error}");
+            eprintln!(
+                "this is a generator/harness bug — reproduce by re-running with the same seed"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

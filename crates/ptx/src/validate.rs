@@ -110,20 +110,23 @@ pub fn validate_kernel(kernel: &Kernel) -> Result<(), ValidateError> {
             _ => {}
         }
 
-        // Param loads stay within declared slots.
+        // Param loads stay within declared slots: the access — at its own
+        // width — must fit entirely inside the param block.
         if let Inst::Ld {
             space: crate::ty::Space::Param,
+            ty,
             addr,
             ..
         } = inst
         {
             let max = kernel.params.len() as i64 * 8;
             let off = addr.offset + addr.base.as_imm_i().unwrap_or(0);
-            if off < 0 || off + 8 > max.max(8) && off >= max {
+            let size = ty.size_bytes() as i64;
+            if off < 0 || off + size > max {
                 return Err(err(
                     Some(pc),
                     format!(
-                        "ld.param at byte {off} outside {} declared slots",
+                        "ld.param of {size} bytes at byte {off} outside {} declared slots",
                         kernel.params.len()
                     ),
                 ));
@@ -260,6 +263,46 @@ mod tests {
         b.sync();
         let k = b.finish();
         assert!(validate_kernel(&k).is_err());
+    }
+
+    #[test]
+    fn ld_param_with_no_declared_params_fails() {
+        let mut b = KernelBuilder::new("bad");
+        let _ = b.ld_param(0, Ty::U64);
+        let k = b.finish();
+        let e = validate_kernel(&k).unwrap_err();
+        assert!(e.message.contains("outside 0 declared slots"), "{e}");
+    }
+
+    #[test]
+    fn ld_param_straddling_block_end_fails() {
+        // One 8-byte slot; an 8-byte load at byte 4 ends at byte 12.
+        let mut b = KernelBuilder::new("bad");
+        b.param("p", Ty::U64);
+        let _ = b.ld(Space::Param, Ty::U64, Address::absolute(4));
+        let k = b.finish();
+        let e = validate_kernel(&k).unwrap_err();
+        assert!(e.message.contains("ld.param of 8 bytes at byte 4"), "{e}");
+    }
+
+    #[test]
+    fn ld_param_negative_offset_fails() {
+        let mut b = KernelBuilder::new("bad");
+        b.param("p", Ty::U64);
+        let _ = b.ld(Space::Param, Ty::S32, Address::absolute(-4));
+        let k = b.finish();
+        assert!(validate_kernel(&k).is_err());
+    }
+
+    #[test]
+    fn ld_param_filling_last_slot_passes() {
+        // A 4-byte load at byte 12 of a two-slot block ends exactly at 16.
+        let mut b = KernelBuilder::new("ok");
+        b.param("p", Ty::U64);
+        b.param("n", Ty::S32);
+        let _ = b.ld(Space::Param, Ty::S32, Address::absolute(12));
+        let k = b.finish();
+        validate_kernel(&k).unwrap();
     }
 
     #[test]
