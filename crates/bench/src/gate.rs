@@ -9,9 +9,10 @@
 //! results of Fang et al. that must survive any simulator or benchmark
 //! change, at either problem scale:
 //!
-//! - the full 19 x {GTX280, GTX480} x {CUDA, OpenCL} matrix (the 16
-//!   paper benchmarks plus the three explicit-stream variants) ran and
-//!   every run verified against its CPU reference;
+//! - the full 21 x {GTX280, GTX480} x {CUDA, OpenCL} matrix (the 16
+//!   paper benchmarks plus the three explicit-stream variants and the
+//!   two fuzz-corpus micro-workloads) ran and every run verified against
+//!   its CPU reference;
 //! - Sobel on the GTX280 has PR > 1 (the unmodified OpenCL version uses
 //!   constant memory, the CUDA one does not — Fig. 8);
 //! - BFS has PR < 1 on both devices (OpenCL's higher kernel-launch
@@ -49,8 +50,9 @@ use gpucmp_trace::BenchReport;
 use std::process::ExitCode;
 
 /// Expected campaign shape: the 16 paper benchmarks plus the three
-/// explicit-stream variants (BFS, MxM, FDTD).
-const BENCHES: usize = 19;
+/// explicit-stream variants (BFS, MxM, FDTD) and the two fuzz-corpus
+/// micro-workloads (AtomHist, SharedRot).
+const BENCHES: usize = 21;
 const DEVICES: [&str; 2] = ["GTX280", "GTX480"];
 const APIS: [&str; 2] = ["CUDA", "OpenCL"];
 
@@ -116,7 +118,7 @@ pub fn check_with_cache_floor(report: &BenchReport, min_cache_hits: Option<usize
     let want_runs = BENCHES * DEVICES.len() * APIS.len();
     if report.runs.len() != want_runs {
         res.errors.push(format!(
-            "expected {want_runs} runs (19 benchmarks x 2 devices x 2 APIs), found {}",
+            "expected {want_runs} runs (21 benchmarks x 2 devices x 2 APIs), found {}",
             report.runs.len()
         ));
     }
@@ -354,6 +356,8 @@ mod tests {
             "BFS+streams",
             "MxM+streams",
             "FDTD+streams",
+            "AtomHist",
+            "SharedRot",
         ];
         let mut report = BenchReport {
             scale: "quick".into(),
@@ -464,7 +468,7 @@ mod tests {
         assert!(check(&r)
             .errors
             .iter()
-            .any(|e| e.contains("expected 76 runs")));
+            .any(|e| e.contains("expected 84 runs")));
     }
 
     #[test]

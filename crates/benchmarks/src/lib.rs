@@ -20,6 +20,7 @@ pub mod fdtd;
 pub mod fft;
 pub mod maxflops;
 pub mod md;
+pub mod micro;
 pub mod mxm;
 pub mod rdxs;
 pub mod reduce;
@@ -74,6 +75,17 @@ pub fn streamed_variants(scale: Scale) -> Vec<Box<dyn Benchmark>> {
     ]
 }
 
+/// Micro-workloads promoted from the fuzz corpus (PR 8 follow-up): the
+/// atomic-histogram and shared-rotate kernels as timed campaign rows —
+/// pure global-atomic throughput and pure shared-memory rotate latency,
+/// both exactly verified on every device.
+pub fn micro_workloads(scale: Scale) -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(micro::AtomHist::new(scale)),
+        Box::new(micro::SharedRot::new(scale)),
+    ]
+}
+
 #[cfg(test)]
 mod registry_tests {
     use super::*;
@@ -95,6 +107,11 @@ mod registry_tests {
             .map(|b| b.name())
             .collect();
         assert_eq!(streamed, vec!["BFS+streams", "MxM+streams", "FDTD+streams"]);
+        let micro: Vec<_> = micro_workloads(Scale::Quick)
+            .iter()
+            .map(|b| b.name())
+            .collect();
+        assert_eq!(micro, vec!["AtomHist", "SharedRot"]);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! Runs all 16 benchmarks (Table II real-world + the two synthetic peaks)
 //! plus the three explicit-stream variants (BFS, MxM, FDTD with
-//! overlapped transfers) on both NVIDIA devices through both APIs — 76
+//! overlapped transfers) and the two fuzz-corpus micro-workloads
+//! (AtomHist, SharedRot) on both NVIDIA devices through both APIs — 84
 //! runs — collecting the per-run hardware-counter sets, then derives the
 //! per-(benchmark, device) PRs with a machine-attributed *dominant
 //! counter* (the profiling analogue of the paper's Section IV prose
@@ -146,6 +147,7 @@ pub(crate) fn all_benchmarks(scale: Scale) -> Vec<Box<dyn gpucmp_benchmarks::Ben
     let mut v = gpucmp_benchmarks::real_world(scale);
     v.extend(gpucmp_benchmarks::synthetic(scale));
     v.extend(gpucmp_benchmarks::streamed_variants(scale));
+    v.extend(gpucmp_benchmarks::micro_workloads(scale));
     v
 }
 
@@ -367,21 +369,30 @@ pub fn derive_prs(runs: &[BenchRun]) -> Vec<PrEntry> {
 }
 
 /// Merge sharded partial reports into one full campaign report: union
-/// the run rows (first occurrence of a (bench, device, API) triple
-/// wins), restore the registry run order, and re-derive the PR table
-/// over the combined runs. The parts must share a scale and fault seed.
-pub fn merge_reports(parts: &[BenchReport]) -> BenchReport {
+/// the run rows, restore the registry run order, and re-derive the PR
+/// table over the combined runs.
+///
+/// The parts must be *disjoint* shards of one campaign: a
+/// (bench, device, API) triple appearing in two parts — overlapping
+/// `GPUCMP_SHARD` slices, or the same shard merged twice — is an error,
+/// as is a scale or fault-seed disagreement. Silently deduplicating
+/// would hide a mis-sharded campaign behind whichever row came first.
+pub fn merge_reports(parts: &[BenchReport]) -> Result<BenchReport, String> {
     let Some(first) = parts.first() else {
-        return BenchReport::default();
+        return Ok(BenchReport::default());
     };
     let scale = first.scale.clone();
     let fault_seed = first.fault_seed;
-    assert!(
-        parts
-            .iter()
-            .all(|p| p.scale == scale && p.fault_seed == fault_seed),
-        "merge_reports: shards disagree on scale or fault seed"
-    );
+    for (i, p) in parts.iter().enumerate() {
+        if p.scale != scale || p.fault_seed != fault_seed {
+            return Err(format!(
+                "merge_reports: shard {i} ran scale={} fault_seed={:?}, \
+                 shard 0 ran scale={scale} fault_seed={fault_seed:?} — \
+                 all GPUCMP_SHARD parts must come from one campaign",
+                p.scale, p.fault_seed
+            ));
+        }
+    }
     let registry: Vec<String> = {
         let s = if scale == "paper" {
             Scale::Paper
@@ -396,12 +407,18 @@ pub fn merge_reports(parts: &[BenchReport]) -> BenchReport {
     let mut runs: Vec<BenchRun> = Vec::new();
     for p in parts {
         for r in &p.runs {
-            if !runs
+            if runs
                 .iter()
                 .any(|q| q.bench == r.bench && q.device == r.device && q.api == r.api)
             {
-                runs.push(r.clone());
+                return Err(format!(
+                    "merge_reports: duplicate run {}/{}/{} — the shards \
+                     overlap (check the GPUCMP_SHARD=i/n slices are \
+                     disjoint and no part is merged twice)",
+                    r.bench, r.device, r.api
+                ));
             }
+            runs.push(r.clone());
         }
     }
     let pos = |name: &str| {
@@ -421,13 +438,13 @@ pub fn merge_reports(parts: &[BenchReport]) -> BenchReport {
         .find(|p| !p.sim_speed.is_empty())
         .map(|p| p.sim_speed.clone())
         .unwrap_or_default();
-    BenchReport {
+    Ok(BenchReport {
         scale,
         fault_seed,
         runs,
         prs,
         sim_speed,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -439,10 +456,10 @@ mod tests {
         let report = bench_report(Scale::Quick);
         assert_eq!(
             report.runs.len(),
-            19 * 2 * 2,
-            "16 benchmarks + 3 streamed variants, x 2 devices x 2 APIs"
+            21 * 2 * 2,
+            "16 benchmarks + 3 streamed variants + 2 micros, x 2 devices x 2 APIs"
         );
-        assert_eq!(report.prs.len(), 19 * 2);
+        assert_eq!(report.prs.len(), 21 * 2);
         assert!(
             report.runs.iter().all(|r| r.verified),
             "all NVIDIA runs verify"
@@ -533,8 +550,8 @@ mod tests {
                 bench_report_with(&opts)
             })
             .collect();
-        assert!(parts.iter().all(|p| p.runs.len() == 38), "half each");
-        let merged = merge_reports(&parts);
+        assert!(parts.iter().all(|p| p.runs.len() == 42), "half each");
+        let merged = merge_reports(&parts).unwrap();
         assert_eq!(merged.runs.len(), full.runs.len());
         assert_eq!(merged.prs.len(), full.prs.len());
         for (a, b) in full.runs.iter().zip(&merged.runs) {
@@ -544,6 +561,38 @@ mod tests {
         for (a, b) in full.prs.iter().zip(&merged.prs) {
             assert_eq!(a.pr, b.pr);
         }
+    }
+
+    #[test]
+    fn overlapping_shards_are_rejected_not_double_counted() {
+        let shard = |i| {
+            let opts = CampaignOptions {
+                shard: Some((i, 2)),
+                ..CampaignOptions::new(Scale::Quick)
+            };
+            bench_report_with(&opts)
+        };
+        let (a, b) = (shard(0), shard(1));
+
+        // The same shard twice: every triple collides.
+        let err = merge_reports(&[a.clone(), a.clone()]).unwrap_err();
+        assert!(err.contains("duplicate run"), "{err}");
+        assert!(err.contains("GPUCMP_SHARD"), "{err}");
+
+        // Overlapping slices: a disjoint half plus a full campaign.
+        let full = bench_report(Scale::Quick);
+        let err = merge_reports(&[b.clone(), full]).unwrap_err();
+        assert!(err.contains("duplicate run"), "{err}");
+
+        // Shards from different campaigns don't merge either.
+        let opts = CampaignOptions {
+            fault_seed: Some(7),
+            shard: Some((1, 2)),
+            ..CampaignOptions::new(Scale::Quick)
+        };
+        let err = merge_reports(&[a, bench_report_with(&opts)]).unwrap_err();
+        assert!(err.contains("fault_seed"), "{err}");
+        assert!(merge_reports(&[b.clone(), b]).is_err());
     }
 
     #[test]
@@ -566,7 +615,7 @@ mod tests {
             ..CampaignOptions::new(Scale::Quick)
         };
         let report = bench_report_with(&opts);
-        assert_eq!(report.runs.len(), 76, "every triple is reported");
+        assert_eq!(report.runs.len(), 84, "every triple is reported");
         assert_eq!(report.fault_seed, Some(42));
         // With attempt-0 injection and a clean retry, every injected
         // triple recovers: the report is complete, but the retries show.
@@ -576,7 +625,7 @@ mod tests {
             "a seeded campaign injects into a sizeable minority, got {retried}"
         );
         assert!(report.runs.iter().all(|r| r.is_ok()), "retries recover all");
-        assert_eq!(report.prs.len(), 38);
+        assert_eq!(report.prs.len(), 42);
         // Determinism: the same seed retries exactly the same triples.
         let again = bench_report_with(&opts);
         for (a, b) in report.runs.iter().zip(&again.runs) {
@@ -595,11 +644,11 @@ mod tests {
             ..CampaignOptions::new(Scale::Quick)
         };
         let report = bench_report_with(&opts);
-        assert_eq!(report.runs.len(), 76, "skips are recorded, not dropped");
+        assert_eq!(report.runs.len(), 84, "skips are recorded, not dropped");
         assert!(report.is_partial());
         let skipped: Vec<_> = report.runs.iter().filter(|r| !r.is_ok()).collect();
         assert!(
-            skipped.len() > 5 && skipped.len() < 48,
+            skipped.len() > 5 && skipped.len() < 53,
             "about a third skip, got {}",
             skipped.len()
         );
@@ -625,7 +674,7 @@ mod tests {
             })
             .count();
         assert_eq!(ok_pairs, report.prs.len());
-        assert!(report.prs.len() < 38);
+        assert!(report.prs.len() < 42);
         // The partial report round-trips.
         let parsed = BenchReport::from_text(&report.to_text()).unwrap();
         assert!(parsed.is_partial());

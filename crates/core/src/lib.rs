@@ -14,7 +14,7 @@
 //! - [`experiments`] — a registry with one entry per figure/table of the
 //!   paper's evaluation, producing the same rows/series from the
 //!   simulator-backed benchmark suite;
-//! - [`bench_report`] — the profiled 76-run campaign behind the
+//! - [`bench_report`] — the profiled 84-run campaign behind the
 //!   machine-readable `BENCH_<timestamp>.json` report that CI gates on;
 //! - [`sim_speed`] — host wall-clock of the simulator's execution tiers
 //!   (interpreter / pre-decoded / fused), the report's speedup matrix.

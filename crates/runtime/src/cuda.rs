@@ -21,9 +21,16 @@ pub struct Cuda {
 impl Cuda {
     /// Create a CUDA context. Fails on non-NVIDIA devices, as in reality.
     pub fn new(device: DeviceSpec) -> Result<Self, RtError> {
+        Cuda::with_arena(device, crate::gpu::DEFAULT_ARENA_BYTES)
+    }
+
+    /// [`Cuda::new`] with an explicit device-memory-arena ceiling (see
+    /// [`Session::with_arena`]) — used by pooled servers to size each
+    /// preallocated slot.
+    pub fn with_arena(device: DeviceSpec, arena_bytes: u64) -> Result<Self, RtError> {
         match device.arch {
             Arch::Gt200 | Arch::Fermi => Ok(Cuda {
-                session: Session::new(device),
+                session: Session::with_arena(device, arena_bytes),
             }),
             _ => Err(RtError::WrongVendor(device.name)),
         }

@@ -208,14 +208,24 @@ pub struct Session {
     /// Staged d2h payloads keyed by the enqueuing event.
     readbacks: BTreeMap<(u32, u64), Vec<u8>>,
     /// Pre-decoded dispatch IR by kernel content hash: each distinct kernel
-    /// is decoded at most once per session, however many times it is
-    /// rebuilt or launched. Sound across [`Session::reset`] because the
-    /// hash covers the full executable form and the session's device (which
-    /// decoding specialises for) never changes.
+    /// is decoded at most once per context generation, however many times
+    /// it is rebuilt or launched. [`Session::reset`] evicts the cache
+    /// wholesale: a reset draws a hard line (as `cudaDeviceReset` does), so
+    /// a poisoned-then-recycled session starts from nothing — no decoded
+    /// code outlives the context that built it, and a pooled server slot
+    /// cannot accumulate kernels across the tenants it serves.
     code_cache: HashMap<u64, Arc<DecodedKernel>>,
     /// Number of kernel decodes performed (cache misses) — observability
-    /// for tests and reports.
+    /// for tests and reports. Cumulative across resets.
     decode_count: u64,
+    /// Number of times [`Session::reset`] ran — lifecycle accounting for
+    /// pooled-slot recycling.
+    resets: u64,
+    /// Hard per-launch instruction-budget ceiling. When set, every launch
+    /// runs with `min(cfg.inst_budget, cap)` — the enforcement point for a
+    /// server's per-tenant instruction quota: a runaway kernel trips the
+    /// simulator watchdog instead of monopolising the host.
+    inst_budget_cap: Option<u64>,
 }
 
 impl Session {
@@ -225,7 +235,16 @@ impl Session {
     /// environment variable is set to anything but `0`/`false`, and the
     /// execution tier comes from `GPUCMP_SIM_TIER` (default: fused).
     pub fn new(device: DeviceSpec) -> Self {
-        let cap = (device.mem_capacity_mib as u64 * 1024 * 1024).min(DEFAULT_ARENA_BYTES);
+        Session::with_arena(device, DEFAULT_ARENA_BYTES)
+    }
+
+    /// [`Session::new`] with an explicit memory-arena ceiling: the arena
+    /// is `min(device capacity, arena_bytes)` and is preallocated up
+    /// front — the sizing knob for servers that pool many sessions and
+    /// want each slot's arena paid for once, at pool-build time, never
+    /// per request. [`Session::reset`] keeps the configured size.
+    pub fn with_arena(device: DeviceSpec, arena_bytes: u64) -> Self {
+        let cap = (device.mem_capacity_mib as u64 * 1024 * 1024).min(arena_bytes);
         Session {
             device,
             gmem: GlobalMemory::new(cap),
@@ -245,6 +264,8 @@ impl Session {
             readbacks: BTreeMap::new(),
             code_cache: HashMap::new(),
             decode_count: 0,
+            resets: 0,
+            inst_budget_cap: None,
         }
     }
 
@@ -276,8 +297,8 @@ impl Session {
     /// cleared, device memory is wiped, loaded kernels, streams and the
     /// virtual clock are discarded. Existing [`KernelHandle`]s, [`DevPtr`]s,
     /// [`Stream`]s and [`Event`]s are invalidated. Host-side knobs (exec
-    /// options, memcheck, tracing, fault plan) survive; the trace buffer
-    /// restarts empty.
+    /// options, memcheck, tracing, fault plan, instruction-budget cap)
+    /// survive; the trace buffer restarts empty.
     ///
     /// Enqueued stream work that was never committed to the timeline (for
     /// example because a fault poisoned the context before the next
@@ -286,9 +307,12 @@ impl Session {
     /// completed-but-untaken readbacks — so callers can tell a clean reset
     /// from one that discarded in-flight work.
     ///
-    /// The pre-decoded code cache survives (it is keyed by kernel content,
-    /// not handles): rebuilding the same kernels after a reset launches
-    /// without re-decoding.
+    /// The pre-decoded code cache is evicted with everything else
+    /// (`evicted_kernels` in the report): a reset returns the session to
+    /// its just-created state so a recycled server slot carries nothing —
+    /// not even decoded code — from one tenant to the next. Rebuilding a
+    /// kernel after a reset therefore decodes it again
+    /// ([`Session::decode_count`] keeps counting cumulatively).
     pub fn reset(&mut self) -> ResetReport {
         let mut cancelled_by_stream: Vec<(u32, usize)> = Vec::new();
         for p in &self.pending {
@@ -301,6 +325,7 @@ impl Session {
             cancelled_ops: self.pending.len(),
             cancelled_by_stream,
             dropped_readbacks: self.readbacks.len(),
+            evicted_kernels: self.code_cache.len(),
             fault: self.fault.clone(),
         };
         let cap = self.gmem.capacity();
@@ -318,7 +343,30 @@ impl Session {
         self.pending.clear();
         self.streams = vec![StreamState::default()];
         self.readbacks.clear();
+        self.code_cache.clear();
+        self.resets += 1;
         report
+    }
+
+    /// Number of times this session has been reset — recycle accounting
+    /// for pooled server slots.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Set (or clear) the hard per-launch instruction-budget ceiling.
+    /// While set, every launch runs with
+    /// `min(LaunchConfig::inst_budget, cap)`, so a kernel exceeding the
+    /// cap trips the simulator watchdog — a genuine sticky device fault
+    /// that poisons only this session. This is how a multi-tenant server
+    /// turns a tenant's instruction quota into an enforced watchdog.
+    pub fn set_inst_budget_cap(&mut self, cap: Option<u64>) {
+        self.inst_budget_cap = cap;
+    }
+
+    /// The per-launch instruction-budget ceiling, if any.
+    pub fn inst_budget_cap(&self) -> Option<u64> {
+        self.inst_budget_cap
     }
 
     /// Whether the memcheck sanitizer is on for subsequent launches.
@@ -609,9 +657,10 @@ impl Session {
         self.profile_total
     }
 
-    /// Kernel decodes performed so far (code-cache misses). On the decoded
-    /// and fused tiers this stays at one per *distinct* kernel however many
-    /// times it is rebuilt or launched; the interp tier never decodes.
+    /// Kernel decodes performed so far (code-cache misses), cumulative
+    /// across resets. On the decoded and fused tiers this stays at one per
+    /// *distinct* kernel per context generation however many times it is
+    /// rebuilt or launched; the interp tier never decodes.
     pub fn decode_count(&self) -> u64 {
         self.decode_count
     }
@@ -962,12 +1011,21 @@ pub trait Gpu {
         if let LaunchAction::Fail(nth) = action {
             return Err(RtError::Injected { op: "launch", nth });
         }
-        let starved;
-        let cfg = if let LaunchAction::Starve(budget) = action {
+        // Effective instruction budget: an injected Starve overrides the
+        // config, and the session's quota cap clamps whatever remains.
+        let mut effective = cfg.inst_budget;
+        if let LaunchAction::Starve(budget) = action {
+            effective = budget;
+        }
+        if let Some(cap) = s.inst_budget_cap {
+            effective = effective.min(cap);
+        }
+        let clamped;
+        let cfg = if effective != cfg.inst_budget {
             let mut c = cfg.clone();
-            c.inst_budget = budget;
-            starved = c;
-            &starved
+            c.inst_budget = effective;
+            clamped = c;
+            &clamped
         } else {
             cfg
         };
@@ -977,7 +1035,7 @@ pub trait Gpu {
         let name = s.kernels[h.0].name.clone();
         let opts = s.exec.memcheck(s.memcheck);
         // Decoded tiers launch through the session code cache: one decode
-        // per distinct kernel (by content hash) for the session's lifetime.
+        // per distinct kernel (by content hash) per context generation.
         let code: Option<Arc<DecodedKernel>> = if opts.tier == ExecTier::Interp {
             None
         } else {

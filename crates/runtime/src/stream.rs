@@ -106,6 +106,8 @@ pub struct ResetReport {
     pub cancelled_by_stream: Vec<(u32, usize)>,
     /// Completed d2h payloads that were never taken by the host.
     pub dropped_readbacks: usize,
+    /// Pre-decoded kernels evicted from the session code cache.
+    pub evicted_kernels: usize,
     /// The sticky fault that poisoned the context, if the reset cleared one.
     pub fault: Option<String>,
 }
@@ -200,6 +202,7 @@ mod tests {
             cancelled_ops: 3,
             cancelled_by_stream: vec![(0, 1), (2, 2)],
             dropped_readbacks: 1,
+            evicted_kernels: 2,
             fault: Some("kernel `k`: out-of-bounds".into()),
         };
         assert!(r.lost_work());

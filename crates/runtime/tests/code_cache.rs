@@ -1,5 +1,6 @@
 //! The per-session pre-decoded code cache: one decode per distinct kernel,
-//! keyed by content hash, surviving rebuilds and context resets.
+//! keyed by content hash, surviving rebuilds — and evicted wholesale by
+//! [`gpucmp_runtime::Session::reset`] so a recycled context starts cold.
 
 use gpucmp_compiler::{global_id_x, DslKernel, KernelDef};
 use gpucmp_ptx::Ty;
@@ -45,7 +46,7 @@ fn one_decode_per_distinct_kernel_per_session() {
 }
 
 #[test]
-fn code_cache_survives_context_reset() {
+fn context_reset_evicts_code_cache() {
     let mut gpu = Cuda::new(DeviceSpec::gtx480()).unwrap();
     gpu.set_exec_options(ExecOptions::serial().tier(ExecTier::Fused));
     let h = gpu.build(&fill_kernel("fill", 2.0)).unwrap();
@@ -53,14 +54,22 @@ fn code_cache_survives_context_reset() {
     let cfg = LaunchConfig::new(1u32, 64u32).arg_ptr(buf).arg_i32(64);
     gpu.launch(h, &cfg).unwrap();
     assert_eq!(gpu.session().decode_count(), 1);
+    assert_eq!(gpu.session().code_cache_len(), 1);
 
-    gpu.reset();
-    // Same kernel content after reset: the cached decode is reused.
+    let report = gpu.reset();
+    assert_eq!(report.evicted_kernels, 1, "reset reports the eviction");
+    assert_eq!(gpu.session().resets(), 1);
+    assert_eq!(gpu.session().code_cache_len(), 0, "cache starts cold");
+
+    // Same kernel content after reset must be decoded afresh: a recycled
+    // (pooled) session cannot replay a stale decode from a previous
+    // context generation, even for identical content hashes.
     let h = gpu.build(&fill_kernel("fill", 2.0)).unwrap();
     let buf = gpu.alloc::<f32>(64).unwrap();
     let cfg = LaunchConfig::new(1u32, 64u32).arg_ptr(buf).arg_i32(64);
     gpu.launch(h, &cfg).unwrap();
-    assert_eq!(gpu.session().decode_count(), 1, "reset keeps the cache");
+    assert_eq!(gpu.session().decode_count(), 2, "reset evicts the cache");
+    assert_eq!(gpu.session().code_cache_len(), 1);
     assert_eq!(gpu.d2h_buf(&buf).unwrap(), vec![2.0f32; 64]);
 }
 

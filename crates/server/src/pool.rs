@@ -1,0 +1,176 @@
+//! The pooling session allocator.
+//!
+//! Wasmtime-style: every session slot — including its device-memory
+//! arena — is allocated once, when the pool is built, and *recycled*
+//! (reset, not freed) when a session ends. Steady-state operation does
+//! no per-request allocation of arenas or sessions, and the pool size is
+//! the hard concurrency ceiling behind the server's `Busy` backpressure:
+//! when the free list is empty, opens are rejected, never queued
+//! unboundedly.
+//!
+//! Slot reuse is observable: each slot's session counts its resets
+//! ([`gpucmp_runtime::Session::resets`]) and the pool counts recycles,
+//! so tests can assert that N session churns over a k-slot pool touched
+//! exactly k slots and freed nothing.
+
+use gpucmp_runtime::{Cuda, KernelHandle};
+use gpucmp_sim::DeviceSpec;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Mutable state of one slot, held under the slot's lock: the session
+/// itself plus the per-slot kernel-handle cache (registry name → built
+/// handle; invalidated on recycle because reset invalidates handles).
+#[derive(Debug)]
+pub struct SlotState {
+    /// The slot's virtual-GPU context.
+    pub gpu: Cuda,
+    /// Built registry kernels of the *current* session generation.
+    pub kernels: HashMap<&'static str, KernelHandle>,
+    /// Handle of the session currently occupying the slot (0 = free).
+    /// Every session operation re-checks this under the slot lock, which
+    /// closes the race where a request still holding a session entry
+    /// lands on a slot that was concurrently closed — and possibly
+    /// re-opened for another tenant. A stale handle is a typed
+    /// `BadSession`, never a cross-tenant access.
+    pub session_id: u64,
+}
+
+/// One preallocated session slot.
+#[derive(Debug)]
+pub struct Slot {
+    /// Stable index in the pool (= identity for reuse assertions).
+    pub index: usize,
+    state: Mutex<SlotState>,
+}
+
+impl Slot {
+    /// Lock the slot's state. Requests to one session serialise here;
+    /// requests to different sessions run on different slots in
+    /// parallel. A poisoned mutex (a panicked request thread) is
+    /// recovered — the slot's next user sees session state, not a
+    /// permanently wedged slot.
+    pub fn lock(&self) -> MutexGuard<'_, SlotState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Fixed-size pool of preallocated session slots.
+#[derive(Debug)]
+pub struct SlotPool {
+    slots: Vec<Arc<Slot>>,
+    free: Mutex<Vec<usize>>,
+    recycles: AtomicU64,
+}
+
+impl SlotPool {
+    /// Build a pool of `n` slots on `device`, each with an
+    /// `arena_bytes`-byte device-memory arena, all allocated now.
+    pub fn new(
+        n: usize,
+        device: DeviceSpec,
+        arena_bytes: u64,
+    ) -> Result<Self, gpucmp_runtime::RtError> {
+        let mut slots = Vec::with_capacity(n);
+        for index in 0..n {
+            slots.push(Arc::new(Slot {
+                index,
+                state: Mutex::new(SlotState {
+                    gpu: Cuda::with_arena(device.clone(), arena_bytes)?,
+                    kernels: HashMap::new(),
+                    session_id: 0,
+                }),
+            }));
+        }
+        Ok(SlotPool {
+            slots,
+            // LIFO free list: the hottest slot (warm caches) goes out first.
+            free: Mutex::new((0..n).rev().collect()),
+            recycles: AtomicU64::new(0),
+        })
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Currently free slots.
+    pub fn free_count(&self) -> usize {
+        self.free.lock().unwrap().len()
+    }
+
+    /// Total recycles (slot returns) so far.
+    pub fn recycles(&self) -> u64 {
+        self.recycles.load(Ordering::Relaxed)
+    }
+
+    /// Claim a free slot, or `None` when the pool is exhausted — the
+    /// caller turns that into a typed `Busy` rejection.
+    pub fn claim(&self) -> Option<Arc<Slot>> {
+        let index = self.free.lock().unwrap().pop()?;
+        Some(Arc::clone(&self.slots[index]))
+    }
+
+    /// Recycle a slot: reset its session (wiping tenant state — memory,
+    /// kernels, decoded code, faults) and return it to the free list.
+    pub fn recycle(&self, slot: &Arc<Slot>) {
+        {
+            let mut st = slot.lock();
+            st.gpu.session_mut().reset();
+            st.kernels.clear();
+            st.session_id = 0;
+        }
+        let mut free = self.free.lock().unwrap();
+        debug_assert!(!free.contains(&slot.index), "double recycle");
+        free.push(slot.index);
+        self.recycles.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// The Gpu trait is used through SlotState.
+use gpucmp_runtime::Gpu as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustion_and_recycle() {
+        let pool = SlotPool::new(2, DeviceSpec::gtx480(), 1 << 20).unwrap();
+        assert_eq!(pool.capacity(), 2);
+        assert_eq!(pool.free_count(), 2);
+        let a = pool.claim().unwrap();
+        let b = pool.claim().unwrap();
+        assert!(pool.claim().is_none(), "pool exhausted");
+        assert_eq!(pool.free_count(), 0);
+        pool.recycle(&a);
+        assert_eq!(pool.free_count(), 1);
+        let c = pool.claim().unwrap();
+        assert_eq!(c.index, a.index, "LIFO reuse of the recycled slot");
+        pool.recycle(&b);
+        pool.recycle(&c);
+        assert_eq!(pool.recycles(), 3);
+    }
+
+    #[test]
+    fn recycle_resets_the_session() {
+        let pool = SlotPool::new(1, DeviceSpec::gtx480(), 1 << 20).unwrap();
+        let slot = pool.claim().unwrap();
+        {
+            let mut st = slot.lock();
+            st.gpu.malloc(4096).unwrap();
+            assert_eq!(st.gpu.session().gmem.live_bytes(), 4096);
+        }
+        pool.recycle(&slot);
+        let slot = pool.claim().unwrap();
+        let st = slot.lock();
+        assert_eq!(st.gpu.session().gmem.live_bytes(), 0, "memory wiped");
+        assert_eq!(st.gpu.session().resets(), 1, "reuse is observable");
+        assert!(st.kernels.is_empty());
+    }
+}

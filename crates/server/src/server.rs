@@ -1,0 +1,198 @@
+//! The TCP transport: one OS thread per connection over the frame
+//! protocol, all policy delegated to [`SessionService`].
+//!
+//! The workspace is dependency-free (no async runtime), and the paper's
+//! workloads are compute-bound simulations rather than I/O storms, so a
+//! thread per connection is the right cost model: the concurrency
+//! ceiling is the *slot pool*, not the connection count, and a blocked
+//! connection thread costs one stack, not one session slot.
+//!
+//! Sessions are **not** tied to connections: a client may open a
+//! session, disconnect, reconnect and keep using the handle. The price
+//! is that an abandoned session holds its slot until someone closes it —
+//! acceptable for a benchmarking service whose clients are harnesses,
+//! and what keeps the protocol stateless per frame.
+
+use crate::protocol::{read_frame, write_frame, ErrorKind, Request, Response};
+use crate::service::{ServerConfig, SessionService};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Live connections, each a cloned stream handle (so shutdown can sever
+/// the socket out from under a blocked reader) plus its thread.
+type ConnList = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// A running server: the bound address plus the machinery to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<SessionService>,
+    stop: Arc<AtomicBool>,
+    accept_join: Option<JoinHandle<()>>,
+    conns: ConnList,
+}
+
+/// Bind `127.0.0.1:0` (or a caller-chosen port via `addr`) and serve
+/// `cfg` until [`ServerHandle::shutdown`].
+pub fn serve(cfg: ServerConfig, addr: &str) -> io::Result<ServerHandle> {
+    let service = SessionService::new(cfg).map_err(io::Error::other)?;
+    let listener = TcpListener::bind(addr)?;
+    Ok(serve_on(Arc::new(service), listener))
+}
+
+fn serve_on(service: Arc<SessionService>, listener: TcpListener) -> ServerHandle {
+    let addr = listener.local_addr().expect("bound listener has an addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let conns: ConnList = Arc::new(Mutex::new(Vec::new()));
+    let accept_join = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let conns = Arc::clone(&conns);
+        std::thread::Builder::new()
+            .name("gpucmp-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let Ok(peer) = stream.try_clone() else {
+                        continue;
+                    };
+                    let service = Arc::clone(&service);
+                    let join = std::thread::Builder::new()
+                        .name("gpucmp-conn".into())
+                        .spawn(move || serve_conn(&service, stream))
+                        .expect("spawn connection thread");
+                    conns.lock().unwrap().push((peer, join));
+                }
+            })
+            .expect("spawn accept thread")
+    };
+    ServerHandle {
+        addr,
+        service,
+        stop,
+        accept_join: Some(accept_join),
+        conns,
+    }
+}
+
+/// Serve one connection: read a frame, decode, handle, reply; repeat
+/// until the peer hangs up or sends garbage. A malformed frame gets a
+/// typed `BadRequest` *response* before the connection closes, so a
+/// confused client sees why instead of a bare hangup.
+fn serve_conn(service: &SessionService, stream: TcpStream) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    while let Ok(Some(payload)) = read_frame(&mut reader) {
+        let (resp, fatal) = match Request::decode(&payload) {
+            Ok(req) => (service.handle(req), false),
+            Err(e) => (
+                Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message: e.to_string(),
+                },
+                true,
+            ),
+        };
+        if write_frame(&mut writer, &resp.encode()).is_err() || fatal {
+            break;
+        }
+    }
+    // Close the TCP connection for real: the accept loop keeps a cloned
+    // handle for shutdown, so dropping our copies alone would leave the
+    // peer waiting for an EOF that never comes.
+    let _ = writer.get_ref().shutdown(Shutdown::Both);
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind the transport, for in-process inspection
+    /// (stats, pool, harvested traces).
+    pub fn service(&self) -> &SessionService {
+        &self.service
+    }
+
+    /// Stop accepting, sever every live connection and join all server
+    /// threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+        // Sever connections so their threads see EOF and exit.
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        for (stream, join) in conns {
+            let _ = stream.shutdown(Shutdown::Both);
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve on an OS-assigned localhost port — the harness entry point.
+pub fn serve_local(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    serve(cfg, "127.0.0.1:0")
+}
+
+/// A connection-level error from the client's point of view.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server replied with a typed error.
+    Server {
+        /// Machine-readable class.
+        kind: ErrorKind,
+        /// Server diagnostics.
+        message: String,
+    },
+    /// The server replied with a different response than the request
+    /// calls for (protocol bug).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Server { kind, message } => write!(f, "{kind}: {message}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The typed error kind, if the server sent one.
+    pub fn kind(&self) -> Option<ErrorKind> {
+        match self {
+            ClientError::Server { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+}

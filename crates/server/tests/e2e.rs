@@ -1,0 +1,213 @@
+//! End-to-end tests over real sockets: the full client → TCP → service
+//! → virtual-GPU path, including the chaos story (one tenant faulting
+//! while its neighbours keep computing bit-exact results).
+
+use gpucmp_server::protocol::{write_frame, ErrorKind, Request, Response};
+use gpucmp_server::{serve_local, Client, RetryPolicy, ServerConfig};
+use std::time::Duration;
+
+fn quick_retry(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 50,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(10),
+        deadline: Duration::from_secs(10),
+        seed,
+    }
+}
+
+fn fill_params(ptr: u64, n: u32, v: f32) -> Vec<u64> {
+    vec![ptr, n as u64, f32::to_bits(v) as u64]
+}
+
+#[test]
+fn tcp_round_trip_computes() {
+    let mut server = serve_local(ServerConfig {
+        slots: 2,
+        arena_bytes: 8 << 20,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let s = c.open("acme", &quick_retry(1)).unwrap();
+    let n = 1024u32;
+    let ptr = c.alloc(s, n as u64 * 4).unwrap();
+    let kernel_ns = c
+        .launch(s, "fill", n / 128, 128, fill_params(ptr, n, 4.25))
+        .unwrap();
+    assert!(kernel_ns > 0.0);
+    let data = c.read(s, ptr, n as u64 * 4).unwrap();
+    assert_eq!(data.len(), n as usize * 4);
+    for chunk in data.chunks_exact(4) {
+        assert_eq!(f32::from_le_bytes(chunk.try_into().unwrap()), 4.25);
+    }
+    c.close(s).unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.opens, 1);
+    assert_eq!(stats.closes, 1);
+    assert_eq!(stats.slots_free, 2);
+    server.shutdown();
+}
+
+#[test]
+fn busy_backpressure_resolves_with_retry() {
+    let mut server = serve_local(ServerConfig {
+        slots: 1,
+        arena_bytes: 4 << 20,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let mut holder = Client::connect(addr).unwrap();
+    let held = holder.open("holder", &quick_retry(2)).unwrap();
+
+    // A second open is Busy immediately (no retry)...
+    let mut waiter = Client::connect(addr).unwrap();
+    let resp = waiter
+        .request(&Request::Open {
+            tenant: "waiter".into(),
+        })
+        .unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                kind: ErrorKind::Busy,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+
+    // ...but succeeds under retry once the holder lets go.
+    let closer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(20));
+        holder.close(held).unwrap();
+    });
+    let s = waiter.open("waiter", &quick_retry(3)).unwrap();
+    closer.join().unwrap();
+    waiter.close(s).unwrap();
+
+    let stats = waiter.stats().unwrap();
+    assert!(stats.busy_rejections >= 1);
+    assert_eq!(stats.slots_free, 1);
+    server.shutdown();
+}
+
+#[test]
+fn chaos_tenant_does_not_perturb_neighbours() {
+    let mut server = serve_local(ServerConfig {
+        slots: 3,
+        arena_bytes: 8 << 20,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // The fault-free reference: what a lone well-behaved tenant reads
+    // back.
+    let reference = {
+        let mut c = Client::connect(addr).unwrap();
+        let s = c.open("ref", &quick_retry(7)).unwrap();
+        let ptr = c.alloc(s, 512 * 4).unwrap();
+        c.launch(s, "fill", 4, 128, fill_params(ptr, 512, 9.5))
+            .unwrap();
+        let data = c.read(s, ptr, 512 * 4).unwrap();
+        c.close(s).unwrap();
+        data
+    };
+
+    // Two good tenants and one chaos tenant run concurrently.
+    let good = |tenant: &'static str, seed: u64| {
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let s = c.open(tenant, &quick_retry(seed)).unwrap();
+            let ptr = c.alloc(s, 512 * 4).unwrap();
+            let mut out = Vec::new();
+            for _ in 0..10 {
+                c.launch(s, "fill", 4, 128, fill_params(ptr, 512, 9.5))
+                    .unwrap();
+                out = c.read(s, ptr, 512 * 4).unwrap();
+            }
+            c.close(s).unwrap();
+            out
+        })
+    };
+    let chaos = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        let s = c.open("mallory", &quick_retry(13)).unwrap();
+        let ptr = c.alloc(s, 1024).unwrap();
+        for _ in 0..5 {
+            // Fault, observe stickiness, reset, repeat.
+            let e = c.launch(s, "oob", 1, 32, vec![ptr]).unwrap_err();
+            assert_eq!(e.kind(), Some(ErrorKind::DeviceFault), "{e}");
+            let e = c.alloc(s, 64).unwrap_err();
+            assert_eq!(e.kind(), Some(ErrorKind::ContextLost), "{e}");
+            assert!(c.reset_session(s).unwrap(), "reset clears a fault");
+            let _ = c.alloc(s, 1024).unwrap();
+        }
+        c.close(s).unwrap();
+    });
+
+    let a = good("alice", 21).join().unwrap();
+    let b = good("bob", 22).join().unwrap();
+    chaos.join().unwrap();
+
+    assert_eq!(a, reference, "alice's bytes match the fault-free run");
+    assert_eq!(b, reference, "bob's bytes match the fault-free run");
+
+    let mut c = Client::connect(addr).unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.device_faults, 5);
+    assert_eq!(stats.context_lost, 5);
+    assert_eq!(stats.slots_free, 3, "every slot returned to the pool");
+    assert_eq!(stats.slots, 3, "the pool never grew");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frame_gets_typed_error_then_hangup() {
+    let mut server = serve_local(ServerConfig {
+        slots: 1,
+        arena_bytes: 4 << 20,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut stream, &[200, 1, 2, 3]).unwrap();
+    use std::io::Read;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).unwrap();
+    // One response frame, then EOF.
+    let payload = &buf[4..4 + u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize];
+    match Response::decode(payload).unwrap() {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::BadRequest),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(
+        buf.len(),
+        4 + payload.len(),
+        "connection closed after the error"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_severs_idle_connections() {
+    let mut server = serve_local(ServerConfig {
+        slots: 1,
+        arena_bytes: 4 << 20,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let mut idle = Client::connect(addr).unwrap();
+    let s = idle.open("idle", &quick_retry(4)).unwrap();
+    // Shut down while the client still has a session and an open
+    // connection: shutdown must not hang, and the next request must
+    // fail at the transport level.
+    server.shutdown();
+    assert!(idle.request(&Request::Close { session: s }).is_err());
+    assert!(Client::connect(addr).is_err(), "listener is gone");
+}

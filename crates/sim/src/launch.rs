@@ -122,6 +122,13 @@ impl LaunchConfig {
         self.textures.push(TexBinding { ptr, elems });
         self
     }
+
+    /// Override the dynamic warp-instruction budget (runaway guard). The
+    /// session may clamp this further (e.g. a per-tenant quota cap).
+    pub fn with_inst_budget(mut self, budget: u64) -> Self {
+        self.inst_budget = budget;
+        self
+    }
 }
 
 /// Chainable builder for [`LaunchConfig`]; converts into the config via

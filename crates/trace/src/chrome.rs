@@ -29,7 +29,7 @@ use crate::json::Json;
 use gpucmp_runtime::{SessionEvent, TransferDir};
 use gpucmp_sim::DeviceSpec;
 
-/// Process id used for the single simulated device.
+/// Process id [`chrome_trace`] uses for its single session.
 const PID: i64 = 1;
 /// Thread-id base for CU tracks (tid = CU_TID0 + cu index).
 const CU_TID0: i64 = 10;
@@ -41,35 +41,35 @@ const API_TID: i64 = 3;
 /// id; safely above any realistic CU count).
 const STREAM_TID0: i64 = 100;
 
-fn ev_meta(name: &str, tid: i64, value: &str) -> Json {
+fn ev_meta(pid: i64, name: &str, tid: i64, value: &str) -> Json {
     Json::obj([
         ("name", name.into()),
         ("ph", "M".into()),
-        ("pid", Json::Int(PID)),
+        ("pid", Json::Int(pid)),
         ("tid", Json::Int(tid)),
         ("args", Json::obj([("name", value.into())])),
     ])
 }
 
-fn ev_slice(name: &str, tid: i64, ts_ns: f64, dur_ns: f64, args: Json) -> Json {
+fn ev_slice(pid: i64, name: &str, tid: i64, ts_ns: f64, dur_ns: f64, args: Json) -> Json {
     Json::obj([
         ("name", name.into()),
         ("cat", "gpucmp".into()),
         ("ph", "X".into()),
         ("ts", Json::Num(ts_ns / 1000.0)),
         ("dur", Json::Num((dur_ns / 1000.0).max(0.001))),
-        ("pid", Json::Int(PID)),
+        ("pid", Json::Int(pid)),
         ("tid", Json::Int(tid)),
         ("args", args),
     ])
 }
 
-fn ev_counter(name: &str, ts_ns: f64, series: &str, value: f64) -> Json {
+fn ev_counter(pid: i64, name: &str, ts_ns: f64, series: &str, value: f64) -> Json {
     Json::obj([
         ("name", name.into()),
         ("ph", "C".into()),
         ("ts", Json::Num(ts_ns / 1000.0)),
-        ("pid", Json::Int(PID)),
+        ("pid", Json::Int(pid)),
         (
             "args",
             Json::Obj(vec![(series.to_string(), Json::Num(value))]),
@@ -83,9 +83,38 @@ fn ev_counter(name: &str, ts_ns: f64, series: &str, value: f64) -> Json {
 /// the process and bounds the per-CU tracks.
 pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
     let mut out: Vec<Json> = Vec::new();
-    out.push(ev_meta("process_name", 0, device.name));
-    out.push(ev_meta("thread_name", PCIE_TID, "PCIe"));
-    out.push(ev_meta("thread_name", API_TID, "API"));
+    emit_session(&mut out, PID, device.name, device, events);
+    finish(device, out)
+}
+
+/// Serialise *many* traced sessions into one chrome-trace document: one
+/// chrome **process per stream**, each with the full per-CU / PCIe / API
+/// track layout of [`chrome_trace`].
+///
+/// This is the multi-tenant server's export: each harvested
+/// per-(tenant, session) stream becomes its own named process (e.g.
+/// `"acme / session 3"`), so Perfetto shows the tenants side by side on
+/// a shared virtual-time axis — including the `FAULT` instant on the
+/// poisoned tenant's track while its neighbours' tracks keep running.
+pub fn chrome_trace_multi(device: &DeviceSpec, streams: &[(String, Vec<SessionEvent>)]) -> Json {
+    let mut out: Vec<Json> = Vec::new();
+    for (i, (name, events)) in streams.iter().enumerate() {
+        emit_session(&mut out, PID + i as i64, name, device, events);
+    }
+    finish(device, out)
+}
+
+/// Emit one session's metadata and events as chrome process `pid`.
+fn emit_session(
+    out: &mut Vec<Json>,
+    pid: i64,
+    process_name: &str,
+    device: &DeviceSpec,
+    events: &[SessionEvent],
+) {
+    out.push(ev_meta(pid, "process_name", 0, process_name));
+    out.push(ev_meta(pid, "thread_name", PCIE_TID, "PCIe"));
+    out.push(ev_meta(pid, "thread_name", API_TID, "API"));
     // Name only the CU tracks the trace actually uses (default-stream
     // work), plus one track per explicit stream that appears.
     let max_cu = events
@@ -101,6 +130,7 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
         .unwrap_or(0);
     for cu in 0..max_cu {
         out.push(ev_meta(
+            pid,
             "thread_name",
             CU_TID0 + cu as i64,
             &format!("CU {cu}"),
@@ -119,6 +149,7 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
     stream_ids.dedup();
     for s in &stream_ids {
         out.push(ev_meta(
+            pid,
             "thread_name",
             STREAM_TID0 + *s as i64,
             &format!("Stream {s}"),
@@ -145,6 +176,7 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
                 };
                 let gbs = *bytes as f64 / dur_ns.max(1.0);
                 out.push(ev_slice(
+                    pid,
                     name,
                     tid,
                     *start_ns,
@@ -188,6 +220,7 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
                         fields.push(("overhead_ns".to_string(), Json::Num(*overhead_ns)));
                     }
                     out.push(ev_slice(
+                        pid,
                         kernel,
                         STREAM_TID0 + *stream as i64,
                         *start_ns,
@@ -197,6 +230,7 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
                     continue;
                 }
                 out.push(ev_slice(
+                    pid,
                     &format!("launch {kernel}"),
                     API_TID,
                     *start_ns,
@@ -209,6 +243,7 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
                 let cus = (grid.count().min(device.compute_units as u64)).max(1) as u32;
                 for cu in 0..cus {
                     out.push(ev_slice(
+                        pid,
                         kernel,
                         CU_TID0 + cu as i64,
                         kstart,
@@ -225,8 +260,8 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
                     ("L2 hit rate", "rate", stats.l2_hit_rate()),
                     ("Occupancy", "warp slots", timing.occupancy),
                 ] {
-                    out.push(ev_counter(track, kstart, series, v));
-                    out.push(ev_counter(track, kstart + kernel_ns, series, 0.0));
+                    out.push(ev_counter(pid, track, kstart, series, v));
+                    out.push(ev_counter(pid, track, kstart + kernel_ns, series, 0.0));
                 }
             }
             SessionEvent::Fault {
@@ -269,14 +304,17 @@ pub fn chrome_trace(device: &DeviceSpec, events: &[SessionEvent]) -> Json {
                     ("ph", "i".into()),
                     ("s", "t".into()),
                     ("ts", Json::Num(t_ns / 1000.0)),
-                    ("pid", Json::Int(PID)),
+                    ("pid", Json::Int(pid)),
                     ("tid", Json::Int(tid)),
                     ("args", Json::Obj(args)),
                 ]));
             }
         }
     }
+}
 
+/// Wrap the collected events in the document envelope.
+fn finish(device: &DeviceSpec, out: Vec<Json>) -> Json {
     Json::obj([
         ("displayTimeUnit", "ns".into()),
         (

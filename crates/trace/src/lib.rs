@@ -17,7 +17,7 @@ pub mod chrome;
 pub mod json;
 pub mod report;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_multi};
 pub use json::{parse, Json, JsonError};
 pub use report::{
     dominant_counter, BenchReport, BenchRun, PrEntry, SimSpeed, MIN_SCHEMA_VERSION,

@@ -275,3 +275,47 @@ fn untraced_sessions_record_nothing() {
     let parsed = parse(&doc.to_text()).unwrap();
     assert!(parsed.get("traceEvents").and_then(Json::as_arr).is_some());
 }
+
+#[test]
+fn multi_stream_export_gets_one_process_per_session() {
+    use gpucmp_trace::chrome_trace_multi;
+    let (device, events) = traced_session();
+    let streams = vec![
+        ("acme / session 1".to_string(), events.clone()),
+        ("umbrella / session 2".to_string(), events),
+    ];
+    let doc = chrome_trace_multi(&device, &streams);
+    let parsed = parse(&doc.to_text()).expect("multi trace must be valid JSON");
+    let tev = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+
+    // Each stream becomes its own chrome process, named after the
+    // (tenant, session) pair; real (non-meta) events land on both pids.
+    let mut names = Vec::new();
+    let mut pids = std::collections::BTreeSet::new();
+    for e in tev {
+        let pid = e.get("pid").and_then(Json::as_f64).expect("pid") as i64;
+        if e.get("name").and_then(Json::as_str) == Some("process_name") {
+            let n = e
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+                .expect("process_name value");
+            names.push((pid, n.to_string()));
+        }
+        if e.get("ph").and_then(Json::as_str) == Some("X") {
+            pids.insert(pid);
+        }
+    }
+    names.sort();
+    assert_eq!(
+        names,
+        vec![
+            (1, "acme / session 1".to_string()),
+            (2, "umbrella / session 2".to_string()),
+        ]
+    );
+    assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+}
